@@ -1,0 +1,71 @@
+//! Deadlock-detection cost: snapshot extraction, CWG construction, and
+//! knot analysis on networks at increasing congestion — the price paid
+//! every 50 cycles by a recovery-based router's "watchdog".
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use flexsim::build_wait_graph;
+use icn_routing::Tfar;
+use icn_sim::{Network, SimConfig};
+use icn_topology::{KAryNCube, NodeId};
+use icn_traffic::{BernoulliInjector, Pattern};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Drives a TFAR1 torus to the requested load for a while and returns it.
+fn congested_network(load: f64) -> Network {
+    let topo = KAryNCube::torus(8, 2, true);
+    let injector = BernoulliInjector::for_load(&topo, load, 32);
+    let mut net = Network::new(
+        topo.clone(),
+        Box::new(Tfar),
+        SimConfig {
+            vcs_per_channel: 1,
+            buffer_depth: 2,
+            msg_len: 32,
+        },
+    );
+    let mut rng = StdRng::seed_from_u64(7);
+    for _ in 0..3_000u32 {
+        for node in 0..topo.num_nodes() as u32 {
+            if injector.fires(&mut rng) {
+                if let Some(dst) = Pattern::Uniform.dest(&topo, NodeId(node), &mut rng) {
+                    net.enqueue(NodeId(node), dst);
+                }
+            }
+        }
+        net.step();
+    }
+    net
+}
+
+fn bench_detection(c: &mut Criterion) {
+    let mut g = c.benchmark_group("detection");
+    g.sample_size(20);
+    g.warm_up_time(std::time::Duration::from_millis(300));
+    g.measurement_time(std::time::Duration::from_secs(2));
+
+    for &load in &[0.1, 0.5, 1.0] {
+        let net = congested_network(load);
+        g.bench_with_input(
+            BenchmarkId::new("snapshot", format!("load{load}")),
+            &net,
+            |b, net| b.iter(|| net.wait_snapshot()),
+        );
+        let snap = net.wait_snapshot();
+        g.bench_with_input(
+            BenchmarkId::new("build_graph", format!("load{load}")),
+            &snap,
+            |b, snap| b.iter(|| build_wait_graph(snap)),
+        );
+        let graph = build_wait_graph(&snap);
+        g.bench_with_input(
+            BenchmarkId::new("analyze_knots", format!("load{load}")),
+            &graph,
+            |b, graph| b.iter(|| graph.analyze(2_000)),
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_detection);
+criterion_main!(benches);

@@ -1,0 +1,65 @@
+//! Engine throughput: simulated cycles per second across routing
+//! algorithms, VC counts, and offered loads.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use icn_routing::{Dor, RoutingAlgorithm, Tfar};
+use icn_sim::{Network, SimConfig};
+use icn_topology::{KAryNCube, NodeId};
+use icn_traffic::{BernoulliInjector, Pattern};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn drive(net: &mut Network, injector: &BernoulliInjector, rng: &mut StdRng, cycles: u64) {
+    let topo = net.topology().clone();
+    for _ in 0..cycles {
+        for node in 0..topo.num_nodes() as u32 {
+            if injector.fires(rng) {
+                if let Some(dst) = Pattern::Uniform.dest(&topo, NodeId(node), rng) {
+                    net.enqueue(NodeId(node), dst);
+                }
+            }
+        }
+        net.step();
+    }
+}
+
+fn bench_engine(c: &mut Criterion) {
+    let mut g = c.benchmark_group("engine_cycles");
+    g.sample_size(10);
+    g.warm_up_time(std::time::Duration::from_millis(300));
+    g.measurement_time(std::time::Duration::from_secs(2));
+
+    type AlgoFactory = Box<dyn Fn() -> Box<dyn RoutingAlgorithm>>;
+    let cases: Vec<(&str, AlgoFactory, usize, f64)> = vec![
+        ("dor1_low", Box::new(|| Box::new(Dor)), 1, 0.2),
+        ("dor1_sat", Box::new(|| Box::new(Dor)), 1, 1.0),
+        ("tfar1_sat", Box::new(|| Box::new(Tfar)), 1, 1.0),
+        ("tfar4_sat", Box::new(|| Box::new(Tfar)), 4, 1.0),
+    ];
+
+    for (name, mk_algo, vcs, load) in cases {
+        let cycles_per_iter = 500u64;
+        g.throughput(Throughput::Elements(cycles_per_iter));
+        g.bench_with_input(BenchmarkId::from_parameter(name), &load, |b, &load| {
+            let topo = KAryNCube::torus(8, 2, true);
+            let injector = BernoulliInjector::for_load(&topo, load, 32);
+            let mut net = Network::new(
+                topo,
+                mk_algo(),
+                SimConfig {
+                    vcs_per_channel: vcs,
+                    buffer_depth: 2,
+                    msg_len: 32,
+                },
+            );
+            let mut rng = StdRng::seed_from_u64(1);
+            // Reach steady state once, then measure incremental stepping.
+            drive(&mut net, &injector, &mut rng, 2_000);
+            b.iter(|| drive(&mut net, &injector, &mut rng, cycles_per_iter));
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_engine);
+criterion_main!(benches);

@@ -1,0 +1,50 @@
+//! Routing-relation cost: candidate-set computation per header per cycle
+//! for each algorithm (the innermost hot path of the allocation phase).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use icn_routing::{
+    Candidate, DatelineDor, Dor, DuatoFar, RoutingAlgorithm, RoutingCtx, Tfar, WestFirst,
+};
+use icn_topology::{KAryNCube, NodeId};
+
+fn bench_routing(c: &mut Criterion) {
+    let mut g = c.benchmark_group("routing_candidates");
+    g.sample_size(20);
+    g.warm_up_time(std::time::Duration::from_millis(300));
+    g.measurement_time(std::time::Duration::from_secs(2));
+
+    let torus = KAryNCube::torus(16, 2, true);
+    let mesh = KAryNCube::mesh(16, 2);
+    let algos: Vec<(&str, Box<dyn RoutingAlgorithm>, &KAryNCube, usize)> = vec![
+        ("dor", Box::new(Dor), &torus, 1),
+        ("tfar", Box::new(Tfar), &torus, 4),
+        ("dateline", Box::new(DatelineDor), &torus, 2),
+        ("duato", Box::new(DuatoFar), &torus, 3),
+        ("west_first", Box::new(WestFirst), &mesh, 1),
+    ];
+
+    for (name, algo, topo, vcs) in algos {
+        g.bench_with_input(BenchmarkId::from_parameter(name), &algo, |b, algo| {
+            let n = topo.num_nodes() as u32;
+            let mut out: Vec<Candidate> = Vec::with_capacity(8);
+            let mut i = 0u32;
+            b.iter(|| {
+                // Cycle through many (src, dst) pairs to avoid branch
+                // predictor lock-in on one route.
+                i = i.wrapping_add(97);
+                let cur = NodeId(i % n);
+                let dst = NodeId((i * 31 + 7) % n);
+                if cur == dst {
+                    return 0;
+                }
+                out.clear();
+                algo.candidates(topo, vcs, &RoutingCtx::fresh(cur, dst, cur), &mut out);
+                out.len()
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_routing);
+criterion_main!(benches);

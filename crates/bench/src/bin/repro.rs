@@ -1,0 +1,100 @@
+//! Regenerates every table and figure of the paper's evaluation section.
+//!
+//! ```text
+//! repro [fig5] [fig6] [fig7] [fig8] [degree] [traffic] [all] [--small] [--csv]
+//! ```
+//!
+//! With no experiment named, runs `all`. `--small` switches to the
+//! scaled-down configuration (8-ary 2-cube, short windows) used by the
+//! integration tests; the default is the paper's setup (16-ary 2-cube,
+//! 30,000 measured cycles — expect minutes of wall-clock). `--csv` also
+//! emits machine-readable CSV after each table; `--json` writes
+//! `repro_<id>.json` files next to the working directory.
+
+use flexsim::experiments::{self, Scale};
+use flexsim::sweep;
+use std::time::Instant;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let small = args.iter().any(|a| a == "--small");
+    let csv = args.iter().any(|a| a == "--csv");
+    let json = args.iter().any(|a| a == "--json");
+    let scale = if small { Scale::Small } else { Scale::Paper };
+
+    let mut wanted: Vec<String> = args
+        .iter()
+        .filter(|a| !a.starts_with("--"))
+        .cloned()
+        .collect();
+    if wanted.is_empty() || wanted.iter().any(|w| w == "all") {
+        wanted = vec![
+            "fig5".into(),
+            "fig6".into(),
+            "fig7".into(),
+            "fig8".into(),
+            "degree".into(),
+            "traffic".into(),
+            "ablate-interval".into(),
+            "ablate-victim".into(),
+            "ext-hypercube".into(),
+            "ext-misroute".into(),
+            "ext-hybrid".into(),
+        ];
+    }
+
+    let mut available = experiments::all(scale);
+    available.extend(flexsim::ablations::all(scale));
+    available.extend(flexsim::extensions::all(scale));
+    let mut pass_all = true;
+    for id in &wanted {
+        let Some(exp) = available.iter().find(|e| e.id == id) else {
+            eprintln!(
+                "unknown experiment `{id}` (have: fig5 fig6 fig7 fig8 degree traffic \
+                 ablate-interval ablate-victim)"
+            );
+            std::process::exit(2);
+        };
+        let started = Instant::now();
+        println!("== {} ==", exp.title);
+        println!(
+            "   {} simulation points, scale={scale:?}",
+            exp.configs.len()
+        );
+        let results = sweep(&exp.configs);
+        let table = experiments::results_table(&results);
+        println!("{}", table.render());
+        if csv {
+            println!("{}", table.to_csv());
+        }
+        if json {
+            let path = format!("repro_{}.json", exp.id);
+            std::fs::write(&path, flexsim::json::sweep_to_json(&results))
+                .unwrap_or_else(|e| eprintln!("cannot write {path}: {e}"));
+            println!("   wrote {path}");
+        }
+        println!("{}", experiments::figure_chart(exp, &results).render());
+        println!("per-curve saturation / deadlock onset:");
+        println!("{}", experiments::saturation_summary(exp, &results).render());
+        println!("shape checks (paper claims vs measured):");
+        let checks = if exp.id.starts_with("ext-") {
+            flexsim::extensions::shape_checks(exp, &results)
+        } else {
+            experiments::shape_checks(exp, &results)
+        };
+        for c in checks {
+            println!(
+                "  [{}] {} ({})",
+                if c.pass { "PASS" } else { "FAIL" },
+                c.claim,
+                c.detail
+            );
+            pass_all &= c.pass;
+        }
+        println!("   ({:.1?} elapsed)\n", started.elapsed());
+    }
+    if !pass_all {
+        eprintln!("some shape checks failed");
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,2 @@
+//! Shared helpers for the benchmark suite and the figure-regeneration
+//! binary. See `src/bin/repro.rs` for the experiment harness.

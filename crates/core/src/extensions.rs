@@ -1,0 +1,221 @@
+//! Extension experiments: the paper's §5 future-work items, implemented.
+//!
+//! * [`hypercube`] — higher node degree than §3.5's 4-ary 4-cube: a binary
+//!   hypercube gives degree `log2 N` with adaptive routing.
+//! * [`misroute`] — the effect of (bounded) misrouting on deadlock
+//!   formation: non-minimal hops widen the wait-for fan-out.
+//! * [`hybrid_lengths`] — hybrid message-length traffic (request/reply
+//!   mixes) instead of the paper's fixed 32-flit messages.
+
+use crate::experiments::{Experiment, Scale, ShapeCheck};
+use crate::spec::{RoutingSpec, TopologySpec};
+use crate::{RunConfig, RunResult};
+use icn_traffic::MsgLenDist;
+
+fn base(scale: Scale) -> RunConfig {
+    let mut c = match scale {
+        Scale::Paper => RunConfig::paper_default(),
+        Scale::Small => RunConfig::small_default(),
+    };
+    c.routing = RoutingSpec::Tfar;
+    c.sim.vcs_per_channel = 1;
+    c
+}
+
+fn ext_loads(scale: Scale) -> Vec<f64> {
+    // The lowest load sits safely below TFAR1's saturation knee even when
+    // misrouting inflates the effective channel demand.
+    match scale {
+        Scale::Paper => vec![0.1, 0.4, 0.8, 1.2],
+        Scale::Small => vec![0.1, 0.6, 1.2],
+    }
+}
+
+fn with_seed(mut cfg: RunConfig, salt: u64) -> RunConfig {
+    cfg.seed = cfg.seed.wrapping_add(salt.wrapping_mul(0x9e37_79b9_7f4a_7c15));
+    cfg
+}
+
+/// Binary hypercube vs the 2-D torus at matched node count (TFAR, 1 VC).
+pub fn hypercube(scale: Scale) -> Experiment {
+    let (cube_dims, torus) = match scale {
+        Scale::Paper => (8usize, TopologySpec::torus(16, 2, true)), // 256 nodes each
+        Scale::Small => (6usize, TopologySpec::torus(8, 2, true)),  // 64 nodes each
+    };
+    let mut configs = Vec::new();
+    let mut salt = 700;
+    for topo in [torus, TopologySpec::mesh(2, cube_dims)] {
+        for &load in &ext_loads(scale) {
+            let mut c = base(scale);
+            c.topology = topo;
+            c.load = load;
+            configs.push(with_seed(c, salt));
+            salt += 1;
+        }
+    }
+    Experiment {
+        id: "ext-hypercube",
+        title: "Extension: binary hypercube vs 2-D torus (TFAR, 1 VC)",
+        configs,
+    }
+}
+
+/// Minimal TFAR vs misrouting TFAR with small and large detour budgets.
+pub fn misroute(scale: Scale) -> Experiment {
+    let mut configs = Vec::new();
+    let mut salt = 800;
+    for routing in [
+        RoutingSpec::Tfar,
+        RoutingSpec::Misroute { budget: 2 },
+        RoutingSpec::Misroute { budget: 8 },
+    ] {
+        for &load in &ext_loads(scale) {
+            let mut c = base(scale);
+            c.routing = routing;
+            c.load = load;
+            configs.push(with_seed(c, salt));
+            salt += 1;
+        }
+    }
+    Experiment {
+        id: "ext-misroute",
+        title: "Extension: effect of bounded misrouting on deadlock formation",
+        configs,
+    }
+}
+
+/// Fixed 32-flit messages vs a bimodal 8/64-flit request/reply mix at the
+/// same mean flit load.
+pub fn hybrid_lengths(scale: Scale) -> Experiment {
+    let mut configs = Vec::new();
+    let mut salt = 900;
+    let dists = [
+        MsgLenDist::Fixed(32),
+        MsgLenDist::Bimodal {
+            short: 8,
+            long: 64,
+            long_frac: 0.3,
+        },
+    ];
+    for dist in dists {
+        for &load in &ext_loads(scale) {
+            let mut c = base(scale);
+            c.len_dist = dist;
+            c.load = load;
+            configs.push(with_seed(c, salt));
+            salt += 1;
+        }
+    }
+    Experiment {
+        id: "ext-hybrid",
+        title: "Extension: hybrid message lengths (8/64-flit mix vs fixed 32)",
+        configs,
+    }
+}
+
+/// All extension experiments.
+pub fn all(scale: Scale) -> Vec<Experiment> {
+    vec![hypercube(scale), misroute(scale), hybrid_lengths(scale)]
+}
+
+fn check(claim: impl Into<String>, pass: bool, detail: String) -> ShapeCheck {
+    ShapeCheck {
+        claim: claim.into(),
+        pass,
+        detail,
+    }
+}
+
+/// Qualitative expectations for the extension experiments.
+pub fn shape_checks(exp: &Experiment, results: &[RunResult]) -> Vec<ShapeCheck> {
+    assert_eq!(exp.configs.len(), results.len());
+    match exp.id {
+        "ext-hypercube" => {
+            let torus_dl: u64 = exp
+                .configs
+                .iter()
+                .zip(results)
+                .filter(|(c, _)| c.topology.torus)
+                .map(|(_, r)| r.deadlocks)
+                .sum();
+            let cube_dl: u64 = exp
+                .configs
+                .iter()
+                .zip(results)
+                .filter(|(c, _)| !c.topology.torus)
+                .map(|(_, r)| r.deadlocks)
+                .sum();
+            vec![check(
+                "high node degree (hypercube) suppresses deadlock vs 2-D torus",
+                cube_dl * 2 < torus_dl.max(1),
+                format!("torus={torus_dl} hypercube={cube_dl}"),
+            )]
+        }
+        "ext-misroute" => {
+            let min_load = exp
+                .configs
+                .iter()
+                .map(|c| c.load)
+                .fold(f64::INFINITY, f64::min);
+            let low_load_ok = exp
+                .configs
+                .iter()
+                .zip(results)
+                .filter(|(c, _)| c.load <= min_load)
+                .all(|(_, r)| r.accepted_load() > 0.5 * r.offered_load);
+            let all_deliver = results.iter().all(|r| r.delivered > 0);
+            vec![
+                check(
+                    "misrouting preserves low-load delivery (no livelock)",
+                    low_load_ok && all_deliver,
+                    format!(
+                        "min accepted = {:.3}",
+                        results
+                            .iter()
+                            .map(|r| r.accepted_load())
+                            .fold(f64::INFINITY, f64::min)
+                    ),
+                ),
+            ]
+        }
+        "ext-hybrid" => {
+            let consistent = results
+                .iter()
+                .all(|r| r.single_cycle_deadlocks + r.multi_cycle_deadlocks == r.deadlocks);
+            let all_deliver = results.iter().all(|r| r.delivered > 0);
+            vec![check(
+                "hybrid-length traffic runs cleanly with sound classification",
+                consistent && all_deliver,
+                format!(
+                    "total deadlocks = {}",
+                    results.iter().map(|r| r.deadlocks).sum::<u64>()
+                ),
+            )]
+        }
+        _ => Vec::new(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn extensions_enumerate() {
+        let all = all(Scale::Small);
+        assert_eq!(all.len(), 3);
+        for exp in &all {
+            assert!(!exp.configs.is_empty());
+            for c in &exp.configs {
+                c.sim.validate();
+                c.len_dist.validate();
+            }
+        }
+    }
+
+    #[test]
+    fn hypercube_experiment_uses_mesh2() {
+        let e = hypercube(Scale::Small);
+        assert!(e.configs.iter().any(|c| c.topology.k == 2 && !c.topology.torus));
+    }
+}

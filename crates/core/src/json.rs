@@ -1,0 +1,120 @@
+//! Minimal JSON export of run results (for external plotting tools).
+//!
+//! Hand-rolled on purpose: the export is a flat summary of derived
+//! metrics, so a serializer dependency would be pure weight.
+
+use crate::RunResult;
+use std::fmt::Write;
+
+fn esc(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+fn num(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".to_string()
+    }
+}
+
+/// Serializes one result as a JSON object.
+pub fn result_to_json(r: &RunResult) -> String {
+    let mut o = String::from("{");
+    let mut field = |key: &str, val: String| {
+        if o.len() > 1 {
+            o.push(',');
+        }
+        let _ = write!(o, "\"{key}\":{val}");
+    };
+    field("label", format!("\"{}\"", esc(&r.label)));
+    field("offered_load", num(r.offered_load));
+    field("accepted_load", num(r.accepted_load()));
+    field("cycles", r.cycles.to_string());
+    field("generated", r.generated.to_string());
+    field("delivered", r.delivered.to_string());
+    field("recovered", r.recovered.to_string());
+    field("delivered_flits", r.delivered_flits.to_string());
+    field("avg_latency", num(r.avg_latency()));
+    field("p99_latency", r.latency.quantile(0.99).to_string());
+    field("blocked_fraction", num(r.blocked_fraction()));
+    field("in_network_avg", num(r.in_network.mean()));
+    field("deadlocks", r.deadlocks.to_string());
+    field("normalized_deadlocks", num(r.normalized_deadlocks()));
+    field(
+        "deadlocks_per_in_network_msg",
+        num(r.deadlocks_per_in_network_msg()),
+    );
+    field("single_cycle", r.single_cycle_deadlocks.to_string());
+    field("multi_cycle", r.multi_cycle_deadlocks.to_string());
+    field("deadlock_set_mean", num(r.deadlock_set.mean()));
+    field("deadlock_set_max", r.deadlock_set.max().to_string());
+    field("resource_set_mean", num(r.resource_set.mean()));
+    field("resource_set_max", r.resource_set.max().to_string());
+    field("knot_density_mean", num(r.knot_density.mean()));
+    field("knot_density_max", r.knot_density.max().to_string());
+    field("dependent_committed", r.dependent_committed.to_string());
+    field("dependent_transient", r.dependent_transient.to_string());
+    field("max_cwg_cycles", num(r.max_cwg_cycles()));
+    field("cycles_capped", r.cycles_capped.to_string());
+    field(
+        "cyclic_nondeadlock_epochs",
+        r.cyclic_nondeadlock_epochs.to_string(),
+    );
+    field("victims_started", r.victims_started.to_string());
+    field("resolution_latency_mean", num(r.resolution_latency.mean()));
+    o.push('}');
+    o
+}
+
+/// Serializes a sweep as a JSON array.
+pub fn sweep_to_json(results: &[RunResult]) -> String {
+    let items: Vec<String> = results.iter().map(result_to_json).collect();
+    format!("[{}]", items.join(","))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> RunResult {
+        let mut r = RunResult::new("bi \"q\" test".into(), 0.5, 64, 0.5, 32);
+        r.cycles = 100;
+        r.delivered = 10;
+        r.delivered_flits = 320;
+        r.deadlocks = 2;
+        r.deadlock_set.record(3);
+        r
+    }
+
+    #[test]
+    fn object_is_balanced_and_escaped() {
+        let j = result_to_json(&sample());
+        assert!(j.starts_with('{') && j.ends_with('}'));
+        assert_eq!(j.matches('{').count(), j.matches('}').count());
+        assert!(j.contains("\"label\":\"bi \\\"q\\\" test\""));
+        assert!(j.contains("\"deadlocks\":2"));
+        assert!(j.contains("\"normalized_deadlocks\":0.2"));
+    }
+
+    #[test]
+    fn infinity_becomes_null() {
+        let mut r = sample();
+        r.delivered = 0;
+        r.delivered_flits = 0;
+        let j = result_to_json(&r);
+        assert!(j.contains("\"normalized_deadlocks\":null"));
+    }
+
+    #[test]
+    fn array_form() {
+        let j = sweep_to_json(&[sample(), sample()]);
+        assert!(j.starts_with('[') && j.ends_with(']'));
+        assert_eq!(j.matches("\"label\"").count(), 2);
+    }
+
+    #[test]
+    fn empty_sweep_is_empty_array() {
+        assert_eq!(sweep_to_json(&[]), "[]");
+    }
+}

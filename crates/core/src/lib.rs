@@ -1,0 +1,139 @@
+//! FlexSim: the orchestrating simulator of the reproduction.
+//!
+//! The paper's methodology (§3) is: run a flit-level network simulation
+//! with **no routing restrictions**, invoke a true deadlock detector every
+//! 50 cycles, break each detected knot by removing one deadlock-set
+//! message flit-by-flit (synthesized Disha recovery), and record deadlock
+//! frequency and structure across parameter sweeps. This crate wires the
+//! substrates together:
+//!
+//! * [`RunConfig`] — one simulation point (topology, routing, VCs, buffer
+//!   depth, traffic pattern, normalized load, detection cadence, seeds).
+//! * [`run`] — executes one point and produces a [`RunResult`] with the
+//!   paper's metrics: normalized deadlocks, deadlock/resource set sizes,
+//!   knot cycle densities, cyclic non-deadlock counts, congestion and
+//!   throughput.
+//! * [`sweep`] — runs many points across OS threads, deterministically.
+//! * [`experiments`] — the per-figure sweep definitions (Figures 5–8,
+//!   §3.5 node degree, §3.6 traffic patterns) used by the `repro` binary
+//!   and the integration tests.
+//! * [`report`] — plain-text table rendering of sweep results.
+//!
+//! # Example
+//!
+//! ```
+//! use flexsim::{run, RunConfig, RoutingSpec, TopologySpec};
+//!
+//! let mut cfg = RunConfig::small_default();
+//! cfg.topology = TopologySpec::torus(4, 2, true);
+//! cfg.routing = RoutingSpec::Tfar;
+//! cfg.sim.vcs_per_channel = 2;
+//! cfg.load = 0.3;
+//! cfg.warmup = 100;
+//! cfg.measure = 400;
+//!
+//! let result = run(&cfg);
+//! assert!(result.delivered > 0);
+//! assert_eq!(result.deadlocks, 0); // TFAR with 2 VCs at low load
+//! ```
+
+pub mod ablations;
+pub mod chart;
+pub mod experiments;
+pub mod extensions;
+pub mod json;
+pub mod report;
+mod result;
+mod runner;
+mod spec;
+mod sweep;
+
+pub use result::{Incident, RunResult};
+pub use runner::{build_wait_graph, run};
+pub use spec::{RecoveryPolicy, RoutingSpec, TopologySpec};
+pub use sweep::{replicate, replication_summary, sweep, ReplicationSummary};
+
+use icn_traffic::{MsgLenDist, Pattern};
+
+/// One simulation point.
+#[derive(Clone, Debug)]
+pub struct RunConfig {
+    /// Network shape.
+    pub topology: TopologySpec,
+    /// Routing relation.
+    pub routing: RoutingSpec,
+    /// Flit-level parameters (VCs, buffer depth, default message length).
+    pub sim: icn_sim::SimConfig,
+    /// Spatial traffic pattern.
+    pub pattern: Pattern,
+    /// Message-length distribution. `Fixed` lengths reproduce the paper;
+    /// `Bimodal` exercises its hybrid-length future-work item.
+    pub len_dist: MsgLenDist,
+    /// Offered load as a fraction of network capacity.
+    pub load: f64,
+    /// Cycles before measurement starts (reaching steady state).
+    pub warmup: u64,
+    /// Measured cycles (the paper uses 30,000 beyond steady state).
+    pub measure: u64,
+    /// Deadlock-detection cadence in cycles (paper: 50).
+    pub detection_interval: u64,
+    /// When `Some(n)`, count CWG resource-dependency cycles every `n`-th
+    /// detection epoch (the cyclic non-deadlock metric; costs time).
+    pub count_cycles_every: Option<u64>,
+    /// Cap on whole-graph elementary-cycle enumeration.
+    pub cycle_cap: u64,
+    /// Cap on per-knot cycle-density enumeration.
+    pub density_cap: u64,
+    /// How deadlocks are broken.
+    pub recovery: RecoveryPolicy,
+    /// RNG seed (traffic generation).
+    pub seed: u64,
+}
+
+impl RunConfig {
+    /// The paper's default setup (§3): bidirectional 16-ary 2-cube,
+    /// 32-flit messages, 2-flit buffers, uniform traffic, detection every
+    /// 50 cycles, victim-removal recovery.
+    pub fn paper_default() -> Self {
+        RunConfig {
+            topology: TopologySpec::torus(16, 2, true),
+            routing: RoutingSpec::Dor,
+            sim: icn_sim::SimConfig::default(),
+            pattern: Pattern::Uniform,
+            len_dist: MsgLenDist::Fixed(icn_sim::SimConfig::default().msg_len),
+            load: 0.5,
+            warmup: 10_000,
+            measure: 30_000,
+            detection_interval: 50,
+            count_cycles_every: None,
+            cycle_cap: 150_000,
+            density_cap: 2_000,
+            recovery: RecoveryPolicy::RemoveOldest,
+            seed: 0x5ca1ab1e,
+        }
+    }
+
+    /// A scaled-down variant for tests: an 8-ary 2-cube and short windows,
+    /// exercising the same code paths in milliseconds.
+    pub fn small_default() -> Self {
+        RunConfig {
+            topology: TopologySpec::torus(8, 2, true),
+            warmup: 1_000,
+            measure: 4_000,
+            ..Self::paper_default()
+        }
+    }
+
+    /// Human-readable label for reports.
+    pub fn label(&self) -> String {
+        format!(
+            "{} {} vc={} buf={} load={:.2} {}",
+            self.topology.label(),
+            self.routing.name(),
+            self.sim.vcs_per_channel,
+            self.sim.buffer_depth,
+            self.load,
+            self.pattern.name(),
+        )
+    }
+}

@@ -1,0 +1,230 @@
+//! Per-run measurement record and derived metrics.
+
+use icn_metrics::{Histogram, Mean, TimeSeries};
+
+/// Everything measured during one simulation point.
+///
+/// Raw counters cover the measurement window only (after warm-up);
+/// detection and recovery run during warm-up too, but are not recorded.
+#[derive(Clone, Debug)]
+pub struct RunResult {
+    /// Label of the configuration that produced this result.
+    pub label: String,
+    /// Offered load (fraction of capacity).
+    pub offered_load: f64,
+    /// Measured cycles.
+    pub cycles: u64,
+    /// Nodes in the network.
+    pub nodes: usize,
+    /// Network capacity in flits/node/cycle (for normalization).
+    pub capacity: f64,
+    /// Message length in flits.
+    pub msg_len: usize,
+
+    /// Messages generated / injected / delivered / recovered in-window.
+    pub generated: u64,
+    pub injected: u64,
+    pub delivered: u64,
+    pub recovered: u64,
+    /// Flits delivered in-window (exact, even for hybrid lengths).
+    pub delivered_flits: u64,
+    /// Message latency, generation → delivery.
+    pub latency: Histogram,
+    /// Flits that crossed physical links (utilization).
+    pub link_flits: u64,
+
+    /// True deadlocks (knots) detected in-window.
+    pub deadlocks: u64,
+    /// Split by §2.2 classification.
+    pub single_cycle_deadlocks: u64,
+    pub multi_cycle_deadlocks: u64,
+    /// Distribution of deadlock-set sizes (messages per knot).
+    pub deadlock_set: Histogram,
+    /// Distribution of resource-set sizes (VCs held by deadlock sets).
+    pub resource_set: Histogram,
+    /// Distribution of knot cycle densities.
+    pub knot_density: Histogram,
+    /// Dependent messages observed alongside deadlocks (§2.2.1).
+    pub dependent_committed: u64,
+    pub dependent_transient: u64,
+
+    /// Blocked in-network messages, sampled at detection epochs.
+    pub blocked: Mean,
+    /// Messages holding network resources, sampled at detection epochs.
+    pub in_network: Mean,
+    /// Source-queued messages, sampled at detection epochs.
+    pub source_queued: Mean,
+    /// CWG elementary-cycle counts at counting epochs (cycle, count).
+    pub cwg_cycles: TimeSeries,
+    /// Blocked fraction at the same counting epochs (cycle, fraction).
+    pub blocked_frac: TimeSeries,
+    /// Whether any cycle count hit the enumeration cap.
+    pub cycles_capped: bool,
+    /// Counting epochs where resource-dependency cycles existed but no
+    /// knot did — direct sightings of §2.2.3 *cyclic non-deadlocks*.
+    pub cyclic_nondeadlock_epochs: u64,
+    /// Counting epochs inspected.
+    pub counting_epochs: u64,
+
+    /// Recovery victims dispatched (≥ `deadlocks`: large wedges need
+    /// several victims to clear).
+    pub victims_started: u64,
+    /// Cycles from a victim entering the recovery lane to its final flit
+    /// draining (recovery resolution latency).
+    pub resolution_latency: Histogram,
+    /// The first few deadlocks in full detail, for inspection.
+    pub incidents: Vec<Incident>,
+}
+
+/// A single detected deadlock, summarized.
+#[derive(Clone, Debug)]
+pub struct Incident {
+    /// Simulation cycle of the detection epoch.
+    pub cycle: u64,
+    /// Messages in the knot's deadlock set.
+    pub deadlock_set_size: usize,
+    /// VCs held by the deadlock set.
+    pub resource_set_size: usize,
+    /// Elementary cycles inside the knot (capped value).
+    pub knot_cycle_density: u64,
+    /// Dependent messages observed alongside this snapshot's knots.
+    pub dependents: usize,
+}
+
+impl RunResult {
+    pub(crate) fn new(label: String, offered_load: f64, nodes: usize, capacity: f64, msg_len: usize) -> Self {
+        RunResult {
+            label,
+            offered_load,
+            cycles: 0,
+            nodes,
+            capacity,
+            msg_len,
+            generated: 0,
+            injected: 0,
+            delivered: 0,
+            recovered: 0,
+            delivered_flits: 0,
+            latency: Histogram::new(),
+            link_flits: 0,
+            deadlocks: 0,
+            single_cycle_deadlocks: 0,
+            multi_cycle_deadlocks: 0,
+            deadlock_set: Histogram::new(),
+            resource_set: Histogram::new(),
+            knot_density: Histogram::new(),
+            dependent_committed: 0,
+            dependent_transient: 0,
+            blocked: Mean::new(),
+            in_network: Mean::new(),
+            source_queued: Mean::new(),
+            cwg_cycles: TimeSeries::new(),
+            blocked_frac: TimeSeries::new(),
+            cycles_capped: false,
+            cyclic_nondeadlock_epochs: 0,
+            counting_epochs: 0,
+            victims_started: 0,
+            resolution_latency: Histogram::new(),
+            incidents: Vec::new(),
+        }
+    }
+
+    /// How many detailed [`Incident`] records are retained per run.
+    pub const MAX_INCIDENTS: usize = 200;
+
+    /// Deadlocks per message delivered — the paper's headline
+    /// "normalized deadlocks" metric.
+    pub fn normalized_deadlocks(&self) -> f64 {
+        if self.delivered == 0 {
+            if self.deadlocks == 0 {
+                0.0
+            } else {
+                f64::INFINITY
+            }
+        } else {
+            self.deadlocks as f64 / self.delivered as f64
+        }
+    }
+
+    /// Deadlocks normalized by the average number of messages in the
+    /// network (Figure 8b's y-axis-normalization).
+    pub fn deadlocks_per_in_network_msg(&self) -> f64 {
+        let avg = self.in_network.mean();
+        if avg == 0.0 {
+            0.0
+        } else {
+            self.deadlocks as f64 / avg
+        }
+    }
+
+    /// Delivered throughput in flits per node per cycle.
+    pub fn throughput(&self) -> f64 {
+        if self.cycles == 0 {
+            return 0.0;
+        }
+        self.delivered_flits as f64 / (self.cycles as f64 * self.nodes as f64)
+    }
+
+    /// Delivered throughput as a fraction of capacity (accepted load).
+    pub fn accepted_load(&self) -> f64 {
+        self.throughput() / self.capacity
+    }
+
+    /// Fraction of in-network messages that were blocked, averaged over
+    /// detection epochs.
+    pub fn blocked_fraction(&self) -> f64 {
+        let inn = self.in_network.mean();
+        if inn == 0.0 {
+            0.0
+        } else {
+            self.blocked.mean() / inn
+        }
+    }
+
+    /// Mean message latency in cycles.
+    pub fn avg_latency(&self) -> f64 {
+        self.latency.mean()
+    }
+
+    /// Largest instantaneous CWG cycle count observed.
+    pub fn max_cwg_cycles(&self) -> f64 {
+        self.cwg_cycles.max().unwrap_or(0.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn blank() -> RunResult {
+        RunResult::new("t".into(), 0.5, 256, 0.5, 32)
+    }
+
+    #[test]
+    fn normalized_deadlocks_guards_zero_delivery() {
+        let mut r = blank();
+        assert_eq!(r.normalized_deadlocks(), 0.0);
+        r.deadlocks = 3;
+        assert!(r.normalized_deadlocks().is_infinite());
+        r.delivered = 300;
+        assert!((r.normalized_deadlocks() - 0.01).abs() < 1e-12);
+    }
+
+    #[test]
+    fn throughput_and_accepted_load() {
+        let mut r = blank();
+        r.cycles = 1000;
+        r.delivered = 1000;
+        r.delivered_flits = 32_000; // over 256 nodes x 1000 cycles
+        assert!((r.throughput() - 0.125).abs() < 1e-12);
+        assert!((r.accepted_load() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn blocked_fraction() {
+        let mut r = blank();
+        r.in_network.record(10.0);
+        r.blocked.record(4.0);
+        assert!((r.blocked_fraction() - 0.4).abs() < 1e-12);
+    }
+}

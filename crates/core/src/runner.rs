@@ -1,0 +1,331 @@
+//! The simulation loop: traffic, stepping, detection, recovery.
+
+use icn_cwg::{DeadlockKind, DependentKind, WaitGraph};
+use icn_sim::{Network, WaitSnapshot};
+use icn_topology::NodeId;
+use icn_traffic::BernoulliInjector;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::result::RunResult;
+use crate::spec::RecoveryPolicy;
+use crate::RunConfig;
+
+/// Converts a simulator wait-for snapshot into a channel wait-for graph.
+///
+/// Messages stranded by link faults can have empty request sets; they hold
+/// resources but wait on nothing representable, so only their ownership
+/// chains are recorded.
+pub fn build_wait_graph(snap: &WaitSnapshot) -> WaitGraph {
+    build_wait_graph_excluding(snap, &std::collections::HashSet::new())
+}
+
+/// As [`build_wait_graph`], but drops the *requests* of messages named in
+/// `recovering`: a recovery victim still owns its chain until the drain
+/// completes, but no longer waits for anything — its chain becomes a CWG
+/// sink, which is exactly how in-progress recovery breaks a knot.
+fn build_wait_graph_excluding(
+    snap: &WaitSnapshot,
+    recovering: &std::collections::HashSet<u64>,
+) -> WaitGraph {
+    let mut g = WaitGraph::new(snap.num_vertices);
+    for m in &snap.messages {
+        g.add_chain(m.id, &m.chain);
+    }
+    for m in &snap.messages {
+        if !m.requests.is_empty() && !recovering.contains(&m.id) {
+            g.add_requests(m.id, &m.requests);
+        }
+    }
+    g
+}
+
+/// Executes one simulation point.
+///
+/// The loop per cycle: Bernoulli traffic generation at every node, one
+/// engine step, and at every `detection_interval` boundary a CWG snapshot,
+/// knot analysis, statistics recording (measurement window only) and
+/// recovery of every detected knot. Detection and recovery also run during
+/// warm-up so the network reaches a meaningful steady state.
+pub fn run(cfg: &RunConfig) -> RunResult {
+    cfg.sim.validate();
+    let topo = cfg.topology.build();
+    if cfg.pattern.needs_pow2() {
+        assert!(
+            topo.num_nodes().is_power_of_two(),
+            "{} requires a power-of-two node count",
+            cfg.pattern.name()
+        );
+    }
+    cfg.len_dist.validate();
+    let mut net = Network::new(topo.clone(), cfg.routing.build(), cfg.sim);
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    // Offered load normalizes by the *mean* message length so hybrid
+    // workloads compare at equal flit pressure.
+    let injector = BernoulliInjector::new(
+        cfg.load * topo.capacity_flits_per_node_cycle() / cfg.len_dist.mean(),
+    );
+
+    let mut res = RunResult::new(
+        cfg.label(),
+        cfg.load,
+        topo.num_nodes(),
+        topo.capacity_flits_per_node_cycle(),
+        cfg.sim.msg_len,
+    );
+    res.cycles = cfg.measure;
+
+    let total = cfg.warmup + cfg.measure;
+    let mut detection_epoch: u64 = 0;
+    // Victim id -> cycle it entered the recovery lane.
+    let mut victim_starts: std::collections::HashMap<u64, u64> = std::collections::HashMap::new();
+
+    for cycle in 0..total {
+        let measuring = cycle >= cfg.warmup;
+
+        // Traffic generation.
+        for node in 0..topo.num_nodes() as u32 {
+            if injector.fires(&mut rng) {
+                if let Some(dst) = cfg.pattern.dest(&topo, NodeId(node), &mut rng) {
+                    let len = cfg.len_dist.sample(&mut rng);
+                    net.enqueue_with_len(NodeId(node), dst, len);
+                    if measuring {
+                        res.generated += 1;
+                    }
+                }
+            }
+        }
+
+        // One cycle of the engine.
+        let ev = net.step();
+        for d in &ev.delivered {
+            if d.recovered {
+                if let Some(start) = victim_starts.remove(&d.id) {
+                    if measuring {
+                        res.resolution_latency.record(net.cycle() - start);
+                    }
+                }
+            }
+        }
+        if measuring {
+            res.injected += ev.injected as u64;
+            res.link_flits += ev.link_flits as u64;
+            for d in &ev.delivered {
+                res.delivered += 1;
+                res.delivered_flits += d.len as u64;
+                if d.recovered {
+                    res.recovered += 1;
+                }
+                res.latency.record(d.latency);
+            }
+        }
+
+        // Detection epoch.
+        if net.cycle().is_multiple_of(cfg.detection_interval) {
+            detection_epoch += 1;
+            let snap = net.wait_snapshot();
+            let graph = build_wait_graph(&snap);
+            let analysis = graph.analyze(cfg.density_cap);
+
+            // Recovery: resolve every knot in this snapshot. Removing one
+            // victim breaks *a* knot, but the residual wait-for graph may
+            // still contain knots among the remaining messages (large
+            // multi-cycle wedges), so iterate — pick a victim per knot,
+            // drop its requests, re-analyze — until the snapshot is
+            // knot-free. This synthesizes Disha-Concurrent recovery, where
+            // deadlocked packets keep claiming the recovery lane until the
+            // deadlock is fully resolved. Only the first pass's knots are
+            // *counted* as detected deadlocks.
+            if cfg.recovery != RecoveryPolicy::None && analysis.has_deadlock() {
+                let mut victims: std::collections::HashSet<u64> =
+                    std::collections::HashSet::new();
+                let mut current = analysis.clone();
+                for _round in 0..64 {
+                    let mut progressed = false;
+                    for d in &current.deadlocks {
+                        let candidates =
+                            d.deadlock_set.iter().filter(|m| !victims.contains(m));
+                        let victim = match cfg.recovery {
+                            RecoveryPolicy::RemoveOldest => candidates.min().copied(),
+                            RecoveryPolicy::RemoveYoungest => candidates.max().copied(),
+                            RecoveryPolicy::None => unreachable!(),
+                        };
+                        if let Some(v) = victim {
+                            victims.insert(v);
+                            let ok = net.start_recovery(v);
+                            debug_assert!(ok, "victim must be an active routing message");
+                            victim_starts.insert(v, net.cycle());
+                            if measuring {
+                                res.victims_started += 1;
+                            }
+                            progressed = true;
+                        }
+                    }
+                    if !progressed {
+                        break;
+                    }
+                    current = build_wait_graph_excluding(&snap, &victims)
+                        .analyze(cfg.density_cap);
+                    if !current.has_deadlock() {
+                        break;
+                    }
+                }
+            }
+
+            if measuring {
+                res.blocked.record(net.blocked_count() as f64);
+                res.in_network.record(net.in_network() as f64);
+                res.source_queued.record(net.source_queued() as f64);
+                for d in &analysis.deadlocks {
+                    res.deadlocks += 1;
+                    match d.kind() {
+                        DeadlockKind::SingleCycle => res.single_cycle_deadlocks += 1,
+                        DeadlockKind::MultiCycle => res.multi_cycle_deadlocks += 1,
+                    }
+                    res.deadlock_set.record(d.deadlock_set.len() as u64);
+                    res.resource_set.record(d.resource_set.len() as u64);
+                    res.knot_density.record(d.cycle_density.value());
+                    if d.cycle_density.is_capped() {
+                        res.cycles_capped = true;
+                    }
+                    if res.incidents.len() < RunResult::MAX_INCIDENTS {
+                        res.incidents.push(crate::result::Incident {
+                            cycle: net.cycle(),
+                            deadlock_set_size: d.deadlock_set.len(),
+                            resource_set_size: d.resource_set.len(),
+                            knot_cycle_density: d.cycle_density.value(),
+                            dependents: analysis.dependent.len(),
+                        });
+                    }
+                }
+                for &(_, kind) in &analysis.dependent {
+                    match kind {
+                        DependentKind::Committed => res.dependent_committed += 1,
+                        DependentKind::Transient => res.dependent_transient += 1,
+                    }
+                }
+            }
+
+            // Cyclic non-deadlock census.
+            if let Some(every) = cfg.count_cycles_every {
+                if measuring && detection_epoch.is_multiple_of(every) {
+                    let count = graph.count_cycles(cfg.cycle_cap);
+                    if count.is_capped() {
+                        res.cycles_capped = true;
+                    }
+                    res.counting_epochs += 1;
+                    if count.value() > 0 && analysis.deadlocks.is_empty() {
+                        res.cyclic_nondeadlock_epochs += 1;
+                    }
+                    res.cwg_cycles.push(net.cycle(), count.value() as f64);
+                    let inn = net.in_network();
+                    let frac = if inn == 0 {
+                        0.0
+                    } else {
+                        net.blocked_count() as f64 / inn as f64
+                    };
+                    res.blocked_frac.push(net.cycle(), frac);
+                }
+            }
+        }
+    }
+
+    res
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::{RoutingSpec, TopologySpec};
+    use icn_traffic::Pattern;
+
+    fn quick(cfg: &RunConfig) -> RunResult {
+        run(cfg)
+    }
+
+    #[test]
+    fn low_load_delivers_everything_cleanly() {
+        let mut cfg = RunConfig::small_default();
+        cfg.load = 0.2;
+        cfg.routing = RoutingSpec::Tfar;
+        cfg.sim.vcs_per_channel = 2;
+        let r = quick(&cfg);
+        assert!(r.delivered > 0);
+        assert_eq!(r.deadlocks, 0, "TFAR2 at 20% load must be deadlock-free");
+        assert!(r.accepted_load() > 0.15, "accepted {}", r.accepted_load());
+        assert!(r.avg_latency() > 0.0);
+    }
+
+    #[test]
+    fn dor1_uni_torus_deadlocks_at_high_load() {
+        let mut cfg = RunConfig::small_default();
+        cfg.topology = TopologySpec::torus(8, 2, false);
+        cfg.routing = RoutingSpec::Dor;
+        cfg.sim.vcs_per_channel = 1;
+        cfg.load = 1.0;
+        let r = quick(&cfg);
+        assert!(r.deadlocks > 0, "uni-torus DOR1 at capacity must deadlock");
+        assert!(r.recovered > 0, "victims must drain through recovery");
+        assert!(r.single_cycle_deadlocks > 0);
+        assert!(r.deadlock_set.mean() >= 2.0);
+        // Incident reporting and recovery bookkeeping.
+        assert!(r.victims_started >= r.deadlocks);
+        assert!(!r.incidents.is_empty());
+        assert!(r.incidents.len() <= RunResult::MAX_INCIDENTS);
+        assert!(r.resolution_latency.count() > 0);
+        // A 32-flit victim takes at least 32 cycles to drain.
+        assert!(r.resolution_latency.min() >= 32);
+        for inc in &r.incidents {
+            assert!(inc.deadlock_set_size >= 2);
+            assert!(inc.resource_set_size >= inc.deadlock_set_size);
+            assert!(inc.knot_cycle_density >= 1);
+        }
+    }
+
+    #[test]
+    fn dateline_avoidance_never_deadlocks() {
+        let mut cfg = RunConfig::small_default();
+        cfg.topology = TopologySpec::torus(8, 2, false);
+        cfg.routing = RoutingSpec::DatelineDor;
+        cfg.sim.vcs_per_channel = 2;
+        cfg.load = 1.0;
+        let r = quick(&cfg);
+        assert_eq!(r.deadlocks, 0);
+        assert!(r.delivered > 0);
+    }
+
+    #[test]
+    fn cycle_counting_records_series() {
+        let mut cfg = RunConfig::small_default();
+        cfg.routing = RoutingSpec::Tfar;
+        cfg.sim.vcs_per_channel = 1;
+        cfg.load = 1.0;
+        cfg.count_cycles_every = Some(2);
+        let r = quick(&cfg);
+        assert!(!r.cwg_cycles.is_empty());
+        assert_eq!(r.cwg_cycles.len(), r.blocked_frac.len());
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let mut cfg = RunConfig::small_default();
+        cfg.load = 0.9;
+        cfg.routing = RoutingSpec::Dor;
+        let a = quick(&cfg);
+        let b = quick(&cfg);
+        assert_eq!(a.delivered, b.delivered);
+        assert_eq!(a.deadlocks, b.deadlocks);
+        assert_eq!(a.generated, b.generated);
+    }
+
+    #[test]
+    fn transpose_pattern_runs() {
+        let mut cfg = RunConfig::small_default();
+        cfg.pattern = Pattern::Transpose;
+        cfg.load = 0.3;
+        cfg.routing = RoutingSpec::Tfar;
+        cfg.sim.vcs_per_channel = 2;
+        let r = quick(&cfg);
+        assert!(r.delivered > 0);
+    }
+}

@@ -1,0 +1,157 @@
+//! Parallel execution of simulation sweeps.
+
+use crate::{run, RunConfig, RunResult};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Runs every configuration, fanning out across OS threads (one run is
+/// single-threaded and deterministic, so parallelism across points is
+/// safe), and returns results in input order.
+pub fn sweep(configs: &[RunConfig]) -> Vec<RunResult> {
+    if configs.is_empty() {
+        return Vec::new();
+    }
+    let workers = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1)
+        .min(configs.len());
+
+    let next = AtomicUsize::new(0);
+    let results: Mutex<Vec<Option<RunResult>>> = Mutex::new(vec![None; configs.len()]);
+
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= configs.len() {
+                    break;
+                }
+                let r = run(&configs[i]);
+                results.lock().expect("sweep mutex").private_set(i, r);
+            });
+        }
+    });
+
+    results
+        .into_inner()
+        .expect("sweep mutex")
+        .into_iter()
+        .map(|r| r.expect("every slot filled"))
+        .collect()
+}
+
+/// Tiny helper so the closure above stays readable.
+trait SetSlot {
+    fn private_set(&mut self, i: usize, r: RunResult);
+}
+
+impl SetSlot for Vec<Option<RunResult>> {
+    fn private_set(&mut self, i: usize, r: RunResult) {
+        self[i] = Some(r);
+    }
+}
+
+/// Runs one configuration under `n` distinct seeds (in parallel) and
+/// returns the per-seed results — the raw material for replication
+/// statistics on any stochastic metric.
+pub fn replicate(cfg: &RunConfig, n: usize) -> Vec<RunResult> {
+    let configs: Vec<RunConfig> = (0..n as u64)
+        .map(|i| {
+            let mut c = cfg.clone();
+            c.seed = cfg.seed.wrapping_add(i.wrapping_mul(0x9e37_79b9_7f4a_7c15) | 1);
+            c
+        })
+        .collect();
+    sweep(&configs)
+}
+
+/// Mean ± population standard deviation of the headline metrics across
+/// replications of one configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct ReplicationSummary {
+    pub runs: usize,
+    pub normalized_deadlocks: (f64, f64),
+    pub accepted_load: (f64, f64),
+    pub avg_latency: (f64, f64),
+    pub deadlock_set_mean: (f64, f64),
+}
+
+/// Aggregates [`replicate`] output.
+pub fn replication_summary(results: &[RunResult]) -> ReplicationSummary {
+    assert!(!results.is_empty(), "need at least one replication");
+    let stat = |f: &dyn Fn(&RunResult) -> f64| {
+        let mut m = icn_metrics::Mean::new();
+        for r in results {
+            let v = f(r);
+            if v.is_finite() {
+                m.record(v);
+            }
+        }
+        (m.mean(), m.std_dev())
+    };
+    ReplicationSummary {
+        runs: results.len(),
+        normalized_deadlocks: stat(&|r| r.normalized_deadlocks()),
+        accepted_load: stat(&|r| r.accepted_load()),
+        avg_latency: stat(&|r| r.avg_latency()),
+        deadlock_set_mean: stat(&|r| r.deadlock_set.mean()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::RoutingSpec;
+
+    #[test]
+    fn sweep_preserves_order_and_matches_serial() {
+        let mut configs = Vec::new();
+        for load in [0.2, 0.6] {
+            let mut c = RunConfig::small_default();
+            c.warmup = 200;
+            c.measure = 800;
+            c.load = load;
+            c.routing = RoutingSpec::Tfar;
+            c.sim.vcs_per_channel = 2;
+            configs.push(c);
+        }
+        let par = sweep(&configs);
+        assert_eq!(par.len(), 2);
+        assert!(par[0].offered_load < par[1].offered_load);
+        let serial: Vec<_> = configs.iter().map(run).collect();
+        for (p, s) in par.iter().zip(serial.iter()) {
+            assert_eq!(p.delivered, s.delivered);
+            assert_eq!(p.deadlocks, s.deadlocks);
+        }
+    }
+
+    #[test]
+    fn empty_sweep() {
+        assert!(sweep(&[]).is_empty());
+    }
+
+    #[test]
+    fn replication_uses_distinct_seeds_and_summarizes() {
+        let mut cfg = RunConfig::small_default();
+        cfg.warmup = 200;
+        cfg.measure = 800;
+        cfg.load = 0.9;
+        cfg.routing = RoutingSpec::Dor;
+        let reps = replicate(&cfg, 3);
+        assert_eq!(reps.len(), 3);
+        // Different seeds should produce (at least slightly) different
+        // traffic volumes.
+        let gens: std::collections::HashSet<u64> = reps.iter().map(|r| r.generated).collect();
+        assert!(gens.len() > 1, "replications look identical");
+        let s = replication_summary(&reps);
+        assert_eq!(s.runs, 3);
+        assert!(s.accepted_load.0 > 0.0);
+        assert!(s.avg_latency.0 > 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one replication")]
+    fn empty_summary_rejected() {
+        let _ = replication_summary(&[]);
+    }
+}

@@ -1,0 +1,327 @@
+//! Capped elementary-cycle counting (Johnson's algorithm).
+
+use crate::scc::scc;
+use crate::VertexId;
+
+/// A possibly-capped cycle count.
+///
+/// Deep in saturation the paper observes "hundreds of thousands" of resource
+/// dependency cycles; enumeration is exponential in the worst case, so the
+/// counter saturates at a configurable cap and reports that it did.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CycleCount {
+    /// The exact number of elementary cycles.
+    Exact(u64),
+    /// At least this many cycles exist (enumeration stopped at the cap).
+    AtLeast(u64),
+}
+
+impl CycleCount {
+    /// The counted value (a lower bound when capped).
+    pub fn value(self) -> u64 {
+        match self {
+            CycleCount::Exact(v) | CycleCount::AtLeast(v) => v,
+        }
+    }
+
+    /// Whether enumeration hit the cap.
+    pub fn is_capped(self) -> bool {
+        matches!(self, CycleCount::AtLeast(_))
+    }
+
+    /// Saturating combination of counts over disjoint subgraphs.
+    pub fn combine(self, other: CycleCount) -> CycleCount {
+        let v = self.value() + other.value();
+        if self.is_capped() || other.is_capped() {
+            CycleCount::AtLeast(v)
+        } else {
+            CycleCount::Exact(v)
+        }
+    }
+}
+
+impl std::fmt::Display for CycleCount {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CycleCount::Exact(v) => write!(f, "{v}"),
+            CycleCount::AtLeast(v) => write!(f, ">={v}"),
+        }
+    }
+}
+
+/// Counts elementary cycles of `adj`, stopping once `cap` have been found.
+///
+/// Cycles never span strongly connected components, so the graph is first
+/// decomposed with [`scc`] and Johnson's algorithm runs inside each
+/// non-trivial component — on CWG snapshots the overwhelming majority of
+/// vertices sit in trivial components, making this far cheaper than running
+/// Johnson on the full vertex range.
+pub fn count_cycles(adj: &[Vec<VertexId>], cap: u64) -> CycleCount {
+    let comps = scc(adj);
+    let mut total = CycleCount::Exact(0);
+    for comp in &comps.components {
+        let has_self_loop =
+            comp.len() == 1 && adj[comp[0] as usize].contains(&comp[0]);
+        if comp.len() < 2 && !has_self_loop {
+            continue;
+        }
+        let remaining = cap.saturating_sub(total.value());
+        if remaining == 0 {
+            return CycleCount::AtLeast(total.value());
+        }
+        let local = count_in_component(adj, comp, remaining);
+        total = total.combine(local);
+    }
+    total
+}
+
+/// Johnson's algorithm restricted to one SCC, vertices remapped to `0..m`.
+fn count_in_component(adj: &[Vec<VertexId>], comp: &[VertexId], cap: u64) -> CycleCount {
+    let m = comp.len();
+    let mut index_of = std::collections::HashMap::with_capacity(m);
+    for (i, &v) in comp.iter().enumerate() {
+        index_of.insert(v, i as u32);
+    }
+    // Local adjacency, keeping only intra-component edges.
+    let local: Vec<Vec<u32>> = comp
+        .iter()
+        .map(|&v| {
+            adj[v as usize]
+                .iter()
+                .filter_map(|t| index_of.get(t).copied())
+                .collect()
+        })
+        .collect();
+
+    let mut count = 0u64;
+    let mut capped = false;
+
+    // For ascending start vertex s, count the cycles whose minimum vertex is
+    // s: explore only the sub-SCC of s within the subgraph induced on
+    // {s..m}, with Johnson's blocked-set pruning.
+    'starts: for s in 0..m as u32 {
+        // SCC of the induced subgraph {s..}.
+        let sub: Vec<Vec<u32>> = (0..m as u32)
+            .map(|v| {
+                if v < s {
+                    Vec::new()
+                } else {
+                    local[v as usize].iter().copied().filter(|&t| t >= s).collect()
+                }
+            })
+            .collect();
+        let sub_comps = scc(&sub);
+        let s_comp = sub_comps.comp_of[s as usize];
+        let in_k: Vec<bool> = (0..m as u32)
+            .map(|v| v >= s && sub_comps.comp_of[v as usize] == s_comp)
+            .collect();
+        if sub_comps.components[s_comp as usize].len() < 2
+            && !local[s as usize].contains(&s)
+        {
+            continue;
+        }
+
+        let mut blocked = vec![false; m];
+        let mut b_sets: Vec<Vec<u32>> = vec![Vec::new(); m];
+        // Explicit-stack version of Johnson's CIRCUIT(v): each frame is
+        // (vertex, next-edge cursor, found-cycle-below flag).
+        let mut frames: Vec<(u32, usize, bool)> = vec![(s, 0, false)];
+        blocked[s as usize] = true;
+
+        while let Some(&mut (v, ref mut ei, ref mut found)) = frames.last_mut() {
+            let nexts = &local[v as usize];
+            let mut descended = false;
+            while *ei < nexts.len() {
+                let w = nexts[*ei];
+                *ei += 1;
+                if !in_k[w as usize] {
+                    continue;
+                }
+                if w == s {
+                    count += 1;
+                    *found = true;
+                    if count >= cap {
+                        capped = true;
+                        break 'starts;
+                    }
+                } else if !blocked[w as usize] {
+                    blocked[w as usize] = true;
+                    frames.push((w, 0, false));
+                    descended = true;
+                    break;
+                }
+            }
+            if descended {
+                continue;
+            }
+            // Finished v: unwind one frame.
+            let (v, _, found) = frames.pop().unwrap();
+            if found {
+                unblock(v, &mut blocked, &mut b_sets);
+            } else {
+                for &w in &local[v as usize] {
+                    if in_k[w as usize] && !b_sets[w as usize].contains(&v) {
+                        b_sets[w as usize].push(v);
+                    }
+                }
+            }
+            if let Some(&mut (_, _, ref mut parent_found)) = frames.last_mut() {
+                *parent_found |= found;
+            }
+        }
+    }
+
+    if capped {
+        CycleCount::AtLeast(count)
+    } else {
+        CycleCount::Exact(count)
+    }
+}
+
+fn unblock(v: u32, blocked: &mut [bool], b_sets: &mut [Vec<u32>]) {
+    // Iterative unblock cascade.
+    let mut stack = vec![v];
+    while let Some(v) = stack.pop() {
+        if !blocked[v as usize] {
+            continue;
+        }
+        blocked[v as usize] = false;
+        for w in std::mem::take(&mut b_sets[v as usize]) {
+            stack.push(w);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_and_acyclic() {
+        assert_eq!(count_cycles(&[], 100), CycleCount::Exact(0));
+        let chain = vec![vec![1], vec![2], vec![]];
+        assert_eq!(count_cycles(&chain, 100), CycleCount::Exact(0));
+    }
+
+    #[test]
+    fn single_cycle() {
+        let ring: Vec<Vec<u32>> = (0..5u32).map(|v| vec![(v + 1) % 5]).collect();
+        assert_eq!(count_cycles(&ring, 100), CycleCount::Exact(1));
+    }
+
+    #[test]
+    fn self_loop_counts() {
+        let adj = vec![vec![0u32]];
+        assert_eq!(count_cycles(&adj, 100), CycleCount::Exact(1));
+    }
+
+    #[test]
+    fn two_disjoint_cycles() {
+        let adj = vec![vec![1], vec![0], vec![3], vec![2]];
+        assert_eq!(count_cycles(&adj, 100), CycleCount::Exact(2));
+    }
+
+    #[test]
+    fn complete_digraph_k3() {
+        // K3 with all arcs: cycles = three 2-cycles + two 3-cycles = 5.
+        let adj = vec![vec![1, 2], vec![0, 2], vec![0, 1]];
+        assert_eq!(count_cycles(&adj, 100), CycleCount::Exact(5));
+    }
+
+    #[test]
+    fn complete_digraph_k4() {
+        // K4: 6 two-cycles + 8 three-cycles + 6 four-cycles = 20.
+        let adj: Vec<Vec<u32>> = (0..4u32)
+            .map(|v| (0..4u32).filter(|&w| w != v).collect())
+            .collect();
+        assert_eq!(count_cycles(&adj, 1000), CycleCount::Exact(20));
+    }
+
+    #[test]
+    fn cap_reported() {
+        let adj: Vec<Vec<u32>> = (0..4u32)
+            .map(|v| (0..4u32).filter(|&w| w != v).collect())
+            .collect();
+        let c = count_cycles(&adj, 7);
+        assert!(c.is_capped());
+        assert_eq!(c.value(), 7);
+    }
+
+    #[test]
+    fn figure_three_knot_density() {
+        // Figure 3b's knot: 8 vertices {1,3,5,7,9,11,13,15} remapped to 0..8,
+        // each blocked message waits for two VCs owned by neighbours around
+        // the square. Construct the same shape: v -> v+1 and v -> v+3 mod 8
+        // is a stand-in with multiple overlapping cycles; just verify the
+        // counter sees more than one cycle in a multi-cycle knot.
+        let adj: Vec<Vec<u32>> = (0..8u32).map(|v| vec![(v + 1) % 8, (v + 3) % 8]).collect();
+        let c = count_cycles(&adj, 10_000);
+        assert!(!c.is_capped());
+        assert!(c.value() > 1);
+    }
+
+    #[test]
+    fn cycles_across_bridge_not_double_counted() {
+        // 0<->1 -> 2<->3: exactly two 2-cycles.
+        let adj = vec![vec![1], vec![0, 2], vec![3], vec![2]];
+        assert_eq!(count_cycles(&adj, 100), CycleCount::Exact(2));
+    }
+
+    #[test]
+    fn combine_saturates() {
+        let a = CycleCount::Exact(3);
+        let b = CycleCount::AtLeast(5);
+        assert_eq!(a.combine(b), CycleCount::AtLeast(8));
+        assert_eq!(format!("{}", a.combine(b)), ">=8");
+    }
+
+    /// Brute-force reference: enumerate cycles by DFS over all simple paths.
+    fn brute_force(adj: &[Vec<u32>]) -> u64 {
+        let n = adj.len();
+        let mut count = 0u64;
+        fn dfs(
+            adj: &[Vec<u32>],
+            start: u32,
+            v: u32,
+            visited: &mut Vec<bool>,
+            count: &mut u64,
+        ) {
+            for &w in &adj[v as usize] {
+                if w == start {
+                    *count += 1;
+                } else if w > start && !visited[w as usize] {
+                    visited[w as usize] = true;
+                    dfs(adj, start, w, visited, count);
+                    visited[w as usize] = false;
+                }
+            }
+        }
+        for s in 0..n as u32 {
+            let mut visited = vec![false; n];
+            visited[s as usize] = true;
+            dfs(adj, s, s, &mut visited, &mut count);
+        }
+        count
+    }
+
+    #[test]
+    fn matches_brute_force_on_random_graphs() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(42);
+        for _ in 0..50 {
+            let n = rng.gen_range(2..9);
+            let mut adj: Vec<Vec<u32>> = vec![Vec::new(); n];
+            for v in 0..n {
+                for w in 0..n as u32 {
+                    if v as u32 != w && rng.gen_bool(0.3) {
+                        adj[v].push(w);
+                    }
+                }
+            }
+            let expect = brute_force(&adj);
+            let got = count_cycles(&adj, u64::MAX);
+            assert_eq!(got, CycleCount::Exact(expect), "adj={adj:?}");
+        }
+    }
+}

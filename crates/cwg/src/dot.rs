@@ -1,0 +1,117 @@
+//! Graphviz (DOT) rendering of channel wait-for graphs.
+
+use crate::analysis::Analysis;
+use crate::graph::WaitGraph;
+use std::collections::HashSet;
+use std::fmt::Write;
+
+impl WaitGraph {
+    /// Renders the CWG in Graphviz DOT format, in the visual language of
+    /// the paper's figures: solid arcs for ownership order, dashed arcs
+    /// for requests, arcs labelled with their message. When an
+    /// [`Analysis`] is supplied, knot vertices are shaded so deadlocks
+    /// stand out.
+    ///
+    /// Only vertices that participate (owned, requested, or connected)
+    /// are emitted; CWG snapshots are mostly empty space.
+    pub fn to_dot(&self, analysis: Option<&Analysis>) -> String {
+        let knot: HashSet<u32> = analysis
+            .map(|a| {
+                a.deadlocks
+                    .iter()
+                    .flat_map(|d| d.knot.iter().copied())
+                    .collect()
+            })
+            .unwrap_or_default();
+
+        let mut used: HashSet<u32> = HashSet::new();
+        for v in 0..self.num_vertices() as u32 {
+            if self.owner(v).is_some() {
+                used.insert(v);
+            }
+            for e in self.edges(v) {
+                used.insert(v);
+                used.insert(e.to);
+            }
+        }
+        let mut vertices: Vec<u32> = used.into_iter().collect();
+        vertices.sort_unstable();
+
+        let mut out = String::from("digraph cwg {\n  rankdir=LR;\n  node [shape=circle];\n");
+        for &v in &vertices {
+            let mut attrs = String::new();
+            if knot.contains(&v) {
+                attrs.push_str(" style=filled fillcolor=lightcoral");
+            }
+            match self.owner(v) {
+                Some(m) => {
+                    let _ = writeln!(out, "  v{v} [label=\"c{v}\\nm{m}\"{attrs}];");
+                }
+                None => {
+                    let _ = writeln!(out, "  v{v} [label=\"c{v}\\nfree\"{attrs}];");
+                }
+            }
+        }
+        for &v in &vertices {
+            for e in self.edges(v) {
+                let style = if e.dashed { "dashed" } else { "solid" };
+                let _ = writeln!(
+                    out,
+                    "  v{v} -> v{} [style={style} label=\"m{}\"];",
+                    e.to, e.msg
+                );
+            }
+        }
+        out.push_str("}\n");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn deadlocked() -> WaitGraph {
+        let mut g = WaitGraph::new(6);
+        g.add_chain(1, &[0, 1]);
+        g.add_chain(2, &[2, 3]);
+        g.add_requests(1, &[2]);
+        g.add_requests(2, &[0]);
+        g
+    }
+
+    #[test]
+    fn renders_solid_and_dashed_edges() {
+        let g = deadlocked();
+        let dot = g.to_dot(None);
+        assert!(dot.starts_with("digraph cwg {"));
+        assert!(dot.contains("v0 -> v1 [style=solid label=\"m1\"]"));
+        assert!(dot.contains("v1 -> v2 [style=dashed label=\"m1\"]"));
+        assert!(dot.ends_with("}\n"));
+    }
+
+    #[test]
+    fn highlights_knot_with_analysis() {
+        let g = deadlocked();
+        let a = g.analyze(100);
+        let dot = g.to_dot(Some(&a));
+        assert!(dot.contains("fillcolor=lightcoral"));
+    }
+
+    #[test]
+    fn skips_untouched_vertices() {
+        let g = deadlocked(); // vertices 4,5 unused
+        let dot = g.to_dot(None);
+        assert!(!dot.contains("v4 "));
+        assert!(!dot.contains("v5 "));
+    }
+
+    #[test]
+    fn requested_free_vertex_labelled_free() {
+        let mut g = WaitGraph::new(4);
+        g.add_chain(1, &[0]);
+        g.add_requests(1, &[3]);
+        let dot = g.to_dot(None);
+        assert!(dot.contains("v3 [label=\"c3\\nfree\"]"));
+    }
+}

@@ -1,0 +1,229 @@
+//! The channel wait-for graph structure.
+
+use std::collections::HashMap;
+
+/// A virtual-channel vertex in the CWG. The embedding (which VC of which
+/// physical channel this is) belongs to the caller.
+pub type VertexId = u32;
+
+/// Opaque message identifier.
+pub type MessageId = u64;
+
+/// One arc of the CWG.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Edge {
+    /// Target vertex.
+    pub to: VertexId,
+    /// The message this arc belongs to: for solid arcs, the owner of both
+    /// endpoints; for dashed arcs, the blocked message doing the waiting.
+    pub msg: MessageId,
+    /// Dashed arcs are resource *requests*; solid arcs record acquisition
+    /// order among owned VCs.
+    pub dashed: bool,
+}
+
+/// A snapshot of resource allocations and requests at one instant.
+///
+/// Built from simulator state at each detection epoch (the paper invokes
+/// detection every 50 cycles). Unlike the dependency graphs of avoidance
+/// theory, this depicts the *dynamic* state — it is generally disconnected.
+#[derive(Clone, Debug, Default)]
+pub struct WaitGraph {
+    adj: Vec<Vec<Edge>>,
+    owner: Vec<Option<MessageId>>,
+    /// All vertices owned by each message, in acquisition order.
+    owned: HashMap<MessageId, Vec<VertexId>>,
+    /// Request targets of each blocked message.
+    requests: HashMap<MessageId, Vec<VertexId>>,
+    num_dashed: usize,
+}
+
+impl WaitGraph {
+    /// An empty graph over `n` vertices.
+    pub fn new(n: usize) -> Self {
+        WaitGraph {
+            adj: vec![Vec::new(); n],
+            owner: vec![None; n],
+            owned: HashMap::new(),
+            requests: HashMap::new(),
+            num_dashed: 0,
+        }
+    }
+
+    /// Number of vertices (owned or not).
+    pub fn num_vertices(&self) -> usize {
+        self.adj.len()
+    }
+
+    /// Records that `msg` owns `chain` (in acquisition order: tail-most
+    /// first). Adds the solid arcs `chain[i] → chain[i+1]`.
+    ///
+    /// # Panics
+    /// Panics if the chain is empty, a vertex is out of range or already
+    /// owned, or the message already registered a chain.
+    pub fn add_chain(&mut self, msg: MessageId, chain: &[VertexId]) {
+        assert!(!chain.is_empty(), "ownership chain may not be empty");
+        for &v in chain {
+            assert!((v as usize) < self.adj.len(), "vertex {v} out of range");
+            assert!(
+                self.owner[v as usize].is_none(),
+                "vertex {v} already owned"
+            );
+            self.owner[v as usize] = Some(msg);
+        }
+        for w in chain.windows(2) {
+            self.adj[w[0] as usize].push(Edge {
+                to: w[1],
+                msg,
+                dashed: false,
+            });
+        }
+        let prev = self.owned.insert(msg, chain.to_vec());
+        assert!(prev.is_none(), "message {msg} registered twice");
+    }
+
+    /// Records that blocked message `msg` (whose chain must already be
+    /// registered) is waiting for each vertex of `targets`. Dashed arcs are
+    /// added from the head (last) vertex of its chain.
+    ///
+    /// # Panics
+    /// Panics if `msg` has no chain, `targets` is empty, or a target is out
+    /// of range.
+    pub fn add_requests(&mut self, msg: MessageId, targets: &[VertexId]) {
+        assert!(!targets.is_empty(), "a blocked message waits for something");
+        let head = *self
+            .owned
+            .get(&msg)
+            .expect("requests require an ownership chain")
+            .last()
+            .unwrap();
+        for &t in targets {
+            assert!((t as usize) < self.adj.len(), "vertex {t} out of range");
+            self.adj[head as usize].push(Edge {
+                to: t,
+                msg,
+                dashed: true,
+            });
+        }
+        self.num_dashed += targets.len();
+        let prev = self.requests.insert(msg, targets.to_vec());
+        assert!(prev.is_none(), "message {msg} requested twice");
+    }
+
+    /// Outgoing arcs of a vertex.
+    #[inline]
+    pub fn edges(&self, v: VertexId) -> &[Edge] {
+        &self.adj[v as usize]
+    }
+
+    /// The message owning `v`, if any.
+    #[inline]
+    pub fn owner(&self, v: VertexId) -> Option<MessageId> {
+        self.owner[v as usize]
+    }
+
+    /// The chain owned by `msg` (acquisition order), if registered.
+    pub fn chain(&self, msg: MessageId) -> Option<&[VertexId]> {
+        self.owned.get(&msg).map(|v| v.as_slice())
+    }
+
+    /// Request targets of `msg`, if it is blocked.
+    pub fn requests_of(&self, msg: MessageId) -> Option<&[VertexId]> {
+        self.requests.get(&msg).map(|v| v.as_slice())
+    }
+
+    /// Messages with registered requests (the blocked messages).
+    pub fn blocked_messages(&self) -> impl Iterator<Item = MessageId> + '_ {
+        self.requests.keys().copied()
+    }
+
+    /// Number of blocked messages in the snapshot.
+    pub fn num_blocked(&self) -> usize {
+        self.requests.len()
+    }
+
+    /// All registered messages (owners of at least one vertex).
+    pub fn messages(&self) -> impl Iterator<Item = MessageId> + '_ {
+        self.owned.keys().copied()
+    }
+
+    /// Total dashed (request) arcs — the CWG "fan-out" mass.
+    pub fn num_requests(&self) -> usize {
+        self.num_dashed
+    }
+
+    /// Counts the elementary resource-dependency cycles in the snapshot
+    /// (capped at `cap`). The paper uses this as the congestion precursor
+    /// metric when no deadlock exists — cyclic non-deadlocks (§2.2.3).
+    pub fn count_cycles(&self, cap: u64) -> crate::CycleCount {
+        crate::count_cycles(&self.adjacency(), cap)
+    }
+
+    /// Plain adjacency (targets only), for the SCC / cycle algorithms.
+    pub(crate) fn adjacency(&self) -> Vec<Vec<VertexId>> {
+        self.adj
+            .iter()
+            .map(|es| es.iter().map(|e| e.to).collect())
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chain_adds_solid_edges() {
+        let mut g = WaitGraph::new(4);
+        g.add_chain(1, &[0, 1, 2]);
+        assert_eq!(g.edges(0), &[Edge { to: 1, msg: 1, dashed: false }]);
+        assert_eq!(g.edges(1), &[Edge { to: 2, msg: 1, dashed: false }]);
+        assert!(g.edges(2).is_empty());
+        assert_eq!(g.owner(0), Some(1));
+        assert_eq!(g.owner(3), None);
+        assert_eq!(g.chain(1), Some(&[0, 1, 2][..]));
+    }
+
+    #[test]
+    fn requests_fan_out_from_head() {
+        let mut g = WaitGraph::new(5);
+        g.add_chain(7, &[0, 1]);
+        g.add_requests(7, &[3, 4]);
+        let dashed: Vec<_> = g.edges(1).iter().filter(|e| e.dashed).collect();
+        assert_eq!(dashed.len(), 2);
+        assert_eq!(g.num_requests(), 2);
+        assert_eq!(g.num_blocked(), 1);
+        assert_eq!(g.requests_of(7), Some(&[3, 4][..]));
+    }
+
+    #[test]
+    fn single_vertex_chain_allowed() {
+        let mut g = WaitGraph::new(2);
+        g.add_chain(9, &[1]);
+        g.add_requests(9, &[0]);
+        assert_eq!(g.edges(1), &[Edge { to: 0, msg: 9, dashed: true }]);
+    }
+
+    #[test]
+    #[should_panic(expected = "already owned")]
+    fn double_ownership_rejected() {
+        let mut g = WaitGraph::new(3);
+        g.add_chain(1, &[0, 1]);
+        g.add_chain(2, &[1, 2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "registered twice")]
+    fn double_chain_rejected() {
+        let mut g = WaitGraph::new(4);
+        g.add_chain(1, &[0]);
+        g.add_chain(1, &[1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "require an ownership chain")]
+    fn requests_without_chain_rejected() {
+        let mut g = WaitGraph::new(3);
+        g.add_requests(1, &[0]);
+    }
+}

@@ -1,0 +1,186 @@
+//! Iterative Tarjan strongly-connected components.
+
+use crate::VertexId;
+
+/// Result of an SCC decomposition.
+#[derive(Clone, Debug)]
+pub struct SccResult {
+    /// Component index of each vertex. Components are numbered in **reverse
+    /// topological order** (Tarjan emits a component only after everything
+    /// it can reach), i.e. if component `a` has an edge into component `b`
+    /// then `a > b`.
+    pub comp_of: Vec<u32>,
+    /// Vertices of each component.
+    pub components: Vec<Vec<VertexId>>,
+}
+
+impl SccResult {
+    /// Number of components.
+    pub fn len(&self) -> usize {
+        self.components.len()
+    }
+
+    /// True when the graph was empty.
+    pub fn is_empty(&self) -> bool {
+        self.components.is_empty()
+    }
+}
+
+/// Computes strongly connected components of `adj` (vertices `0..adj.len()`).
+///
+/// Implemented iteratively: deep chains of waiting messages would overflow
+/// the call stack of the textbook recursive formulation on large networks.
+pub fn scc(adj: &[Vec<VertexId>]) -> SccResult {
+    let n = adj.len();
+    const UNVISITED: u32 = u32::MAX;
+    let mut index = vec![UNVISITED; n];
+    let mut lowlink = vec![0u32; n];
+    let mut on_stack = vec![false; n];
+    let mut stack: Vec<u32> = Vec::new();
+    let mut comp_of = vec![0u32; n];
+    let mut components: Vec<Vec<VertexId>> = Vec::new();
+    let mut next_index = 0u32;
+
+    // Explicit DFS frames: (vertex, next child edge to explore).
+    let mut frames: Vec<(u32, usize)> = Vec::new();
+
+    for start in 0..n as u32 {
+        if index[start as usize] != UNVISITED {
+            continue;
+        }
+        frames.push((start, 0));
+        index[start as usize] = next_index;
+        lowlink[start as usize] = next_index;
+        next_index += 1;
+        stack.push(start);
+        on_stack[start as usize] = true;
+
+        while let Some(&mut (v, ref mut ei)) = frames.last_mut() {
+            if *ei < adj[v as usize].len() {
+                let w = adj[v as usize][*ei];
+                *ei += 1;
+                if index[w as usize] == UNVISITED {
+                    index[w as usize] = next_index;
+                    lowlink[w as usize] = next_index;
+                    next_index += 1;
+                    stack.push(w);
+                    on_stack[w as usize] = true;
+                    frames.push((w, 0));
+                } else if on_stack[w as usize] {
+                    lowlink[v as usize] = lowlink[v as usize].min(index[w as usize]);
+                }
+            } else {
+                frames.pop();
+                if let Some(&mut (parent, _)) = frames.last_mut() {
+                    lowlink[parent as usize] =
+                        lowlink[parent as usize].min(lowlink[v as usize]);
+                }
+                if lowlink[v as usize] == index[v as usize] {
+                    let comp_id = components.len() as u32;
+                    let mut comp = Vec::new();
+                    loop {
+                        let w = stack.pop().expect("tarjan stack underflow");
+                        on_stack[w as usize] = false;
+                        comp_of[w as usize] = comp_id;
+                        comp.push(w);
+                        if w == v {
+                            break;
+                        }
+                    }
+                    components.push(comp);
+                }
+            }
+        }
+    }
+
+    SccResult {
+        comp_of,
+        components,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn comp_sets(r: &SccResult) -> Vec<Vec<VertexId>> {
+        let mut cs: Vec<Vec<VertexId>> = r
+            .components
+            .iter()
+            .map(|c| {
+                let mut c = c.clone();
+                c.sort_unstable();
+                c
+            })
+            .collect();
+        cs.sort();
+        cs
+    }
+
+    #[test]
+    fn empty_graph() {
+        let r = scc(&[]);
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn singletons_without_edges() {
+        let r = scc(&[vec![], vec![], vec![]]);
+        assert_eq!(r.len(), 3);
+        assert!(r.components.iter().all(|c| c.len() == 1));
+    }
+
+    #[test]
+    fn simple_cycle_is_one_component() {
+        let adj = vec![vec![1], vec![2], vec![0]];
+        let r = scc(&adj);
+        assert_eq!(r.len(), 1);
+        assert_eq!(comp_sets(&r), vec![vec![0, 1, 2]]);
+    }
+
+    #[test]
+    fn chain_is_all_singletons() {
+        let adj = vec![vec![1], vec![2], vec![]];
+        let r = scc(&adj);
+        assert_eq!(r.len(), 3);
+    }
+
+    #[test]
+    fn two_cycles_bridged() {
+        // 0<->1 -> 2<->3
+        let adj = vec![vec![1], vec![0, 2], vec![3], vec![2]];
+        let r = scc(&adj);
+        assert_eq!(comp_sets(&r), vec![vec![0, 1], vec![2, 3]]);
+        // reverse topological numbering: {2,3} emitted before {0,1}
+        let c01 = r.comp_of[0];
+        let c23 = r.comp_of[2];
+        assert!(c01 > c23);
+    }
+
+    #[test]
+    fn figure_one_knot_shape() {
+        // The single 8-cycle of Figure 1b.
+        let adj: Vec<Vec<u32>> = (0..8u32).map(|v| vec![(v + 1) % 8]).collect();
+        let r = scc(&adj);
+        assert_eq!(r.len(), 1);
+        assert_eq!(r.components[0].len(), 8);
+    }
+
+    #[test]
+    fn deep_chain_does_not_overflow() {
+        // 100k-vertex path: would blow the stack if recursion were used.
+        let n = 100_000;
+        let adj: Vec<Vec<u32>> = (0..n as u32)
+            .map(|v| if v + 1 < n as u32 { vec![v + 1] } else { vec![] })
+            .collect();
+        let r = scc(&adj);
+        assert_eq!(r.len(), n);
+    }
+
+    #[test]
+    fn self_loop_is_its_own_component() {
+        let adj = vec![vec![0], vec![]];
+        let r = scc(&adj);
+        assert_eq!(r.len(), 2);
+    }
+}

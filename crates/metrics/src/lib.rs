@@ -1,0 +1,17 @@
+//! Measurement plumbing shared by the simulator and the experiment harness.
+//!
+//! Nothing here knows about networks: [`Histogram`] is a streaming log-2
+//! bucketed histogram (constant memory regardless of sample count),
+//! [`Mean`] a Welford-style running mean/variance, [`TimeSeries`] a sampled
+//! (cycle, value) trace, and [`saturation_point`] the offered-vs-accepted
+//! load analysis the paper uses to place its vertical "saturation" markers.
+
+mod hist;
+mod saturation;
+mod series;
+mod stat;
+
+pub use hist::Histogram;
+pub use saturation::{saturation_point, SATURATION_EFFICIENCY};
+pub use series::TimeSeries;
+pub use stat::Mean;

@@ -1,0 +1,48 @@
+//! Saturation-load analysis.
+
+/// Fraction of offered load that must be accepted for the network to count
+/// as unsaturated. The paper marks saturation where delivered throughput
+/// stops tracking offered load.
+pub const SATURATION_EFFICIENCY: f64 = 0.95;
+
+/// Given a load sweep of `(offered, accepted)` points (both as normalized
+/// loads, sorted by offered load), returns the first offered load at which
+/// the network fails to accept [`SATURATION_EFFICIENCY`] of what is
+/// offered — the saturation point — or `None` when the network keeps up
+/// across the whole sweep.
+pub fn saturation_point(points: &[(f64, f64)]) -> Option<f64> {
+    points
+        .iter()
+        .find(|&&(offered, accepted)| {
+            offered > 0.0 && accepted < SATURATION_EFFICIENCY * offered
+        })
+        .map(|&(offered, _)| offered)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unsaturated_sweep() {
+        let pts = [(0.1, 0.1), (0.2, 0.199), (0.3, 0.297)];
+        assert_eq!(saturation_point(&pts), None);
+    }
+
+    #[test]
+    fn finds_first_saturated_point() {
+        let pts = [(0.2, 0.2), (0.4, 0.39), (0.6, 0.45), (0.8, 0.46)];
+        assert_eq!(saturation_point(&pts), Some(0.6));
+    }
+
+    #[test]
+    fn zero_load_ignored() {
+        let pts = [(0.0, 0.0), (0.5, 0.5)];
+        assert_eq!(saturation_point(&pts), None);
+    }
+
+    #[test]
+    fn empty_sweep() {
+        assert_eq!(saturation_point(&[]), None);
+    }
+}

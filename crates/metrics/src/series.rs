@@ -1,0 +1,92 @@
+//! Sampled time series.
+
+/// A (cycle, value) trace sampled during a run, e.g. the number of resource
+/// dependency cycles at each detection epoch.
+#[derive(Clone, Debug, Default)]
+pub struct TimeSeries {
+    points: Vec<(u64, f64)>,
+}
+
+impl TimeSeries {
+    /// An empty series.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends a sample. Cycles must be non-decreasing.
+    pub fn push(&mut self, cycle: u64, value: f64) {
+        if let Some(&(last, _)) = self.points.last() {
+            assert!(cycle >= last, "samples must be time-ordered");
+        }
+        self.points.push((cycle, value));
+    }
+
+    /// The raw samples.
+    pub fn points(&self) -> &[(u64, f64)] {
+        &self.points
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// True when no sample has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Largest value seen, or `None` when empty.
+    pub fn max(&self) -> Option<f64> {
+        self.points
+            .iter()
+            .map(|&(_, v)| v)
+            .fold(None, |acc, v| Some(acc.map_or(v, |a: f64| a.max(v))))
+    }
+
+    /// Last value, or `None` when empty.
+    pub fn last(&self) -> Option<f64> {
+        self.points.last().map(|&(_, v)| v)
+    }
+
+    /// Mean of the values, or 0.0 when empty.
+    pub fn mean(&self) -> f64 {
+        if self.points.is_empty() {
+            return 0.0;
+        }
+        self.points.iter().map(|&(_, v)| v).sum::<f64>() / self.points.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_and_query() {
+        let mut s = TimeSeries::new();
+        s.push(0, 1.0);
+        s.push(50, 3.0);
+        s.push(100, 2.0);
+        assert_eq!(s.len(), 3);
+        assert_eq!(s.max(), Some(3.0));
+        assert_eq!(s.last(), Some(2.0));
+        assert!((s.mean() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_series() {
+        let s = TimeSeries::new();
+        assert!(s.is_empty());
+        assert_eq!(s.max(), None);
+        assert_eq!(s.mean(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "time-ordered")]
+    fn rejects_time_travel() {
+        let mut s = TimeSeries::new();
+        s.push(10, 1.0);
+        s.push(5, 1.0);
+    }
+}

@@ -1,0 +1,84 @@
+//! Running mean / variance.
+
+/// Welford's online mean and variance over `f64` samples.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Mean {
+    n: u64,
+    mean: f64,
+    m2: f64,
+}
+
+impl Mean {
+    /// An empty accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records a sample.
+    #[inline]
+    pub fn record(&mut self, x: f64) {
+        self.n += 1;
+        let d = x - self.mean;
+        self.mean += d / self.n as f64;
+        self.m2 += d * (x - self.mean);
+    }
+
+    /// Number of samples.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// The mean, or 0.0 when empty.
+    pub fn mean(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.mean
+        }
+    }
+
+    /// Population variance, or 0.0 with fewer than two samples.
+    pub fn variance(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            self.m2 / self.n as f64
+        }
+    }
+
+    /// Population standard deviation.
+    pub fn std_dev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_mean_zero() {
+        assert_eq!(Mean::new().mean(), 0.0);
+        assert_eq!(Mean::new().variance(), 0.0);
+    }
+
+    #[test]
+    fn known_values() {
+        let mut m = Mean::new();
+        for x in [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0] {
+            m.record(x);
+        }
+        assert!((m.mean() - 5.0).abs() < 1e-12);
+        assert!((m.variance() - 4.0).abs() < 1e-12);
+        assert!((m.std_dev() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn single_sample() {
+        let mut m = Mean::new();
+        m.record(3.5);
+        assert_eq!(m.mean(), 3.5);
+        assert_eq!(m.variance(), 0.0);
+        assert_eq!(m.count(), 1);
+    }
+}

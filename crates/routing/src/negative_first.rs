@@ -1,0 +1,112 @@
+//! Negative-first turn-model routing for meshes and hypercubes.
+
+use crate::{Candidate, RoutingAlgorithm, RoutingCtx, VcMask};
+use icn_topology::{Direction, KAryNCube, RoutingOffset};
+
+/// Negative-first routing (Glass & Ni's turn model \[2\]): all hops in the
+/// `Minus` direction (any dimension) are taken first, fully adaptively
+/// among themselves; once no negative hop remains, the message routes
+/// fully adaptively among the remaining `Plus` hops. Prohibiting the
+/// positive-to-negative turns breaks every abstract cycle, so the relation
+/// is deadlock-free on meshes (and hypercubes) with a single VC, in any
+/// number of dimensions — unlike [`crate::WestFirst`], which is 2-D only.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct NegativeFirst;
+
+impl RoutingAlgorithm for NegativeFirst {
+    fn name(&self) -> &'static str {
+        "negative-first"
+    }
+
+    fn is_adaptive(&self) -> bool {
+        true
+    }
+
+    fn is_deadlock_free(&self) -> bool {
+        true
+    }
+
+    fn candidates(
+        &self,
+        topo: &KAryNCube,
+        vcs: usize,
+        ctx: &RoutingCtx,
+        out: &mut Vec<Candidate>,
+    ) {
+        debug_assert!(!topo.is_torus(), "turn model applies to meshes");
+        let mask = VcMask::all(vcs);
+        let mut dirs: Vec<(usize, Direction)> = Vec::with_capacity(topo.n());
+        for dim in 0..topo.n() {
+            if let RoutingOffset::Dir(dir, _) = topo.routing_offset(ctx.current, ctx.dst, dim) {
+                dirs.push((dim, dir));
+            }
+        }
+        let any_negative = dirs.iter().any(|&(_, d)| d == Direction::Minus);
+        for (dim, dir) in dirs {
+            if any_negative && dir != Direction::Minus {
+                continue;
+            }
+            let ch = topo
+                .channel_from(ctx.current, dim, dir)
+                .expect("mesh interior channel");
+            out.push(Candidate { channel: ch, vcs: mask });
+        }
+        if let Some(last) = ctx.last_dim {
+            out.sort_by_key(|c| topo.channel(c.channel).dim != last);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use icn_topology::Coords;
+
+    fn route(topo: &KAryNCube, cur: &[u16], dst: &[u16]) -> Vec<Candidate> {
+        let cur = topo.node_at(&Coords::new(cur));
+        let dst = topo.node_at(&Coords::new(dst));
+        let mut out = Vec::new();
+        NegativeFirst.candidates(topo, 1, &RoutingCtx::fresh(cur, dst, cur), &mut out);
+        out
+    }
+
+    #[test]
+    fn negative_hops_first_and_adaptive_among_themselves() {
+        let m = KAryNCube::mesh(8, 2);
+        // Both components negative: both offered.
+        let cands = route(&m, &[5, 6], &[2, 1]);
+        assert_eq!(cands.len(), 2);
+        for c in &cands {
+            assert_eq!(m.channel(c.channel).dir, Direction::Minus);
+        }
+    }
+
+    #[test]
+    fn mixed_offsets_suppress_positive() {
+        let m = KAryNCube::mesh(8, 2);
+        // dx positive, dy negative: only the negative hop is offered.
+        let cands = route(&m, &[2, 6], &[5, 1]);
+        assert_eq!(cands.len(), 1);
+        let info = m.channel(cands[0].channel);
+        assert_eq!((info.dim, info.dir), (1, Direction::Minus));
+    }
+
+    #[test]
+    fn all_positive_is_fully_adaptive() {
+        let m = KAryNCube::mesh(8, 2);
+        let cands = route(&m, &[1, 1], &[5, 6]);
+        assert_eq!(cands.len(), 2);
+    }
+
+    #[test]
+    fn works_on_hypercube() {
+        let h = KAryNCube::hypercube(4);
+        crate::check_minimal_connected(&NegativeFirst, &h, 1).unwrap();
+    }
+
+    #[test]
+    fn minimal_and_connected_on_meshes() {
+        crate::check_minimal_connected(&NegativeFirst, &KAryNCube::mesh(5, 2), 1).unwrap();
+        crate::check_minimal_connected(&NegativeFirst, &KAryNCube::mesh(3, 3), 1).unwrap();
+    }
+}

@@ -1,0 +1,94 @@
+//! Simulator configuration.
+
+use icn_routing::MAX_VCS;
+
+/// Per-run simulator parameters.
+///
+/// The paper's defaults (§3): 32-flit messages, edge buffers of 2 flits,
+/// and a VC count swept from 1 to 4.
+#[derive(Clone, Copy, Debug)]
+pub struct SimConfig {
+    /// Virtual channels per physical channel (1–16).
+    pub vcs_per_channel: usize,
+    /// Edge-buffer depth per VC, in flits. Depth ≥ `msg_len` yields virtual
+    /// cut-through behaviour.
+    pub buffer_depth: usize,
+    /// Message length in flits.
+    pub msg_len: usize,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig {
+            vcs_per_channel: 1,
+            buffer_depth: 2,
+            msg_len: 32,
+        }
+    }
+}
+
+impl SimConfig {
+    /// Validates the configuration, panicking with a description on error.
+    pub fn validate(&self) {
+        assert!(
+            (1..=MAX_VCS).contains(&self.vcs_per_channel),
+            "vcs_per_channel must be 1..={MAX_VCS}"
+        );
+        assert!(self.buffer_depth >= 1, "buffers hold at least one flit");
+        assert!(
+            self.buffer_depth <= u16::MAX as usize,
+            "buffer depth exceeds occupancy counter range"
+        );
+        assert!(self.msg_len >= 1, "messages have at least one flit");
+        assert!(self.msg_len <= u32::MAX as usize, "message too long");
+    }
+
+    /// True when a whole message fits in a single VC buffer (virtual
+    /// cut-through switching).
+    pub fn is_cut_through(&self) -> bool {
+        self.buffer_depth >= self.msg_len
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_paper_default() {
+        let c = SimConfig::default();
+        c.validate();
+        assert_eq!(c.msg_len, 32);
+        assert_eq!(c.buffer_depth, 2);
+        assert!(!c.is_cut_through());
+    }
+
+    #[test]
+    fn cut_through_detection() {
+        let c = SimConfig {
+            buffer_depth: 32,
+            ..Default::default()
+        };
+        assert!(c.is_cut_through());
+    }
+
+    #[test]
+    #[should_panic(expected = "vcs_per_channel")]
+    fn zero_vcs_rejected() {
+        SimConfig {
+            vcs_per_channel: 0,
+            ..Default::default()
+        }
+        .validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one flit")]
+    fn zero_depth_rejected() {
+        SimConfig {
+            buffer_depth: 0,
+            ..Default::default()
+        }
+        .validate();
+    }
+}

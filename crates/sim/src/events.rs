@@ -1,0 +1,34 @@
+//! Per-step event reporting.
+
+use crate::message::MessageId;
+use icn_topology::NodeId;
+
+/// A message that finished this cycle.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct DeliveredMsg {
+    pub id: MessageId,
+    pub src: NodeId,
+    pub dst: NodeId,
+    /// Cycles from generation to last flit delivered (includes source
+    /// queueing).
+    pub latency: u64,
+    /// Cycles from first VC acquisition to last flit delivered.
+    pub network_latency: u64,
+    /// Header hops taken (VC acquisitions).
+    pub hops: u32,
+    /// Message length in flits.
+    pub len: u32,
+    /// Delivered through the recovery lane rather than normal ejection.
+    pub recovered: bool,
+}
+
+/// Everything that happened during one [`crate::Network::step`].
+#[derive(Clone, Debug, Default)]
+pub struct StepEvents {
+    /// Messages completed this cycle.
+    pub delivered: Vec<DeliveredMsg>,
+    /// Flits moved across physical links this cycle (link utilization).
+    pub link_flits: u32,
+    /// Messages that started injection (acquired their first VC).
+    pub injected: u32,
+}

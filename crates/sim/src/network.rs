@@ -1,0 +1,805 @@
+//! The cycle-driven network engine.
+
+use std::collections::{HashMap, VecDeque};
+
+use icn_routing::{Candidate, RoutingAlgorithm, RoutingCtx};
+use icn_topology::{ChannelId, KAryNCube, NodeId};
+
+use crate::config::SimConfig;
+use crate::events::{DeliveredMsg, StepEvents};
+use crate::message::{Message, MessageId, MessageInfo, MsgPhase};
+
+/// Sentinel for "no owning message" in per-resource tables.
+pub(crate) const NO_OWNER: u32 = u32::MAX;
+
+/// One virtual channel's dynamic state.
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct Vc {
+    /// Slot of the owning message, or [`NO_OWNER`].
+    pub owner: u32,
+    /// Flits currently in this VC's edge buffer.
+    pub occupancy: u16,
+    /// Acquisition sequence number within the owner's chain.
+    pub seq: u32,
+}
+
+/// A message waiting in a source queue (not yet holding any resource).
+#[derive(Clone, Copy, Debug)]
+struct Pending {
+    dst: NodeId,
+    born: u64,
+    len: u32,
+}
+
+/// The simulated network: topology + routing relation + all dynamic state.
+///
+/// Each [`step`](Network::step) simulates one cycle in three phases:
+///
+/// 1. **Allocation** — headers acquire their next virtual channel (or the
+///    reception channel at the destination), oldest message first; blocked
+///    headers are flagged.
+/// 2. **Transfer** — one flit per physical link moves into a downstream VC
+///    buffer (round-robin among the link's VCs), decided entirely from
+///    start-of-cycle occupancies so flits advance at most one hop per
+///    cycle; ejection and recovery lanes drain one flit per cycle.
+/// 3. **Release** — VCs emptied behind the tail are freed; completed
+///    messages are retired and reported.
+pub struct Network {
+    pub(crate) topo: KAryNCube,
+    pub(crate) routing: Box<dyn RoutingAlgorithm>,
+    pub(crate) cfg: SimConfig,
+    pub(crate) cycle: u64,
+
+    /// `channel * vcs_per_channel + vc`.
+    pub(crate) vcs: Vec<Vc>,
+    /// Owned-VC count per physical channel (lets the transfer phase skip
+    /// idle links).
+    owned_per_channel: Vec<u16>,
+    /// Round-robin pointer per physical channel.
+    link_rr: Vec<u8>,
+    /// Reception channels per node (paper default: 1).
+    pub(crate) reception_per_node: usize,
+    /// Injection channels per node (paper default: 1).
+    injection_per_node: usize,
+    /// Reception-channel owner slots: `node * reception_per_node + slot`.
+    pub(crate) reception: Vec<u32>,
+    /// Active injectors per node (each holds one injection channel).
+    injecting_count: Vec<u8>,
+    /// Per-node source queues.
+    source_q: Vec<VecDeque<Pending>>,
+    /// Failed physical channels (never offered to headers).
+    pub(crate) failed: Vec<bool>,
+
+    /// Message slab + free list.
+    pub(crate) messages: Vec<Option<Message>>,
+    free_slots: Vec<u32>,
+    /// Active message slots in creation (age) order.
+    pub(crate) active: Vec<u32>,
+    id2slot: HashMap<MessageId, u32>,
+    next_id: MessageId,
+
+    /// Scratch: start-of-cycle occupancies.
+    occ_start: Vec<u16>,
+    /// Scratch: routing candidates.
+    cand_buf: Vec<Candidate>,
+    /// Optional event recorder.
+    tracer: Option<crate::trace::Tracer>,
+
+    /// Lifetime counters.
+    pub(crate) total_generated: u64,
+    pub(crate) total_injected: u64,
+    pub(crate) total_delivered: u64,
+    pub(crate) total_recovered: u64,
+}
+
+/// Builds the routing context for a message whose header sits at `current`.
+pub(crate) fn ctx_of(msg: &Message, current: NodeId) -> RoutingCtx {
+    RoutingCtx {
+        src: msg.src,
+        dst: msg.dst,
+        current,
+        last_dim: msg.last_dim,
+        crossed_dateline: msg.crossed,
+        misroutes: msg.misroutes,
+    }
+}
+
+/// Fills `buf` with the (fault-filtered) candidates for `ctx`.
+pub(crate) fn compute_candidates(
+    topo: &KAryNCube,
+    routing: &dyn RoutingAlgorithm,
+    vcs_per: usize,
+    failed: &[bool],
+    ctx: &RoutingCtx,
+    buf: &mut Vec<Candidate>,
+) {
+    buf.clear();
+    routing.candidates(topo, vcs_per, ctx, buf);
+    buf.retain(|c| !failed[c.channel.idx()]);
+}
+
+impl Network {
+    /// A new, empty network.
+    pub fn new(topo: KAryNCube, routing: Box<dyn RoutingAlgorithm>, cfg: SimConfig) -> Self {
+        cfg.validate();
+        assert!(
+            cfg.vcs_per_channel >= routing.min_vcs(),
+            "{} requires at least {} VCs",
+            routing.name(),
+            routing.min_vcs()
+        );
+        let n_vcs = topo.num_channels() * cfg.vcs_per_channel;
+        let n_nodes = topo.num_nodes();
+        Network {
+            vcs: vec![
+                Vc {
+                    owner: NO_OWNER,
+                    occupancy: 0,
+                    seq: 0,
+                };
+                n_vcs
+            ],
+            owned_per_channel: vec![0; topo.num_channels()],
+            link_rr: vec![0; topo.num_channels()],
+            reception_per_node: 1,
+            injection_per_node: 1,
+            reception: vec![NO_OWNER; n_nodes],
+            injecting_count: vec![0; n_nodes],
+            source_q: vec![VecDeque::new(); n_nodes],
+            failed: vec![false; topo.num_channels()],
+            messages: Vec::new(),
+            free_slots: Vec::new(),
+            active: Vec::new(),
+            id2slot: HashMap::new(),
+            next_id: 0,
+            occ_start: vec![0; n_vcs],
+            cand_buf: Vec::new(),
+            tracer: None,
+            total_generated: 0,
+            total_injected: 0,
+            total_delivered: 0,
+            total_recovered: 0,
+            topo,
+            routing,
+            cfg,
+            cycle: 0,
+        }
+    }
+
+    /// The network's topology.
+    pub fn topology(&self) -> &KAryNCube {
+        &self.topo
+    }
+
+    /// The routing relation in use.
+    pub fn routing(&self) -> &dyn RoutingAlgorithm {
+        &*self.routing
+    }
+
+    /// The simulator configuration.
+    pub fn config(&self) -> &SimConfig {
+        &self.cfg
+    }
+
+    /// Completed cycles.
+    pub fn cycle(&self) -> u64 {
+        self.cycle
+    }
+
+    /// Virtual channels per physical channel.
+    #[inline]
+    pub(crate) fn vcs_per(&self) -> usize {
+        self.cfg.vcs_per_channel
+    }
+
+    /// Queues a message for injection at `src` with the configured default
+    /// length. It holds no resource until its header acquires a first VC
+    /// during a later [`step`](Self::step).
+    pub fn enqueue(&mut self, src: NodeId, dst: NodeId) {
+        self.enqueue_with_len(src, dst, self.cfg.msg_len);
+    }
+
+    /// Queues a message with an explicit length in flits — hybrid-length
+    /// workloads (the paper's §5 future-work item) mix short and long
+    /// messages in one run.
+    pub fn enqueue_with_len(&mut self, src: NodeId, dst: NodeId, len: usize) {
+        assert_ne!(src, dst, "messages must leave their source");
+        assert!(src.idx() < self.topo.num_nodes());
+        assert!(dst.idx() < self.topo.num_nodes());
+        assert!(len >= 1 && len <= u32::MAX as usize, "bad message length");
+        self.source_q[src.idx()].push_back(Pending {
+            dst,
+            born: self.cycle,
+            len: len as u32,
+        });
+        self.total_generated += 1;
+    }
+
+    /// Gives every node `injection` injection channels and `reception`
+    /// reception channels (the paper's §3 default is one of each).
+    /// Must be called before any traffic enters the network.
+    pub fn with_endpoint_channels(mut self, injection: usize, reception: usize) -> Self {
+        assert!(injection >= 1 && injection <= u8::MAX as usize);
+        assert!(reception >= 1);
+        assert_eq!(self.cycle, 0, "configure endpoints before stepping");
+        assert!(self.active.is_empty() && self.source_queued() == 0);
+        self.injection_per_node = injection;
+        self.reception_per_node = reception;
+        self.reception = vec![NO_OWNER; self.topo.num_nodes() * reception];
+        self
+    }
+
+    /// Turns on event tracing with a bounded buffer; see
+    /// [`TraceEvent`](crate::TraceEvent). Replaces any previous trace.
+    pub fn enable_trace(&mut self, capacity: usize) {
+        self.tracer = Some(crate::trace::Tracer::new(capacity));
+    }
+
+    /// Drains recorded events; the second value counts events dropped at
+    /// capacity. Panics if tracing was never enabled.
+    pub fn take_trace(&mut self) -> (Vec<crate::TraceEvent>, u64) {
+        self.tracer
+            .as_mut()
+            .expect("tracing not enabled")
+            .take()
+    }
+
+    /// Marks a physical channel as failed: it is filtered from every
+    /// routing candidate set from now on. Panics if the channel currently
+    /// carries traffic.
+    pub fn fail_channel(&mut self, ch: ChannelId) {
+        let base = ch.idx() * self.vcs_per();
+        for v in 0..self.vcs_per() {
+            assert!(
+                self.vcs[base + v].owner == NO_OWNER,
+                "cannot fail a channel in use"
+            );
+        }
+        self.failed[ch.idx()] = true;
+    }
+
+    /// Switches a blocked message onto the recovery lane (synthesized Disha
+    /// recovery): its flits drain one per cycle from wherever the header
+    /// sits, releasing VCs as the tail passes, and it counts as delivered
+    /// (recovered) when the last flit exits. Returns `false` when the
+    /// message is not active or not in the `Routing` phase.
+    pub fn start_recovery(&mut self, id: MessageId) -> bool {
+        let Some(&slot) = self.id2slot.get(&id) else {
+            return false;
+        };
+        let msg = self.messages[slot as usize].as_mut().expect("slot live");
+        if msg.phase != MsgPhase::Routing {
+            return false;
+        }
+        msg.phase = MsgPhase::Recovering;
+        msg.blocked = false;
+        msg.blocked_since = None;
+        if let Some(t) = self.tracer.as_mut() {
+            t.push(crate::TraceEvent::RecoveryStart {
+                cycle: self.cycle,
+                id,
+            });
+        }
+        true
+    }
+
+    /// Messages currently holding network resources.
+    pub fn in_network(&self) -> usize {
+        self.active.len()
+    }
+
+    /// Active messages whose header acquisition failed this cycle.
+    pub fn blocked_count(&self) -> usize {
+        self.active
+            .iter()
+            .map(|&s| self.messages[s as usize].as_ref().unwrap())
+            .filter(|m| m.blocked)
+            .count()
+    }
+
+    /// Messages waiting in source queues.
+    pub fn source_queued(&self) -> usize {
+        self.source_q.iter().map(|q| q.len()).sum()
+    }
+
+    /// Lifetime (generated, injected, delivered, recovered) counters.
+    pub fn totals(&self) -> (u64, u64, u64, u64) {
+        (
+            self.total_generated,
+            self.total_injected,
+            self.total_delivered,
+            self.total_recovered,
+        )
+    }
+
+    /// Ids of active messages, oldest first.
+    pub fn active_ids(&self) -> Vec<MessageId> {
+        self.active
+            .iter()
+            .map(|&s| self.messages[s as usize].as_ref().unwrap().id)
+            .collect()
+    }
+
+    /// Read-only view of an active message.
+    pub fn message_info(&self, id: MessageId) -> Option<MessageInfo> {
+        let &slot = self.id2slot.get(&id)?;
+        self.messages[slot as usize].as_ref().map(MessageInfo::of)
+    }
+
+    /// Simulates one cycle.
+    pub fn step(&mut self) -> StepEvents {
+        let mut events = StepEvents::default();
+        self.phase_allocation(&mut events);
+        self.phase_transfer(&mut events);
+        self.phase_release(&mut events);
+        self.cycle += 1;
+        events
+    }
+
+    // ------------------------------------------------------------------
+    // Phase 1: allocation
+    // ------------------------------------------------------------------
+
+    fn phase_allocation(&mut self, events: &mut StepEvents) {
+        self.try_injections(events);
+        self.try_next_hops();
+    }
+
+    /// Source-queue heads try to acquire their first VC (which implicitly
+    /// claims the node's single injection channel).
+    fn try_injections(&mut self, events: &mut StepEvents) {
+        for node in 0..self.topo.num_nodes() {
+            // One acquisition attempt per free injection channel per cycle.
+            while (self.injecting_count[node] as usize) < self.injection_per_node {
+                if !self.try_inject_one(node, events) {
+                    break;
+                }
+            }
+        }
+    }
+
+    /// Attempts to start the queue-front message at `node`; returns
+    /// whether a message left the queue.
+    fn try_inject_one(&mut self, node: usize, events: &mut StepEvents) -> bool {
+        let Some(&Pending { dst, born, len }) = self.source_q[node].front() else {
+            return false;
+        };
+        let src = NodeId(node as u32);
+        compute_candidates(
+            &self.topo,
+            &*self.routing,
+            self.cfg.vcs_per_channel,
+            &self.failed,
+            &RoutingCtx::fresh(src, dst, src),
+            &mut self.cand_buf,
+        );
+        let Some(vc_idx) = first_free_vc(&self.vcs, self.cfg.vcs_per_channel, &self.cand_buf)
+        else {
+            return false; // stays queued; holds nothing
+        };
+
+        {
+            self.source_q[node].pop_front();
+            let id = self.next_id;
+            self.next_id += 1;
+            let slot = match self.free_slots.pop() {
+                Some(s) => s,
+                None => {
+                    self.messages.push(None);
+                    (self.messages.len() - 1) as u32
+                }
+            };
+            let mut msg = Message {
+                id,
+                src,
+                dst,
+                len,
+                born,
+                injected_at: self.cycle,
+                chain: VecDeque::new(),
+                front_seq: 0,
+                next_seq: 0,
+                uninjected: len,
+                delivered: 0,
+                phase: MsgPhase::Routing,
+                blocked: false,
+                blocked_since: None,
+                last_dim: None,
+                crossed: 0,
+                misroutes: 0,
+                holds_injection: true,
+                reception_slot: 0,
+            };
+            acquire_vc(
+                &mut self.vcs,
+                &mut self.owned_per_channel,
+                &self.topo,
+                self.cfg.vcs_per_channel,
+                &mut msg,
+                vc_idx,
+                slot,
+            );
+            if let Some(t) = self.tracer.as_mut() {
+                t.push(crate::TraceEvent::Injected {
+                    cycle: self.cycle,
+                    id,
+                    src,
+                    dst,
+                    len,
+                });
+                t.push(crate::TraceEvent::Acquired {
+                    cycle: self.cycle,
+                    id,
+                    channel: ChannelId(vc_idx / self.cfg.vcs_per_channel as u32),
+                    vc: (vc_idx as usize % self.cfg.vcs_per_channel) as u8,
+                });
+            }
+            self.messages[slot as usize] = Some(msg);
+            self.id2slot.insert(id, slot);
+            self.injecting_count[node] += 1;
+            self.active.push(slot);
+            self.total_injected += 1;
+            events.injected += 1;
+        }
+        true
+    }
+
+    /// In-flight headers try to acquire their next VC, or the reception
+    /// channel at the destination. Oldest message first (age priority).
+    fn try_next_hops(&mut self) {
+        for i in 0..self.active.len() {
+            let slot = self.active[i];
+            let msg = self.messages[slot as usize].as_mut().expect("active slot");
+            if msg.phase != MsgPhase::Routing {
+                continue;
+            }
+            let &head_vc = msg.chain.back().expect("routing message owns its head VC");
+            if self.vcs[head_vc as usize].occupancy == 0 {
+                // Header flit still in flight towards this buffer.
+                msg.blocked = false;
+                continue;
+            }
+            let here = self.topo.channel(ChannelId(head_vc / self.cfg.vcs_per_channel as u32)).dst;
+
+            if here == msg.dst {
+                let base = here.idx() * self.reception_per_node;
+                let free = (0..self.reception_per_node)
+                    .find(|&r| self.reception[base + r] == NO_OWNER);
+                if let Some(r) = free {
+                    self.reception[base + r] = slot;
+                    msg.reception_slot = r as u8;
+                    msg.phase = MsgPhase::Ejecting;
+                    msg.blocked = false;
+                    msg.blocked_since = None;
+                    if let Some(t) = self.tracer.as_mut() {
+                        t.push(crate::TraceEvent::EjectStart {
+                            cycle: self.cycle,
+                            id: msg.id,
+                        });
+                    }
+                } else if !msg.blocked {
+                    msg.blocked = true;
+                    msg.blocked_since = Some(self.cycle);
+                    if let Some(t) = self.tracer.as_mut() {
+                        t.push(crate::TraceEvent::Blocked {
+                            cycle: self.cycle,
+                            id: msg.id,
+                            at: here,
+                        });
+                    }
+                }
+                continue;
+            }
+
+            compute_candidates(
+                &self.topo,
+                &*self.routing,
+                self.cfg.vcs_per_channel,
+                &self.failed,
+                &ctx_of(msg, here),
+                &mut self.cand_buf,
+            );
+            match first_free_vc(&self.vcs, self.cfg.vcs_per_channel, &self.cand_buf) {
+                Some(vc_idx) => {
+                    acquire_vc(
+                        &mut self.vcs,
+                        &mut self.owned_per_channel,
+                        &self.topo,
+                        self.cfg.vcs_per_channel,
+                        msg,
+                        vc_idx,
+                        slot,
+                    );
+                    if let Some(t) = self.tracer.as_mut() {
+                        t.push(crate::TraceEvent::Acquired {
+                            cycle: self.cycle,
+                            id: msg.id,
+                            channel: ChannelId(vc_idx / self.cfg.vcs_per_channel as u32),
+                            vc: (vc_idx as usize % self.cfg.vcs_per_channel) as u8,
+                        });
+                    }
+                }
+                None => {
+                    if !msg.blocked {
+                        msg.blocked = true;
+                        msg.blocked_since = Some(self.cycle);
+                        if let Some(t) = self.tracer.as_mut() {
+                            t.push(crate::TraceEvent::Blocked {
+                                cycle: self.cycle,
+                                id: msg.id,
+                                at: here,
+                            });
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Phase 2: transfer
+    // ------------------------------------------------------------------
+
+    fn phase_transfer(&mut self, events: &mut StepEvents) {
+        // Snapshot start-of-cycle occupancies: every decision below reads
+        // these, so a flit advances at most one hop per cycle and buffer
+        // space freed this cycle is only visible next cycle.
+        for (o, vc) in self.occ_start.iter_mut().zip(self.vcs.iter()) {
+            *o = vc.occupancy;
+        }
+        let vcs_per = self.cfg.vcs_per_channel;
+        let depth = self.cfg.buffer_depth as u16;
+
+        // Link transfers: at most one flit per physical channel per cycle.
+        for ch in 0..self.topo.num_channels() {
+            if self.owned_per_channel[ch] == 0 {
+                continue;
+            }
+            let base = ch * vcs_per;
+            let start = self.link_rr[ch] as usize;
+            for i in 0..vcs_per {
+                let off = (start + i) % vcs_per;
+                let v = base + off;
+                let Vc { owner, seq, .. } = self.vcs[v];
+                if owner == NO_OWNER || self.occ_start[v] >= depth {
+                    continue;
+                }
+                let msg = self.messages[owner as usize].as_mut().expect("owner live");
+                let moved = if seq == msg.front_seq {
+                    // Tail-most owned VC: flits arrive from the source.
+                    if msg.uninjected > 0 {
+                        msg.uninjected -= 1;
+                        true
+                    } else {
+                        false
+                    }
+                } else {
+                    let pos = (seq - msg.front_seq) as usize;
+                    let prev = msg.chain[pos - 1] as usize;
+                    if self.occ_start[prev] >= 1 {
+                        self.vcs[prev].occupancy -= 1;
+                        true
+                    } else {
+                        false
+                    }
+                };
+                if moved {
+                    self.vcs[v].occupancy += 1;
+                    events.link_flits += 1;
+                    self.link_rr[ch] = ((off + 1) % vcs_per) as u8;
+                    break;
+                }
+            }
+        }
+
+        // Ejection and recovery drains: one flit per cycle per message.
+        for i in 0..self.active.len() {
+            let slot = self.active[i];
+            let msg = self.messages[slot as usize].as_mut().expect("active slot");
+            if msg.phase == MsgPhase::Routing {
+                continue;
+            }
+            let &head = msg
+                .chain
+                .back()
+                .expect("draining message still owns its head VC");
+            if self.occ_start[head as usize] >= 1 {
+                self.vcs[head as usize].occupancy -= 1;
+                msg.delivered += 1;
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Phase 3: release & completion
+    // ------------------------------------------------------------------
+
+    fn phase_release(&mut self, events: &mut StepEvents) {
+        let mut finished: Vec<u32> = Vec::new();
+        for i in 0..self.active.len() {
+            let slot = self.active[i];
+            let msg = self.messages[slot as usize].as_mut().expect("active slot");
+
+            // The injection channel frees once the tail leaves the source.
+            if msg.uninjected == 0 && msg.holds_injection {
+                msg.holds_injection = false;
+                self.injecting_count[msg.src.idx()] -= 1;
+            }
+
+            // Tail release: owned VCs drain from the front of the chain.
+            while let Some(&front) = msg.chain.front() {
+                if self.vcs[front as usize].occupancy == 0 && msg.uninjected == 0 {
+                    self.vcs[front as usize].owner = NO_OWNER;
+                    self.owned_per_channel[front as usize / self.cfg.vcs_per_channel] -= 1;
+                    msg.chain.pop_front();
+                    msg.front_seq += 1;
+                } else {
+                    break;
+                }
+            }
+
+            if msg.delivered == msg.len {
+                debug_assert!(msg.chain.is_empty());
+                debug_assert_eq!(msg.uninjected, 0);
+                if msg.phase == MsgPhase::Ejecting {
+                    let r = msg.dst.idx() * self.reception_per_node
+                        + msg.reception_slot as usize;
+                    debug_assert_eq!(self.reception[r], slot);
+                    self.reception[r] = NO_OWNER;
+                }
+                let recovered = msg.phase == MsgPhase::Recovering;
+                events.delivered.push(DeliveredMsg {
+                    id: msg.id,
+                    src: msg.src,
+                    dst: msg.dst,
+                    latency: self.cycle + 1 - msg.born,
+                    network_latency: self.cycle + 1 - msg.injected_at,
+                    hops: msg.next_seq,
+                    len: msg.len,
+                    recovered,
+                });
+                self.total_delivered += 1;
+                if recovered {
+                    self.total_recovered += 1;
+                }
+                if let Some(t) = self.tracer.as_mut() {
+                    t.push(crate::TraceEvent::Delivered {
+                        cycle: self.cycle,
+                        id: msg.id,
+                        recovered,
+                    });
+                }
+                finished.push(slot);
+            }
+        }
+
+        if !finished.is_empty() {
+            for &slot in &finished {
+                let msg = self.messages[slot as usize].take().expect("finished slot");
+                self.id2slot.remove(&msg.id);
+                self.free_slots.push(slot);
+            }
+            self.active.retain(|s| !finished.contains(s));
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Invariant checking (tests)
+    // ------------------------------------------------------------------
+
+    /// Exhaustive consistency check; called from tests after stepping.
+    ///
+    /// Verifies flit conservation per message, owner/chain agreement,
+    /// occupancy bounds, per-channel owned counts, and injection/reception
+    /// bookkeeping.
+    pub fn check_invariants(&self) {
+        let vcs_per = self.cfg.vcs_per_channel;
+        let mut owned_seen = vec![0u16; self.topo.num_channels()];
+        for &slot in &self.active {
+            let msg = self.messages[slot as usize].as_ref().expect("active slot");
+            let in_chain: u32 = msg
+                .chain
+                .iter()
+                .map(|&v| self.vcs[v as usize].occupancy as u32)
+                .sum();
+            assert_eq!(
+                in_chain,
+                msg.flits_in_network(),
+                "flit conservation violated for message {}",
+                msg.id
+            );
+            for (p, &v) in msg.chain.iter().enumerate() {
+                let vc = &self.vcs[v as usize];
+                assert_eq!(vc.owner, slot, "chain VC not owned by its message");
+                assert_eq!(vc.seq, msg.front_seq + p as u32, "seq mismatch");
+                assert!(vc.occupancy as usize <= self.cfg.buffer_depth);
+                owned_seen[v as usize / vcs_per] += 1;
+            }
+            // Chain follows physically adjacent channels.
+            for w in msg.chain.make_contiguous_ref().windows(2) {
+                let a = self.topo.channel(ChannelId(w[0] / vcs_per as u32));
+                let b = self.topo.channel(ChannelId(w[1] / vcs_per as u32));
+                assert_eq!(a.dst, b.src, "chain must be a connected path");
+            }
+            if msg.phase == MsgPhase::Ejecting {
+                let r =
+                    msg.dst.idx() * self.reception_per_node + msg.reception_slot as usize;
+                assert_eq!(self.reception[r], slot);
+            }
+        }
+        for (ch, &count) in owned_seen.iter().enumerate() {
+            assert_eq!(
+                count, self.owned_per_channel[ch],
+                "owned count mismatch on channel {ch}"
+            );
+        }
+        for (v, vc) in self.vcs.iter().enumerate() {
+            if vc.owner == NO_OWNER {
+                assert_eq!(vc.occupancy, 0, "free VC {v} holds flits");
+            } else {
+                assert!(self.messages[vc.owner as usize].is_some());
+            }
+        }
+    }
+}
+
+/// First free VC across the candidate list, respecting candidate order
+/// (the routing relation's preference order) and, within a channel,
+/// ascending VC index.
+fn first_free_vc(vcs: &[Vc], vcs_per: usize, cands: &[Candidate]) -> Option<u32> {
+    for cand in cands {
+        let base = cand.channel.idx() * vcs_per;
+        for v in cand.vcs.iter() {
+            if vcs[base + v].owner == NO_OWNER {
+                return Some((base + v) as u32);
+            }
+        }
+    }
+    None
+}
+
+/// Grants `vc_idx` to `msg` and updates selection-policy / dateline state.
+fn acquire_vc(
+    vcs: &mut [Vc],
+    owned_per_channel: &mut [u16],
+    topo: &KAryNCube,
+    vcs_per: usize,
+    msg: &mut Message,
+    vc_idx: u32,
+    slot: u32,
+) {
+    let vc = &mut vcs[vc_idx as usize];
+    debug_assert_eq!(vc.owner, NO_OWNER);
+    debug_assert_eq!(vc.occupancy, 0);
+    vc.owner = slot;
+    vc.seq = msg.next_seq;
+    msg.chain.push_back(vc_idx);
+    msg.next_seq += 1;
+    let ch = ChannelId(vc_idx / vcs_per as u32);
+    owned_per_channel[ch.idx()] += 1;
+    let info = topo.channel(ch);
+    msg.last_dim = Some(info.dim);
+    if topo.is_wraparound(ch) {
+        msg.crossed |= 1 << info.dim;
+    }
+    // A hop that does not reduce the distance to the destination spends
+    // misroute budget (non-minimal relations only ever offer such hops
+    // while budget remains).
+    if topo.distance(info.dst, msg.dst) >= topo.distance(info.src, msg.dst) {
+        msg.misroutes = msg.misroutes.saturating_add(1);
+    }
+    msg.blocked = false;
+    msg.blocked_since = None;
+}
+
+/// `VecDeque::make_contiguous` needs `&mut`; for the read-only invariant
+/// checker we just collect when the deque wraps.
+trait MakeContiguousRef {
+    fn make_contiguous_ref(&self) -> Vec<u32>;
+}
+
+impl MakeContiguousRef for VecDeque<u32> {
+    fn make_contiguous_ref(&self) -> Vec<u32> {
+        self.iter().copied().collect()
+    }
+}

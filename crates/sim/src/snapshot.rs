@@ -1,0 +1,147 @@
+//! Wait-for snapshot extraction for true deadlock detection.
+//!
+//! The detector (`icn-cwg`, driven by `flexsim`) works on a snapshot of
+//! *who owns what* and *who waits for what*. Two subtleties make the
+//! snapshot faithful to the knot theory:
+//!
+//! * **Settled chains.** A blocked wormhole message still *compacts*: its
+//!   flits keep advancing into the buffers of its chain suffix, releasing
+//!   tail VCs as they empty. A VC that will be released this way is not a
+//!   permanently held resource, so it must not appear in the CWG — with
+//!   deep buffers (virtual cut-through) a blocked message eventually holds
+//!   only the buffers around its header, which is precisely why the paper
+//!   finds cut-through networks far less deadlock-prone (§3.4). For each
+//!   blocked message we therefore report only the chain suffix that will
+//!   still hold flits after compaction finishes.
+//! * **Reception vertices.** A header waiting for a busy reception channel
+//!   is waiting on a real resource, but one that always drains; reception
+//!   channels appear as vertices owned by the ejecting message (a sink in
+//!   the CWG), so such waits can never close a knot.
+//!
+//! Vertex numbering: VC `v` of channel `c` is vertex `c * V + v`; the
+//! reception channel of node `n` is vertex `num_channels * V + n`.
+
+use crate::message::MsgPhase;
+use crate::network::{compute_candidates, ctx_of, Network, NO_OWNER};
+use crate::MessageId;
+use icn_topology::ChannelId;
+
+/// One message's contribution to the wait-for snapshot.
+#[derive(Clone, Debug)]
+pub struct SnapshotMsg {
+    pub id: MessageId,
+    /// Vertices this message will keep holding (acquisition order,
+    /// tail-most first; includes the reception vertex while ejecting).
+    pub chain: Vec<u32>,
+    /// Vertices this message is blocked waiting for (empty if not blocked).
+    pub requests: Vec<u32>,
+}
+
+/// A complete wait-for snapshot of the network at one instant.
+#[derive(Clone, Debug)]
+pub struct WaitSnapshot {
+    /// Total vertex count (VCs plus reception channels).
+    pub num_vertices: usize,
+    /// Per-message ownership and requests.
+    pub messages: Vec<SnapshotMsg>,
+    /// Cycle at which the snapshot was taken.
+    pub cycle: u64,
+}
+
+impl Network {
+    /// Vertex id of reception-channel slot `slot` at `node`.
+    pub fn reception_vertex(&self, node: icn_topology::NodeId, slot: usize) -> u32 {
+        debug_assert!(slot < self.reception_per_node);
+        (self.topo.num_channels() * self.vcs_per()
+            + node.idx() * self.reception_per_node
+            + slot) as u32
+    }
+
+    /// Takes a wait-for snapshot of the current state.
+    pub fn wait_snapshot(&self) -> WaitSnapshot {
+        let vcs_per = self.vcs_per();
+        let num_vertices = self.topo.num_channels() * vcs_per
+            + self.topo.num_nodes() * self.reception_per_node;
+        let mut messages = Vec::with_capacity(self.active.len());
+        let mut cand_buf = Vec::new();
+
+        for &slot in &self.active {
+            let msg = self.messages[slot as usize].as_ref().expect("active slot");
+            if msg.chain.is_empty() {
+                // A recovering message can momentarily hold nothing while
+                // its last flits drain; it owns no CWG vertex.
+                continue;
+            }
+
+            let blocked = msg.phase == MsgPhase::Routing && msg.blocked;
+
+            // Settled chain: the suffix still holding flits once compaction
+            // finishes (blocked messages only; draining messages are CWG
+            // sinks either way, so their full chain is fine and cheaper).
+            let chain: Vec<u32> = if blocked {
+                let remaining = (msg.len - msg.delivered) as usize;
+                let depth = self.cfg.buffer_depth;
+                let keep = remaining.div_ceil(depth).min(msg.chain.len());
+                msg.chain.iter().skip(msg.chain.len() - keep).copied().collect()
+            } else {
+                let mut c: Vec<u32> = msg.chain.iter().copied().collect();
+                if msg.phase == MsgPhase::Ejecting {
+                    c.push(self.reception_vertex(msg.dst, msg.reception_slot as usize));
+                }
+                c
+            };
+
+            let requests = if blocked {
+                let &head_vc = msg.chain.back().unwrap();
+                let here = self
+                    .topo
+                    .channel(ChannelId(head_vc / vcs_per as u32))
+                    .dst;
+                if here == msg.dst {
+                    // Waiting on the destination's (all busy) reception
+                    // channels.
+                    (0..self.reception_per_node)
+                        .map(|r| self.reception_vertex(here, r))
+                        .collect()
+                } else {
+                    compute_candidates(
+                        &self.topo,
+                        &*self.routing,
+                        vcs_per,
+                        &self.failed,
+                        &ctx_of(msg, here),
+                        &mut cand_buf,
+                    );
+                    let mut reqs = Vec::new();
+                    for cand in &cand_buf {
+                        let base = cand.channel.idx() * vcs_per;
+                        for v in cand.vcs.iter() {
+                            reqs.push((base + v) as u32);
+                        }
+                    }
+                    reqs
+                }
+            } else {
+                Vec::new()
+            };
+
+            messages.push(SnapshotMsg {
+                id: msg.id,
+                chain,
+                requests,
+            });
+        }
+
+        WaitSnapshot {
+            num_vertices,
+            messages,
+            cycle: self.cycle,
+        }
+    }
+
+    /// Whether any VC of `ch` is currently owned (test helper).
+    pub fn channel_busy(&self, ch: ChannelId) -> bool {
+        let base = ch.idx() * self.vcs_per();
+        (0..self.vcs_per()).any(|v| self.vcs[base + v].owner != NO_OWNER)
+    }
+}

@@ -1,0 +1,104 @@
+//! Optional per-message event tracing.
+//!
+//! Disabled by default (zero overhead beyond a branch); when enabled, the
+//! engine records the lifecycle of every message — injection, each VC
+//! acquisition, blocking episodes, ejection, recovery, delivery — up to a
+//! capacity bound. Invaluable when dissecting how a particular deadlock
+//! assembled itself.
+
+use icn_topology::{ChannelId, NodeId};
+
+use crate::message::MessageId;
+
+/// One engine event.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TraceEvent {
+    /// Header acquired its first VC (left the source queue).
+    Injected {
+        cycle: u64,
+        id: MessageId,
+        src: NodeId,
+        dst: NodeId,
+        len: u32,
+    },
+    /// Header acquired a VC on `channel`.
+    Acquired {
+        cycle: u64,
+        id: MessageId,
+        channel: ChannelId,
+        vc: u8,
+    },
+    /// Header failed to acquire any candidate (start of a blocking
+    /// episode; re-emitted only on transitions, not every cycle).
+    Blocked { cycle: u64, id: MessageId, at: NodeId },
+    /// Header acquired the reception channel at its destination.
+    EjectStart { cycle: u64, id: MessageId },
+    /// Message was named a deadlock victim and switched to the recovery
+    /// lane.
+    RecoveryStart { cycle: u64, id: MessageId },
+    /// Last flit drained; message complete.
+    Delivered {
+        cycle: u64,
+        id: MessageId,
+        recovered: bool,
+    },
+}
+
+impl TraceEvent {
+    /// The message the event belongs to.
+    pub fn id(&self) -> MessageId {
+        match *self {
+            TraceEvent::Injected { id, .. }
+            | TraceEvent::Acquired { id, .. }
+            | TraceEvent::Blocked { id, .. }
+            | TraceEvent::EjectStart { id, .. }
+            | TraceEvent::RecoveryStart { id, .. }
+            | TraceEvent::Delivered { id, .. } => id,
+        }
+    }
+
+    /// The cycle the event occurred.
+    pub fn cycle(&self) -> u64 {
+        match *self {
+            TraceEvent::Injected { cycle, .. }
+            | TraceEvent::Acquired { cycle, .. }
+            | TraceEvent::Blocked { cycle, .. }
+            | TraceEvent::EjectStart { cycle, .. }
+            | TraceEvent::RecoveryStart { cycle, .. }
+            | TraceEvent::Delivered { cycle, .. } => cycle,
+        }
+    }
+}
+
+/// Bounded event recorder.
+#[derive(Clone, Debug)]
+pub(crate) struct Tracer {
+    events: Vec<TraceEvent>,
+    capacity: usize,
+    dropped: u64,
+}
+
+impl Tracer {
+    pub fn new(capacity: usize) -> Self {
+        Tracer {
+            events: Vec::new(),
+            capacity,
+            dropped: 0,
+        }
+    }
+
+    #[inline]
+    pub fn push(&mut self, ev: TraceEvent) {
+        if self.events.len() < self.capacity {
+            self.events.push(ev);
+        } else {
+            self.dropped += 1;
+        }
+    }
+
+    pub fn take(&mut self) -> (Vec<TraceEvent>, u64) {
+        let dropped = self.dropped;
+        self.dropped = 0;
+        (std::mem::take(&mut self.events), dropped)
+    }
+}

@@ -1,0 +1,92 @@
+//! Fixed-capacity node coordinates.
+
+use crate::MAX_DIMS;
+
+/// Coordinates of a node in a k-ary n-cube, one entry per dimension.
+///
+/// Stored inline (no allocation) since the simulator converts node ids to
+/// coordinates in its innermost routing loop.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct Coords {
+    c: [u16; MAX_DIMS],
+    n: usize,
+}
+
+impl Coords {
+    /// Builds coordinates from a slice (length = number of dimensions).
+    ///
+    /// # Panics
+    /// Panics if `vals.len() > MAX_DIMS`.
+    pub fn new(vals: &[u16]) -> Self {
+        assert!(vals.len() <= MAX_DIMS, "too many dimensions");
+        let mut c = [0u16; MAX_DIMS];
+        c[..vals.len()].copy_from_slice(vals);
+        Coords { c, n: vals.len() }
+    }
+
+    /// Number of dimensions.
+    #[inline]
+    pub fn dims(&self) -> usize {
+        self.n
+    }
+
+    /// Coordinate along dimension `d`.
+    #[inline]
+    pub fn get(&self, d: usize) -> u16 {
+        debug_assert!(d < self.n);
+        self.c[d]
+    }
+
+    /// Replaces the coordinate along dimension `d`.
+    #[inline]
+    pub fn set(&mut self, d: usize, v: u16) {
+        debug_assert!(d < self.n);
+        self.c[d] = v;
+    }
+
+    /// The coordinates as a slice.
+    #[inline]
+    pub fn as_slice(&self) -> &[u16] {
+        &self.c[..self.n]
+    }
+
+    /// Iterates over the per-dimension coordinates.
+    pub fn iter(&self) -> impl Iterator<Item = u16> + '_ {
+        self.as_slice().iter().copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        let c = Coords::new(&[3, 1, 4]);
+        assert_eq!(c.dims(), 3);
+        assert_eq!(c.get(0), 3);
+        assert_eq!(c.get(1), 1);
+        assert_eq!(c.get(2), 4);
+        assert_eq!(c.as_slice(), &[3, 1, 4]);
+    }
+
+    #[test]
+    fn set_updates_single_dimension() {
+        let mut c = Coords::new(&[0, 0]);
+        c.set(1, 9);
+        assert_eq!(c.as_slice(), &[0, 9]);
+    }
+
+    #[test]
+    fn equality_ignores_unused_slots() {
+        let a = Coords::new(&[1, 2]);
+        let b = Coords::new(&[1, 2]);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "too many dimensions")]
+    fn too_many_dims_panics() {
+        let _ = Coords::new(&[0; MAX_DIMS + 1]);
+    }
+}

@@ -1,0 +1,68 @@
+//! The paper's motivating question (§1): given the same virtual-channel
+//! budget, is it better to *avoid* deadlock by restricting routing, or to
+//! route without restrictions and *recover* from the rare deadlocks?
+//!
+//! This example pits three 3-VC designs against each other on the default
+//! bidirectional 16-ary 2-cube:
+//!
+//! * recovery-based TFAR (unrestricted VC use + Disha-style recovery),
+//! * Duato's protocol (adaptive with an escape layer — avoidance),
+//! * dateline DOR (fully static avoidance),
+//!
+//! and prints throughput, latency, and deadlock counts across load.
+//!
+//! ```text
+//! cargo run --release --example avoidance_vs_recovery
+//! ```
+
+use flexsim::report::{fnum, Table};
+use flexsim::{sweep, RoutingSpec, RunConfig};
+
+fn main() {
+    let mut configs = Vec::new();
+    let designs = [
+        ("TFAR+recovery", RoutingSpec::Tfar),
+        ("Duato (avoidance)", RoutingSpec::Duato),
+        ("dateline DOR (avoidance)", RoutingSpec::DatelineDor),
+    ];
+    let loads = [0.2, 0.4, 0.6, 0.8];
+    for (_, routing) in designs {
+        for &load in &loads {
+            let mut c = RunConfig::paper_default();
+            c.topology = flexsim::TopologySpec::torus(8, 2, true);
+            c.routing = routing;
+            c.sim.vcs_per_channel = 3;
+            c.load = load;
+            c.warmup = 2_000;
+            c.measure = 8_000;
+            configs.push(c);
+        }
+    }
+
+    println!("running {} points (8-ary 2-cube, 3 VCs each)...", configs.len());
+    let results = sweep(&configs);
+
+    let mut t = Table::new(["design", "load", "accepted", "latency", "deadlocks", "recovered"]);
+    for (cfg, r) in configs.iter().zip(&results) {
+        let name = designs
+            .iter()
+            .find(|(_, rt)| *rt == cfg.routing)
+            .unwrap()
+            .0;
+        t.row([
+            name.to_string(),
+            format!("{:.1}", cfg.load),
+            fnum(r.accepted_load()),
+            fnum(r.avg_latency()),
+            r.deadlocks.to_string(),
+            r.recovered.to_string(),
+        ]);
+    }
+    println!("{}", t.render());
+    println!(
+        "With 3 unrestricted VCs, TFAR sees (at most) rare deadlocks while using\n\
+         every VC for routing; the avoidance designs give up VCs (escape lanes,\n\
+         dateline classes) to guarantee freedom. This is the trade-off the paper\n\
+         quantifies — and why it concludes recovery-based routing is viable."
+    );
+}

@@ -1,0 +1,79 @@
+//! Static avoidance analysis vs dynamic deadlock detection — the two uses
+//! of dependency graphs the paper's related-work section contrasts.
+//!
+//! The *static* channel-dependency graph describes every connection a
+//! routing relation could ever make: acyclicity proves deadlock freedom
+//! (avoidance theory). The *dynamic* channel wait-for graph describes one
+//! instant of one execution: a knot is an actual deadlock. This example
+//! runs both analyses over the same set of routing relations and shows
+//! they agree — relations with cyclic static dependencies really deadlock
+//! under load, and relations with acyclic (or acyclic-escape) structure
+//! never do.
+//!
+//! ```text
+//! cargo run --release --example static_vs_dynamic
+//! ```
+
+use flexsim::report::Table;
+use flexsim::{run, RoutingSpec, RunConfig, TopologySpec};
+use icn_routing::verify::{channel_dependency_graph, has_cycle, subgraph};
+use icn_topology::KAryNCube;
+
+fn main() {
+    let torus = KAryNCube::torus(4, 2, true);
+    let mut t = Table::new([
+        "relation",
+        "vcs",
+        "static dependencies",
+        "observed deadlocks (load 1.0)",
+    ]);
+
+    let cases = [
+        (RoutingSpec::Dor, 1),
+        (RoutingSpec::Tfar, 1),
+        (RoutingSpec::DatelineDor, 2),
+        (RoutingSpec::Duato, 3),
+    ];
+
+    for (spec, vcs) in cases {
+        // Static analysis.
+        let adj = channel_dependency_graph(&*spec.build(), &torus, vcs);
+        let static_verdict = if !has_cycle(&adj) {
+            "acyclic (deadlock-free)".to_string()
+        } else if spec == RoutingSpec::Duato {
+            let escape = subgraph(&adj, |v| (v as usize % vcs) < 2);
+            if has_cycle(&escape) {
+                "cyclic, escape cyclic (!)".to_string()
+            } else {
+                "cyclic, escape acyclic (deadlock-free)".to_string()
+            }
+        } else {
+            "cyclic (deadlock possible)".to_string()
+        };
+
+        // Dynamic measurement: hammer a small torus and count true
+        // deadlocks with the knot detector.
+        let mut cfg = RunConfig::small_default();
+        cfg.topology = TopologySpec::torus(4, 2, true);
+        cfg.routing = spec;
+        cfg.sim.vcs_per_channel = vcs;
+        cfg.load = 1.0;
+        cfg.warmup = 1_000;
+        cfg.measure = 6_000;
+        let r = run(&cfg);
+
+        t.row([
+            spec.name().to_string(),
+            vcs.to_string(),
+            static_verdict,
+            r.deadlocks.to_string(),
+        ]);
+    }
+
+    println!("{}", t.render());
+    println!(
+        "Cyclic static dependencies are necessary for deadlock; the detector\n\
+         confirms which of them matter in practice — and how often, which is\n\
+         the question the paper set out to answer."
+    );
+}

@@ -1,0 +1,67 @@
+//! Traffic-pattern exploration (§3.6): how do the classic non-uniform
+//! patterns change congestion and deadlock formation compared to uniform
+//! traffic? Also shows the paper's DOR exception — patterns like matrix
+//! transpose cannot produce the circular overlap a DOR torus deadlock
+//! needs.
+//!
+//! ```text
+//! cargo run --release --example traffic_patterns
+//! ```
+
+use flexsim::report::{fnum, Table};
+use flexsim::{sweep, RoutingSpec, RunConfig, TopologySpec};
+use icn_topology::NodeId;
+use icn_traffic::Pattern;
+
+fn main() {
+    let patterns = [
+        Pattern::Uniform,
+        Pattern::BitReversal,
+        Pattern::Transpose,
+        Pattern::PerfectShuffle,
+        Pattern::BitComplement,
+        Pattern::HotSpot {
+            hot: NodeId(8 * 4 + 4),
+            fraction: 0.1,
+        },
+    ];
+
+    let mut configs = Vec::new();
+    for routing in [RoutingSpec::Dor, RoutingSpec::Tfar] {
+        for p in &patterns {
+            let mut c = RunConfig::paper_default();
+            c.topology = TopologySpec::torus(8, 2, true);
+            c.routing = routing;
+            c.sim.vcs_per_channel = 1;
+            c.pattern = p.clone();
+            c.load = 1.0; // deep saturation: deadlocks where possible
+            c.warmup = 2_000;
+            c.measure = 8_000;
+            configs.push(c);
+        }
+    }
+
+    println!("running {} points (8-ary 2-cube, 1 VC, load 1.0)...", configs.len());
+    let results = sweep(&configs);
+
+    let mut t = Table::new([
+        "routing", "pattern", "accepted", "blk%", "deadlocks", "ndl", "dls.avg",
+    ]);
+    for (cfg, r) in configs.iter().zip(&results) {
+        t.row([
+            cfg.routing.name().to_string(),
+            cfg.pattern.name().to_string(),
+            fnum(r.accepted_load()),
+            fnum(100.0 * r.blocked_fraction()),
+            r.deadlocks.to_string(),
+            fnum(r.normalized_deadlocks()),
+            fnum(r.deadlock_set.mean()),
+        ]);
+    }
+    println!("{}", t.render());
+    println!(
+        "Note the DOR rows: permutations without circular overlap (e.g. transpose)\n\
+         form far fewer (often zero) deadlocks than uniform traffic, while TFAR's\n\
+         deadlock behaviour stays broadly similar across patterns — §3.6's finding."
+    );
+}

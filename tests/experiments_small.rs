@@ -1,0 +1,154 @@
+//! End-to-end reproduction smoke tests: run scaled-down versions of every
+//! experiment in the paper's evaluation section and assert the robust
+//! qualitative claims (the full-strength claims are checked at paper scale
+//! by the `repro` binary; see EXPERIMENTS.md).
+
+use flexsim::experiments::{self, Experiment, Scale, ShapeCheck};
+use flexsim::{sweep, RunConfig, RunResult};
+
+/// Shrinks an experiment so the whole suite stays test-suite fast:
+/// shorter windows and a subsampled load sweep.
+fn shrink(mut exp: Experiment, loads: &[f64]) -> Experiment {
+    exp.configs.retain(|c| loads.iter().any(|&l| (c.load - l).abs() < 1e-9));
+    for c in &mut exp.configs {
+        c.warmup = 500;
+        c.measure = 2_500;
+    }
+    exp
+}
+
+fn run_exp(exp: &Experiment) -> Vec<RunResult> {
+    sweep(&exp.configs)
+}
+
+fn assert_checks(exp: &Experiment, results: &[RunResult], claims: &[&str]) {
+    let checks: Vec<ShapeCheck> = experiments::shape_checks(exp, results);
+    for claim in claims {
+        let c = checks
+            .iter()
+            .find(|c| c.claim.contains(claim))
+            .unwrap_or_else(|| panic!("no such check: {claim}"));
+        assert!(c.pass, "claim failed: {} ({})", c.claim, c.detail);
+    }
+}
+
+#[test]
+fn fig5_directionality() {
+    let exp = shrink(experiments::fig5(Scale::Small), &[0.4, 0.8, 1.2]);
+    let results = run_exp(&exp);
+    assert_checks(
+        &exp,
+        &results,
+        &[
+            "uni-torus has more normalized deadlocks",
+            "DOR deadlocks are all single-cycle",
+        ],
+    );
+    // Deadlocks actually occur in both networks at these loads.
+    assert!(results.iter().all(|r| r.delivered > 0));
+    assert!(results.iter().any(|r| r.deadlocks > 0));
+}
+
+#[test]
+fn fig6_adaptivity() {
+    let exp = shrink(experiments::fig6(Scale::Small), &[0.2, 0.8, 1.2]);
+    let results = run_exp(&exp);
+    assert_checks(
+        &exp,
+        &results,
+        &[
+            "DOR suffers more actual deadlocks than TFAR",
+            "TFAR deadlock sets are larger",
+            "TFAR resource sets are larger",
+        ],
+    );
+    // TFAR produces multi-cycle deadlocks; DOR cannot.
+    let dor_multi: u64 = exp
+        .configs
+        .iter()
+        .zip(&results)
+        .filter(|(c, _)| c.routing == flexsim::RoutingSpec::Dor)
+        .map(|(_, r)| r.multi_cycle_deadlocks)
+        .sum();
+    assert_eq!(dor_multi, 0);
+}
+
+#[test]
+fn fig7_virtual_channels() {
+    let exp = shrink(experiments::fig7(Scale::Small), &[0.4, 1.0]);
+    let results = run_exp(&exp);
+    assert_checks(
+        &exp,
+        &results,
+        &[
+            "3+ VCs make DOR deadlock highly improbable",
+            "2+ VCs make TFAR deadlock highly improbable",
+            "TFAR1 and DOR1 both deadlock",
+        ],
+    );
+}
+
+#[test]
+fn fig8_buffer_depth() {
+    let mut exp = experiments::fig8(Scale::Small);
+    exp.configs
+        .retain(|c| [2usize, 32].contains(&c.sim.buffer_depth));
+    let exp = shrink(exp, &[0.2, 0.4, 1.0]);
+    let results = run_exp(&exp);
+    assert_checks(
+        &exp,
+        &results,
+        &[
+            "deeper buffers raise the saturation",
+            "per-in-network-message deadlock rate falls with depth",
+        ],
+    );
+}
+
+#[test]
+fn node_degree() {
+    let exp = shrink(experiments::node_degree(Scale::Small), &[0.4, 0.8, 1.2]);
+    let results = run_exp(&exp);
+    assert_checks(&exp, &results, &["4-D torus suffers far fewer deadlocks"]);
+}
+
+#[test]
+fn traffic_patterns_run_and_dor_exception_holds() {
+    let mut exp = experiments::traffic_patterns(Scale::Small);
+    for c in &mut exp.configs {
+        c.warmup = 500;
+        c.measure = 2_500;
+    }
+    exp.configs.retain(|c| c.load > 1.0);
+    let results = run_exp(&exp);
+    assert_checks(
+        &exp,
+        &results,
+        &["DOR under transpose avoids the circular overlap"],
+    );
+    assert!(results.iter().all(|r| r.delivered > 0));
+}
+
+#[test]
+fn repro_binary_configs_are_valid() {
+    // Every configuration in every experiment validates and labels.
+    for exp in experiments::all(Scale::Paper) {
+        for c in &exp.configs {
+            c.sim.validate();
+            assert!(!c.label().is_empty());
+            assert!(c.load > 0.0);
+        }
+    }
+}
+
+#[test]
+fn small_and_paper_scales_share_structure() {
+    for (s, p) in experiments::all(Scale::Small)
+        .iter()
+        .zip(experiments::all(Scale::Paper).iter())
+    {
+        assert_eq!(s.id, p.id);
+        assert!(!s.configs.is_empty() && !p.configs.is_empty());
+    }
+    let _ = RunConfig::paper_default();
+}

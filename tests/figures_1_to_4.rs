@@ -1,0 +1,206 @@
+//! The paper's §2 worked examples, reconstructed as channel wait-for
+//! graphs and fed through the knot detector.
+//!
+//! * Figure 1 — single-cycle deadlock under DOR with 1 VC.
+//! * Figure 2 — single-cycle deadlock under minimal adaptive routing with
+//!   1 VC (exhausted adaptivity) plus a *dependent* message.
+//! * Figure 3 — multi-cycle deadlock under minimal adaptive routing with
+//!   2 VCs (the OCR of the paper does not preserve the exact arc wiring,
+//!   so an equivalent 8-message / 16-VC / knot-of-8 construction is used).
+//! * Figure 4 — cyclic non-deadlock: same shape, but one message can
+//!   escape, so cycles exist without a knot.
+
+use icn_cwg::{CycleCount, DeadlockKind, DependentKind, WaitGraph};
+
+/// Figure 1: five messages routed in dimension order on a torus with one
+/// VC. m1 owns {c1,c2} and wants c3; m2 owns {c3,c4,c5} and wants c6;
+/// m3 owns {c6,c7,c0} and wants c1; m4 and m5 have acquired everything
+/// they need (moving).
+fn figure1() -> WaitGraph {
+    let mut g = WaitGraph::new(10);
+    g.add_chain(1, &[1, 2]);
+    g.add_chain(2, &[3, 4, 5]);
+    g.add_chain(3, &[6, 7, 0]);
+    g.add_chain(4, &[8]); // moving: no requests
+    g.add_chain(5, &[9]); // moving: no requests
+    g.add_requests(1, &[3]);
+    g.add_requests(2, &[6]);
+    g.add_requests(3, &[1]);
+    g
+}
+
+#[test]
+fn figure1_single_cycle_deadlock() {
+    let a = figure1().analyze(1_000);
+    assert_eq!(a.deadlocks.len(), 1, "exactly one deadlock");
+    let d = &a.deadlocks[0];
+    // "a single cycle ... consisting of vertices 0..7" forming a knot.
+    assert_eq!(d.knot, vec![0, 1, 2, 3, 4, 5, 6, 7]);
+    // "involves 3 messages in its deadlock set"
+    assert_eq!(d.deadlock_set, vec![1, 2, 3]);
+    // "occupies 8 channels in its resource set"
+    assert_eq!(d.resource_set.len(), 8);
+    // "has a knot cycle density of one cycle"
+    assert_eq!(d.cycle_density, CycleCount::Exact(1));
+    assert_eq!(d.kind(), DeadlockKind::SingleCycle);
+    // m4 and m5 are unaffected (not even dependent).
+    assert!(a.dependent.is_empty());
+}
+
+/// Figure 2: minimal adaptive routing with one VC; m1..m4 have exhausted
+/// their adaptivity and each waits for the single channel needed to reach
+/// its destination, all owned within the group. m5 owns {c8,c9} and waits
+/// for a VC owned by m2 — a dependent message, not a deadlock-set member.
+///
+/// Knot = {1,3,5,7}: each message's *head* VC; the tails {0,2,4,6} are
+/// upstream of the knot.
+fn figure2() -> WaitGraph {
+    let mut g = WaitGraph::new(10);
+    g.add_chain(1, &[0, 1]);
+    g.add_chain(2, &[2, 3]);
+    g.add_chain(3, &[4, 5]);
+    g.add_chain(4, &[6, 7]);
+    g.add_chain(5, &[8, 9]);
+    g.add_requests(1, &[3]);
+    g.add_requests(2, &[5]);
+    g.add_requests(3, &[7]);
+    g.add_requests(4, &[1]);
+    g.add_requests(5, &[2]); // waits on m2's owned VC: dependent
+    g
+}
+
+#[test]
+fn figure2_single_cycle_deadlock_with_dependent_message() {
+    let a = figure2().analyze(1_000);
+    assert_eq!(a.deadlocks.len(), 1);
+    let d = &a.deadlocks[0];
+    // "the vertices in this cycle form a knot, R = {1,3,5,7}"
+    assert_eq!(d.knot, vec![1, 3, 5, 7]);
+    // "its deadlock set contains 4 messages"
+    assert_eq!(d.deadlock_set, vec![1, 2, 3, 4]);
+    // "its resource set includes 8 channels"
+    assert_eq!(d.resource_set, vec![0, 1, 2, 3, 4, 5, 6, 7]);
+    // "with a knot cycle density of one, this too is a single-cycle deadlock"
+    assert_eq!(d.kind(), DeadlockKind::SingleCycle);
+    // "message m5 ... is not considered to be in the deadlock set"; its
+    // only request leads into the knot => committed dependent.
+    assert_eq!(a.dependent, vec![(5, DependentKind::Committed)]);
+}
+
+/// Figure-3-equivalent: 8 messages, 2 VCs per physical channel, 16 VCs.
+/// Messages are paired per channel; each blocked head waits for *both*
+/// VCs of the next channel around a ring of four channels (fan-out 2),
+/// all owned within the group.
+fn figure3() -> WaitGraph {
+    let mut g = WaitGraph::new(16);
+    // Message i (1-based) owns [2(i-1), 2(i-1)+1]; the head (odd vertex)
+    // is one VC of physical channel (i-1)/2.
+    for i in 0..8u64 {
+        g.add_chain(i + 1, &[(2 * i) as u32, (2 * i + 1) as u32]);
+    }
+    // Channel c's two head VCs are vertices 4c+1 and 4c+3. Messages on
+    // channel c wait for both head VCs of channel (c+1) % 4.
+    for i in 0..8u64 {
+        let c = i / 2;
+        let next = (c + 1) % 4;
+        g.add_requests(i + 1, &[(4 * next + 1) as u32, (4 * next + 3) as u32]);
+    }
+    g
+}
+
+#[test]
+fn figure3_multi_cycle_deadlock() {
+    let a = figure3().analyze(10_000);
+    assert_eq!(a.deadlocks.len(), 1);
+    let d = &a.deadlocks[0];
+    // "The set of all vertices involved ... {1,3,5,7,9,11,13,15} meets the
+    // requirement for a knot."
+    assert_eq!(d.knot, vec![1, 3, 5, 7, 9, 11, 13, 15]);
+    // "its deadlock set has 8 messages"
+    assert_eq!(d.deadlock_set.len(), 8);
+    // "its resource set has 16 VCs"
+    assert_eq!(d.resource_set.len(), 16);
+    // multi-cycle: more than one elementary cycle in the knot.
+    assert!(d.cycle_density.value() > 1);
+    assert_eq!(d.kind(), DeadlockKind::MultiCycle);
+}
+
+/// Figure 4: the same shape as Figure 3 except one message's destination
+/// changed so it "may eventually reach its destination and subsequently
+/// release" its VC: its requests point to a *free* VC as well, giving the
+/// group an escape. Cycles exist, but no knot — a cyclic non-deadlock.
+fn figure4() -> WaitGraph {
+    let mut g = WaitGraph::new(18);
+    for i in 0..8u64 {
+        g.add_chain(i + 1, &[(2 * i) as u32, (2 * i + 1) as u32]);
+    }
+    for i in 0..8u64 {
+        let c = i / 2;
+        let next = (c + 1) % 4;
+        if i == 0 {
+            // m1 can also take a free VC (vertex 16): the escape.
+            g.add_requests(i + 1, &[(4 * next + 1) as u32, 16]);
+        } else {
+            g.add_requests(i + 1, &[(4 * next + 1) as u32, (4 * next + 3) as u32]);
+        }
+    }
+    g
+}
+
+#[test]
+fn figure4_cyclic_non_deadlock() {
+    let g = figure4();
+    let a = g.analyze(10_000);
+    // "This set (or any subset thereof) does not meet the conditions for a
+    // knot; therefore, there is no deadlock in this network."
+    assert!(!a.has_deadlock());
+    // "There are 8 unique cycles in the CWG" — cycles exist without a
+    // knot, confirming "cycles are necessary but not sufficient".
+    let cycles = g.count_cycles(10_000);
+    assert!(cycles.value() > 1, "cyclic non-deadlock has cycles: {cycles}");
+    assert!(!cycles.is_capped());
+}
+
+#[test]
+fn figure4_escape_vertex_is_the_difference() {
+    // Removing the escape restores the Figure 3 deadlock: the knot
+    // condition is exactly the absence of an escape resource.
+    let with_escape = figure4().analyze(10_000);
+    let without_escape = figure3().analyze(10_000);
+    assert!(!with_escape.has_deadlock());
+    assert!(without_escape.has_deadlock());
+}
+
+#[test]
+fn figure2_recovery_semantics() {
+    // Removing a deadlock-set member's requests (victim recovery) breaks
+    // the knot; removing the dependent message's requests does not.
+    let mut g = WaitGraph::new(10);
+    g.add_chain(1, &[0, 1]);
+    g.add_chain(2, &[2, 3]);
+    g.add_chain(3, &[4, 5]);
+    g.add_chain(4, &[6, 7]);
+    g.add_chain(5, &[8, 9]);
+    // victim m1 recovering: no requests for it.
+    g.add_requests(2, &[5]);
+    g.add_requests(3, &[7]);
+    g.add_requests(4, &[1]);
+    g.add_requests(5, &[2]);
+    assert!(!g.analyze(1_000).has_deadlock(), "victim removal resolves");
+
+    let mut g2 = WaitGraph::new(10);
+    g2.add_chain(1, &[0, 1]);
+    g2.add_chain(2, &[2, 3]);
+    g2.add_chain(3, &[4, 5]);
+    g2.add_chain(4, &[6, 7]);
+    g2.add_chain(5, &[8, 9]);
+    g2.add_requests(1, &[3]);
+    g2.add_requests(2, &[5]);
+    g2.add_requests(3, &[7]);
+    g2.add_requests(4, &[1]);
+    // dependent m5 recovering instead: deadlock remains.
+    assert!(
+        g2.analyze(1_000).has_deadlock(),
+        "removing a dependent message must NOT resolve the deadlock"
+    );
+}
