@@ -2,14 +2,28 @@
 //! knot analysis on networks at increasing congestion — the price paid
 //! every 50 cycles by a recovery-based router's "watchdog".
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 use flexsim::build_wait_graph;
+use icn_cwg::{DetectorScratch, WaitGraph};
 use icn_routing::Tfar;
-use icn_sim::{Network, SimConfig};
+use icn_sim::{Network, SimConfig, SnapshotArena};
 use icn_topology::{KAryNCube, NodeId};
 use icn_traffic::{BernoulliInjector, Pattern};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+
+/// The runner's in-place per-epoch rebuild, over the public API.
+fn rebuild_wait_graph(arena: &SnapshotArena, g: &mut WaitGraph) {
+    g.reset(arena.num_vertices());
+    for m in arena.messages() {
+        g.add_chain(m.id, m.chain);
+    }
+    for m in arena.messages() {
+        if !m.requests.is_empty() {
+            g.add_requests(m.id, m.requests);
+        }
+    }
+}
 
 /// Drives a TFAR1 torus to the requested load for a while and returns it.
 fn congested_network(load: f64) -> Network {
@@ -51,6 +65,17 @@ fn bench_detection(c: &mut Criterion) {
             &net,
             |b, net| b.iter(|| net.wait_snapshot()),
         );
+        g.bench_with_input(
+            BenchmarkId::new("snapshot_into", format!("load{load}")),
+            &net,
+            |b, net| {
+                let mut arena = SnapshotArena::new();
+                b.iter(|| {
+                    net.wait_snapshot_into(&mut arena);
+                    black_box(arena.fingerprint())
+                })
+            },
+        );
         let snap = net.wait_snapshot();
         g.bench_with_input(
             BenchmarkId::new("build_graph", format!("load{load}")),
@@ -67,5 +92,52 @@ fn bench_detection(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_detection);
+/// The full steady-state detection epoch (snapshot → graph → knot
+/// analysis) on a saturated TFAR1 torus — the cost paid every 50 cycles.
+///
+/// `fresh_alloc` is the pre-arena path (allocate snapshot, graph, and
+/// scratch per epoch); `arena_reuse` is the runner's hot path; and
+/// `fingerprint_skip` is what a steady clean epoch costs once the verdict
+/// is carried over (snapshot fill + hash compare only).
+fn bench_hot_epoch(c: &mut Criterion) {
+    let mut g = c.benchmark_group("hot_epoch");
+    g.sample_size(20);
+    g.warm_up_time(std::time::Duration::from_millis(300));
+    g.measurement_time(std::time::Duration::from_secs(3));
+
+    let net = congested_network(1.0);
+
+    g.bench_function("fresh_alloc", |b| {
+        b.iter(|| {
+            let snap = net.wait_snapshot();
+            let graph = build_wait_graph(&snap);
+            black_box(graph.analyze(2_000))
+        })
+    });
+
+    g.bench_function("arena_reuse", |b| {
+        let mut arena = SnapshotArena::new();
+        let mut graph = WaitGraph::new(0);
+        let mut scratch = DetectorScratch::new();
+        b.iter(|| {
+            net.wait_snapshot_into(&mut arena);
+            rebuild_wait_graph(&arena, &mut graph);
+            black_box(graph.analyze_with(2_000, &mut scratch))
+        })
+    });
+
+    g.bench_function("fingerprint_skip", |b| {
+        let mut arena = SnapshotArena::new();
+        net.wait_snapshot_into(&mut arena);
+        let clean = arena.fingerprint();
+        b.iter(|| {
+            net.wait_snapshot_into(&mut arena);
+            black_box(arena.fingerprint() == clean)
+        })
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench_detection, bench_hot_epoch);
 criterion_main!(benches);

@@ -6,7 +6,7 @@
 //! probe <depth> <load> <recover:0|1> [cycles]
 //! ```
 
-use flexsim::{build_wait_graph, RecoveryPolicy, RunConfig, RoutingSpec};
+use flexsim::{build_wait_graph, RecoveryPolicy, RoutingSpec, RunConfig};
 use icn_sim::Network;
 use icn_topology::NodeId;
 use icn_traffic::BernoulliInjector;

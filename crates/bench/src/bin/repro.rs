@@ -75,7 +75,10 @@ fn main() {
         }
         println!("{}", experiments::figure_chart(exp, &results).render());
         println!("per-curve saturation / deadlock onset:");
-        println!("{}", experiments::saturation_summary(exp, &results).render());
+        println!(
+            "{}",
+            experiments::saturation_summary(exp, &results).render()
+        );
         println!("shape checks (paper claims vs measured):");
         let checks = if exp.id.starts_with("ext-") {
             flexsim::extensions::shape_checks(exp, &results)

@@ -5,6 +5,9 @@
 //! scatter charts so the shape — who wins, where the knees fall — is
 //! visible without leaving the terminal.
 
+/// One plotted series: symbol, legend label, and (x, y) points.
+type Series = (char, String, Vec<(f64, f64)>);
+
 /// A fixed-size scatter chart with one symbol per series.
 #[derive(Clone, Debug)]
 pub struct AsciiChart {
@@ -13,7 +16,7 @@ pub struct AsciiChart {
     y_label: String,
     width: usize,
     height: usize,
-    series: Vec<(char, String, Vec<(f64, f64)>)>,
+    series: Vec<Series>,
 }
 
 impl AsciiChart {
@@ -90,10 +93,9 @@ impl AsciiChart {
                 if !x.is_finite() || !y.is_finite() {
                     continue;
                 }
-                let cx = ((x - x_min) / (x_max - x_min) * (self.width - 1) as f64).round()
-                    as usize;
-                let cy = ((y - y_min) / (y_max - y_min) * (self.height - 1) as f64).round()
-                    as usize;
+                let cx = ((x - x_min) / (x_max - x_min) * (self.width - 1) as f64).round() as usize;
+                let cy =
+                    ((y - y_min) / (y_max - y_min) * (self.height - 1) as f64).round() as usize;
                 let row = self.height - 1 - cy;
                 let cell = &mut grid[row][cx];
                 *cell = if *cell == ' ' || *cell == *symbol {
@@ -141,7 +143,11 @@ impl AsciiChart {
             .iter()
             .map(|(s, name, _)| format!("{s} {name}"))
             .collect();
-        out.push_str(&format!("{}legend: {}\n", " ".repeat(ylab_w), legend.join("  ")));
+        out.push_str(&format!(
+            "{}legend: {}\n",
+            " ".repeat(ylab_w),
+            legend.join("  ")
+        ));
         out
     }
 }

@@ -45,7 +45,9 @@ fn loads(scale: Scale) -> Vec<f64> {
 }
 
 fn with_seed(mut cfg: RunConfig, salt: u64) -> RunConfig {
-    cfg.seed = cfg.seed.wrapping_add(salt.wrapping_mul(0x9e37_79b9_7f4a_7c15));
+    cfg.seed = cfg
+        .seed
+        .wrapping_add(salt.wrapping_mul(0x9e37_79b9_7f4a_7c15));
     cfg
 }
 
@@ -144,7 +146,8 @@ pub fn fig8(scale: Scale) -> Experiment {
     }
     Experiment {
         id: "fig8",
-        title: "Fig 8: deadlocks vs load and vs in-network messages, buffer depth 2-32 (TFAR, 1 VC)",
+        title:
+            "Fig 8: deadlocks vs load and vs in-network messages, buffer depth 2-32 (TFAR, 1 VC)",
         configs,
     }
 }
@@ -155,8 +158,14 @@ pub fn node_degree(scale: Scale) -> Experiment {
     let mut configs = Vec::new();
     let mut salt = 400;
     let topologies = match scale {
-        Scale::Paper => vec![TopologySpec::torus(16, 2, true), TopologySpec::torus(4, 4, true)],
-        Scale::Small => vec![TopologySpec::torus(8, 2, true), TopologySpec::torus(3, 4, true)],
+        Scale::Paper => vec![
+            TopologySpec::torus(16, 2, true),
+            TopologySpec::torus(4, 4, true),
+        ],
+        Scale::Small => vec![
+            TopologySpec::torus(8, 2, true),
+            TopologySpec::torus(3, 4, true),
+        ],
     };
     for topo in topologies {
         for &load in &loads(scale) {
@@ -215,10 +224,7 @@ fn patterns_for(scale: Scale) -> Vec<Pattern> {
         Pattern::BitReversal,
         Pattern::Transpose,
         Pattern::PerfectShuffle,
-        Pattern::HotSpot {
-            hot,
-            fraction: 0.1,
-        },
+        Pattern::HotSpot { hot, fraction: 0.1 },
     ]
 }
 
@@ -421,7 +427,11 @@ pub fn shape_checks(exp: &Experiment, results: &[RunResult]) -> Vec<ShapeCheck> 
                 .map(|r| r.deadlock_set.min())
                 .min()
                 .unwrap_or(0);
-            let multi: u64 = bi.iter().chain(uni.iter()).map(|r| r.multi_cycle_deadlocks).sum();
+            let multi: u64 = bi
+                .iter()
+                .chain(uni.iter())
+                .map(|r| r.multi_cycle_deadlocks)
+                .sum();
             vec![
                 check(
                     "uni-torus has more normalized deadlocks than bi-torus",
@@ -445,10 +455,22 @@ pub fn shape_checks(exp: &Experiment, results: &[RunResult]) -> Vec<ShapeCheck> 
             let tfar = sel(&|c| c.routing == RoutingSpec::Tfar);
             let dor_total = total_deadlocks(dor.iter().copied());
             let tfar_total = total_deadlocks(tfar.iter().copied());
-            let dor_set: f64 = dor.iter().map(|r| r.deadlock_set.mean()).fold(0.0, f64::max);
-            let tfar_set: f64 = tfar.iter().map(|r| r.deadlock_set.mean()).fold(0.0, f64::max);
-            let dor_res: f64 = dor.iter().map(|r| r.resource_set.mean()).fold(0.0, f64::max);
-            let tfar_res: f64 = tfar.iter().map(|r| r.resource_set.mean()).fold(0.0, f64::max);
+            let dor_set: f64 = dor
+                .iter()
+                .map(|r| r.deadlock_set.mean())
+                .fold(0.0, f64::max);
+            let tfar_set: f64 = tfar
+                .iter()
+                .map(|r| r.deadlock_set.mean())
+                .fold(0.0, f64::max);
+            let dor_res: f64 = dor
+                .iter()
+                .map(|r| r.resource_set.mean())
+                .fold(0.0, f64::max);
+            let tfar_res: f64 = tfar
+                .iter()
+                .map(|r| r.resource_set.mean())
+                .fold(0.0, f64::max);
             // Recovery keeps accepted throughput tracking offered load
             // right up to the knee (isolated deadlocks are repaired), so
             // the measurable form of "TFAR suffers no deadlocks below
@@ -507,9 +529,7 @@ pub fn shape_checks(exp: &Experiment, results: &[RunResult]) -> Vec<ShapeCheck> 
         }
         "fig7" => {
             let by = |routing: RoutingSpec, vcs: usize| -> Vec<&RunResult> {
-                sel(&move |c: &RunConfig| {
-                    c.routing == routing && c.sim.vcs_per_channel == vcs
-                })
+                sel(&move |c: &RunConfig| c.routing == routing && c.sim.vcs_per_channel == vcs)
             };
             let dor1 = total_deadlocks(by(RoutingSpec::Dor, 1).into_iter());
             let dor2 = total_deadlocks(by(RoutingSpec::Dor, 2).into_iter());
@@ -642,25 +662,21 @@ pub fn shape_checks(exp: &Experiment, results: &[RunResult]) -> Vec<ShapeCheck> 
             ]
         }
         "traffic" => {
-            let tfar_uniform = sel(&|c| {
-                c.routing == RoutingSpec::Tfar && c.pattern == Pattern::Uniform
-            });
-            let tfar_other = sel(&|c| {
-                c.routing == RoutingSpec::Tfar && c.pattern != Pattern::Uniform
-            });
+            let tfar_uniform =
+                sel(&|c| c.routing == RoutingSpec::Tfar && c.pattern == Pattern::Uniform);
+            let tfar_other =
+                sel(&|c| c.routing == RoutingSpec::Tfar && c.pattern != Pattern::Uniform);
             let u: u64 = total_deadlocks(tfar_uniform.iter().copied());
             let o = total_deadlocks(tfar_other.iter().copied()) as f64
                 / (tfar_other.len().max(1) as f64 / tfar_uniform.len().max(1) as f64);
-            let dor_uniform =
-                total_deadlocks(sel(&|c| {
-                    c.routing == RoutingSpec::Dor && c.pattern == Pattern::Uniform
-                })
-                .into_iter());
-            let dor_transpose =
-                total_deadlocks(sel(&|c| {
-                    c.routing == RoutingSpec::Dor && c.pattern == Pattern::Transpose
-                })
-                .into_iter());
+            let dor_uniform = total_deadlocks(
+                sel(&|c| c.routing == RoutingSpec::Dor && c.pattern == Pattern::Uniform)
+                    .into_iter(),
+            );
+            let dor_transpose = total_deadlocks(
+                sel(&|c| c.routing == RoutingSpec::Dor && c.pattern == Pattern::Transpose)
+                    .into_iter(),
+            );
             vec![
                 check(
                     "TFAR deadlock frequency is similar across patterns",
@@ -715,9 +731,7 @@ mod tests {
         let results: Vec<crate::RunResult> = exp
             .configs
             .iter()
-            .map(|c| {
-                crate::RunResult::new(c.label(), c.load, 64, 0.5, c.sim.msg_len)
-            })
+            .map(|c| crate::RunResult::new(c.label(), c.load, 64, 0.5, c.sim.msg_len))
             .collect();
         let chart = figure_chart(&exp, &results);
         assert_eq!(chart.num_series(), 2);
@@ -731,13 +745,7 @@ mod tests {
             .configs
             .iter()
             .map(|c| {
-                let mut r = crate::RunResult::new(
-                    c.label(),
-                    c.load,
-                    64,
-                    0.5,
-                    c.sim.msg_len,
-                );
+                let mut r = crate::RunResult::new(c.label(), c.load, 64, 0.5, c.sim.msg_len);
                 r.cycles = 1000;
                 let accepted = if c.topology.bidirectional && c.load >= 0.8 {
                     0.4

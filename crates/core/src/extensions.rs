@@ -32,7 +32,9 @@ fn ext_loads(scale: Scale) -> Vec<f64> {
 }
 
 fn with_seed(mut cfg: RunConfig, salt: u64) -> RunConfig {
-    cfg.seed = cfg.seed.wrapping_add(salt.wrapping_mul(0x9e37_79b9_7f4a_7c15));
+    cfg.seed = cfg
+        .seed
+        .wrapping_add(salt.wrapping_mul(0x9e37_79b9_7f4a_7c15));
     cfg
 }
 
@@ -164,19 +166,17 @@ pub fn shape_checks(exp: &Experiment, results: &[RunResult]) -> Vec<ShapeCheck> 
                 .filter(|(c, _)| c.load <= min_load)
                 .all(|(_, r)| r.accepted_load() > 0.5 * r.offered_load);
             let all_deliver = results.iter().all(|r| r.delivered > 0);
-            vec![
-                check(
-                    "misrouting preserves low-load delivery (no livelock)",
-                    low_load_ok && all_deliver,
-                    format!(
-                        "min accepted = {:.3}",
-                        results
-                            .iter()
-                            .map(|r| r.accepted_load())
-                            .fold(f64::INFINITY, f64::min)
-                    ),
+            vec![check(
+                "misrouting preserves low-load delivery (no livelock)",
+                low_load_ok && all_deliver,
+                format!(
+                    "min accepted = {:.3}",
+                    results
+                        .iter()
+                        .map(|r| r.accepted_load())
+                        .fold(f64::INFINITY, f64::min)
                 ),
-            ]
+            )]
         }
         "ext-hybrid" => {
             let consistent = results
@@ -216,6 +216,9 @@ mod tests {
     #[test]
     fn hypercube_experiment_uses_mesh2() {
         let e = hypercube(Scale::Small);
-        assert!(e.configs.iter().any(|c| c.topology.k == 2 && !c.topology.torus));
+        assert!(e
+            .configs
+            .iter()
+            .any(|c| c.topology.k == 2 && !c.topology.torus));
     }
 }

@@ -84,6 +84,11 @@ pub struct RunConfig {
     pub cycle_cap: u64,
     /// Cap on per-knot cycle-density enumeration.
     pub density_cap: u64,
+    /// Skip knot re-analysis when an epoch's blocked wait-state hashes
+    /// identically to the previous epoch's and that epoch was clean. Exact
+    /// (knots are closed exclusively by blocked messages), modulo 64-bit
+    /// hash collisions; disable to force a full analysis every epoch.
+    pub fingerprint_skip: bool,
     /// How deadlocks are broken.
     pub recovery: RecoveryPolicy,
     /// RNG seed (traffic generation).
@@ -108,6 +113,7 @@ impl RunConfig {
             count_cycles_every: None,
             cycle_cap: 150_000,
             density_cap: 2_000,
+            fingerprint_skip: true,
             recovery: RecoveryPolicy::RemoveOldest,
             seed: 0x5ca1ab1e,
         }

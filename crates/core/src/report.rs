@@ -123,7 +123,7 @@ mod tests {
     fn fnum_ranges() {
         assert_eq!(fnum(0.0), "0");
         assert_eq!(fnum(0.01234), "0.0123");
-        assert_eq!(fnum(3.14159), "3.14");
+        assert_eq!(fnum(5.4321), "5.43");
         assert_eq!(fnum(1234.7), "1235");
         assert_eq!(fnum(f64::INFINITY), "inf");
     }

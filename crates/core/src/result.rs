@@ -92,7 +92,13 @@ pub struct Incident {
 }
 
 impl RunResult {
-    pub(crate) fn new(label: String, offered_load: f64, nodes: usize, capacity: f64, msg_len: usize) -> Self {
+    pub(crate) fn new(
+        label: String,
+        offered_load: f64,
+        nodes: usize,
+        capacity: f64,
+        msg_len: usize,
+    ) -> Self {
         RunResult {
             label,
             offered_load,

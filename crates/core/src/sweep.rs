@@ -2,11 +2,15 @@
 
 use crate::{run, RunConfig, RunResult};
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::mpsc;
 
 /// Runs every configuration, fanning out across OS threads (one run is
 /// single-threaded and deterministic, so parallelism across points is
 /// safe), and returns results in input order.
+///
+/// Workers deliver index-stamped results over a channel instead of
+/// contending on a shared lock, so a burst of short runs finishing together
+/// never serializes behind a slow one holding a mutex.
 pub fn sweep(configs: &[RunConfig]) -> Vec<RunResult> {
     if configs.is_empty() {
         return Vec::new();
@@ -17,38 +21,34 @@ pub fn sweep(configs: &[RunConfig]) -> Vec<RunResult> {
         .min(configs.len());
 
     let next = AtomicUsize::new(0);
-    let results: Mutex<Vec<Option<RunResult>>> = Mutex::new(vec![None; configs.len()]);
+    let (tx, rx) = mpsc::channel::<(usize, RunResult)>();
 
+    let mut slots: Vec<Option<RunResult>> = vec![None; configs.len()];
     std::thread::scope(|scope| {
+        let next = &next;
         for _ in 0..workers {
-            scope.spawn(|| loop {
+            let tx = tx.clone();
+            scope.spawn(move || loop {
                 let i = next.fetch_add(1, Ordering::Relaxed);
                 if i >= configs.len() {
                     break;
                 }
                 let r = run(&configs[i]);
-                results.lock().expect("sweep mutex").private_set(i, r);
+                tx.send((i, r)).expect("sweep receiver alive");
             });
+        }
+        // The workers hold the remaining senders; once they all finish the
+        // channel closes and this drain ends.
+        drop(tx);
+        for (i, r) in rx {
+            slots[i] = Some(r);
         }
     });
 
-    results
-        .into_inner()
-        .expect("sweep mutex")
+    slots
         .into_iter()
         .map(|r| r.expect("every slot filled"))
         .collect()
-}
-
-/// Tiny helper so the closure above stays readable.
-trait SetSlot {
-    fn private_set(&mut self, i: usize, r: RunResult);
-}
-
-impl SetSlot for Vec<Option<RunResult>> {
-    fn private_set(&mut self, i: usize, r: RunResult) {
-        self[i] = Some(r);
-    }
 }
 
 /// Runs one configuration under `n` distinct seeds (in parallel) and
@@ -58,7 +58,9 @@ pub fn replicate(cfg: &RunConfig, n: usize) -> Vec<RunResult> {
     let configs: Vec<RunConfig> = (0..n as u64)
         .map(|i| {
             let mut c = cfg.clone();
-            c.seed = cfg.seed.wrapping_add(i.wrapping_mul(0x9e37_79b9_7f4a_7c15) | 1);
+            c.seed = cfg
+                .seed
+                .wrapping_add(i.wrapping_mul(0x9e37_79b9_7f4a_7c15) | 1);
             c
         })
         .collect();

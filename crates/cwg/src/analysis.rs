@@ -1,8 +1,9 @@
 //! Knot detection and deadlock classification.
 
+use crate::adjacency::{Adjacency, Csr};
 use crate::cycles::{count_cycles, CycleCount};
 use crate::graph::{MessageId, VertexId, WaitGraph};
-use crate::scc::scc;
+use crate::scc::SccScratch;
 use std::collections::HashSet;
 
 /// Deadlock taxonomy of §2.2: a knot containing exactly one elementary
@@ -72,8 +73,75 @@ impl Analysis {
     }
 }
 
+/// Reusable working storage for the per-epoch detection pass.
+///
+/// Holds the epoch's CSR adjacency (built once from the [`WaitGraph`] and
+/// shared by knot analysis, cycle counting, and the recovery loop's
+/// re-analyses) plus Tarjan scratch and the terminal-component marks. On a
+/// knot-free epoch [`WaitGraph::analyze_with`] performs no heap allocation
+/// once capacities have warmed up.
+#[derive(Clone, Debug, Default)]
+pub struct DetectorScratch {
+    csr: Csr,
+    scc: SccScratch,
+    terminal: Vec<bool>,
+}
+
+impl DetectorScratch {
+    /// Empty scratch; capacities grow on first use and are then reused.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The CSR adjacency of the most recently analyzed graph (valid until
+    /// that graph is mutated or another graph is analyzed). Lets callers
+    /// run [`count_cycles`] on the epoch's adjacency without a rebuild.
+    pub fn csr(&self) -> &Csr {
+        &self.csr
+    }
+
+    /// Rebuilds the CSR from `g`, decomposes it, and marks which components
+    /// are terminal (no leaving arc). Returns the component count.
+    fn decompose(&mut self, g: &WaitGraph) -> usize {
+        g.build_csr(&mut self.csr);
+        self.scc.run(&self.csr);
+        let nc = self.scc.num_components();
+        self.terminal.clear();
+        self.terminal.resize(nc, true);
+        for v in 0..self.csr.num_vertices() as u32 {
+            let cv = self.scc.comp_of(v);
+            for &w in self.csr.neighbors(v) {
+                if self.scc.comp_of(w) != cv {
+                    self.terminal[cv as usize] = false;
+                }
+            }
+        }
+        nc
+    }
+
+    /// Whether component `ci` is a knot: terminal and non-trivial (more
+    /// than one vertex, or a single vertex with a self-loop).
+    fn is_knot(&self, ci: usize) -> bool {
+        if !self.terminal[ci] {
+            return false;
+        }
+        let comp = self.scc.component(ci as u32);
+        comp.len() >= 2 || self.csr.neighbors(comp[0]).contains(&comp[0])
+    }
+}
+
 impl WaitGraph {
     /// Detects every knot and classifies the snapshot.
+    ///
+    /// Convenience wrapper over [`analyze_with`](Self::analyze_with) that
+    /// allocates fresh scratch; the detection loop holds a
+    /// [`DetectorScratch`] across epochs instead.
+    pub fn analyze(&self, density_cap: u64) -> Analysis {
+        let mut scratch = DetectorScratch::new();
+        self.analyze_with(density_cap, &mut scratch)
+    }
+
+    /// Detects every knot and classifies the snapshot, reusing `scratch`.
     ///
     /// A knot is a **non-trivial terminal SCC**: strongly connected (so every
     /// vertex reaches every other), with no arc leaving the component (so
@@ -82,37 +150,21 @@ impl WaitGraph {
     /// connected routing function.
     ///
     /// `density_cap` bounds the per-knot elementary-cycle enumeration.
-    pub fn analyze(&self, density_cap: u64) -> Analysis {
-        let adj = self.adjacency();
-        let comps = scc(&adj);
-
-        // A component is terminal iff no edge leaves it.
-        let mut terminal = vec![true; comps.len()];
-        for (v, outs) in adj.iter().enumerate() {
-            let cv = comps.comp_of[v];
-            for &w in outs {
-                if comps.comp_of[w as usize] != cv {
-                    terminal[cv as usize] = false;
-                }
-            }
-        }
+    pub fn analyze_with(&self, density_cap: u64, scratch: &mut DetectorScratch) -> Analysis {
+        let nc = scratch.decompose(self);
 
         let mut deadlocks = Vec::new();
         let mut deadlocked_msgs: HashSet<MessageId> = HashSet::new();
         let mut knot_vertices: Vec<VertexId> = Vec::new();
-        for (ci, comp) in comps.components.iter().enumerate() {
-            let self_loop = comp.len() == 1 && adj[comp[0] as usize].contains(&comp[0]);
-            if !terminal[ci] || (comp.len() < 2 && !self_loop) {
+        for ci in 0..nc {
+            if !scratch.is_knot(ci) {
                 continue;
             }
-            let mut knot = comp.clone();
+            let mut knot = scratch.scc.component(ci as u32).to_vec();
             knot.sort_unstable();
             knot_vertices.extend_from_slice(&knot);
 
-            let mut dset: Vec<MessageId> = knot
-                .iter()
-                .filter_map(|&v| self.owner(v))
-                .collect();
+            let mut dset: Vec<MessageId> = knot.iter().filter_map(|&v| self.owner(v)).collect();
             dset.sort_unstable();
             dset.dedup();
             deadlocked_msgs.extend(dset.iter().copied());
@@ -126,12 +178,13 @@ impl WaitGraph {
 
             // Knot-restricted adjacency for the density count.
             let knot_set: HashSet<VertexId> = knot.iter().copied().collect();
-            let sub: Vec<Vec<VertexId>> = adj
-                .iter()
-                .enumerate()
-                .map(|(v, outs)| {
-                    if knot_set.contains(&(v as VertexId)) {
-                        outs.iter()
+            let sub: Vec<Vec<VertexId>> = (0..scratch.csr.num_vertices() as u32)
+                .map(|v| {
+                    if knot_set.contains(&v) {
+                        scratch
+                            .csr
+                            .neighbors(v)
+                            .iter()
                             .copied()
                             .filter(|t| knot_set.contains(t))
                             .collect()
@@ -150,39 +203,38 @@ impl WaitGraph {
             });
         }
 
-        // Reverse reachability from knot vertices: which vertices can reach
-        // a knot.
-        let mut radj: Vec<Vec<VertexId>> = vec![Vec::new(); adj.len()];
-        for (v, outs) in adj.iter().enumerate() {
-            for &w in outs {
-                radj[w as usize].push(v as VertexId);
-            }
-        }
-        let mut reaches_knot = vec![false; adj.len()];
-        let mut stack: Vec<VertexId> = knot_vertices.clone();
-        for &v in &knot_vertices {
-            reaches_knot[v as usize] = true;
-        }
-        while let Some(v) = stack.pop() {
-            for &p in &radj[v as usize] {
-                if !reaches_knot[p as usize] {
-                    reaches_knot[p as usize] = true;
-                    stack.push(p);
-                }
-            }
-        }
-
+        // Dependent census — only meaningful (and only paid for) when a
+        // knot exists: reverse reachability from knot vertices tells which
+        // blocked messages wait into a deadlock.
         let mut dependent = Vec::new();
         if !deadlocks.is_empty() {
+            let n = scratch.csr.num_vertices();
+            let mut radj: Vec<Vec<VertexId>> = vec![Vec::new(); n];
+            for v in 0..n as u32 {
+                for &w in scratch.csr.neighbors(v) {
+                    radj[w as usize].push(v);
+                }
+            }
+            let mut reaches_knot = vec![false; n];
+            let mut stack: Vec<VertexId> = knot_vertices.clone();
+            for &v in &knot_vertices {
+                reaches_knot[v as usize] = true;
+            }
+            while let Some(v) = stack.pop() {
+                for &p in &radj[v as usize] {
+                    if !reaches_knot[p as usize] {
+                        reaches_knot[p as usize] = true;
+                        stack.push(p);
+                    }
+                }
+            }
+
             for msg in self.blocked_messages() {
                 if deadlocked_msgs.contains(&msg) {
                     continue;
                 }
                 let reqs = self.requests_of(msg).unwrap();
-                let hits = reqs
-                    .iter()
-                    .filter(|&&t| reaches_knot[t as usize])
-                    .count();
+                let hits = reqs.iter().filter(|&&t| reaches_knot[t as usize]).count();
                 if hits == 0 {
                     continue;
                 }
@@ -201,6 +253,30 @@ impl WaitGraph {
             dependent,
             num_blocked: self.num_blocked(),
         }
+    }
+
+    /// The deadlock set of every knot, in component-emission order — the
+    /// slimmed re-analysis the recovery loop runs after dropping victims'
+    /// requests in place (it only needs new victims, not knot descriptors
+    /// or the dependent census).
+    pub fn knot_deadlock_sets(&self, scratch: &mut DetectorScratch) -> Vec<Vec<MessageId>> {
+        let nc = scratch.decompose(self);
+        let mut sets = Vec::new();
+        for ci in 0..nc {
+            if !scratch.is_knot(ci) {
+                continue;
+            }
+            let mut dset: Vec<MessageId> = scratch
+                .scc
+                .component(ci as u32)
+                .iter()
+                .filter_map(|&v| self.owner(v))
+                .collect();
+            dset.sort_unstable();
+            dset.dedup();
+            sets.push(dset);
+        }
+        sets
     }
 }
 
@@ -368,5 +444,55 @@ mod tests {
         let a = g.analyze(10);
         assert_eq!(a.deadlocks.len(), 1);
         assert_eq!(a.deadlocks[0].deadlock_set, vec![1, 2]);
+    }
+
+    #[test]
+    fn scratch_reuse_across_epochs_matches_fresh() {
+        let mut scratch = DetectorScratch::new();
+        // Epoch 1: deadlocked graph.
+        let g1 = figure1_like();
+        let a1 = g1.analyze_with(1000, &mut scratch);
+        let f1 = g1.analyze(1000);
+        assert_eq!(a1.deadlocks.len(), f1.deadlocks.len());
+        assert_eq!(a1.deadlocks[0].deadlock_set, f1.deadlocks[0].deadlock_set);
+        assert_eq!(a1.deadlocks[0].knot, f1.deadlocks[0].knot);
+        // Epoch 2 reuses the same scratch on a clean, differently-sized graph.
+        let mut g2 = WaitGraph::new(4);
+        g2.add_chain(1, &[0, 1]);
+        let a2 = g2.analyze_with(1000, &mut scratch);
+        assert!(!a2.has_deadlock());
+        assert!(a2.dependent.is_empty());
+    }
+
+    #[test]
+    fn in_place_victim_removal_matches_rebuild() {
+        // Drop one victim's requests in place; the slim re-analysis must
+        // agree with a full fresh analysis of the mutated graph.
+        let mut scratch = DetectorScratch::new();
+        let mut g = figure1_like();
+        let a = g.analyze_with(1000, &mut scratch);
+        let victim = a.deadlocks[0].deadlock_set[0];
+        assert!(g.remove_requests(victim));
+        let sets = g.knot_deadlock_sets(&mut scratch);
+        assert!(sets.is_empty(), "one victim breaks the single knot");
+        assert!(!g.analyze(1000).has_deadlock());
+    }
+
+    #[test]
+    fn knot_deadlock_sets_reports_residual_knots() {
+        let mut scratch = DetectorScratch::new();
+        // Two independent knots; removing a victim from one leaves the other.
+        let mut g = WaitGraph::new(8);
+        g.add_chain(1, &[0, 1]);
+        g.add_chain(2, &[2, 3]);
+        g.add_requests(1, &[2]);
+        g.add_requests(2, &[0]);
+        g.add_chain(3, &[4, 5]);
+        g.add_chain(4, &[6, 7]);
+        g.add_requests(3, &[6]);
+        g.add_requests(4, &[4]);
+        g.remove_requests(1);
+        let sets = g.knot_deadlock_sets(&mut scratch);
+        assert_eq!(sets, vec![vec![3, 4]]);
     }
 }

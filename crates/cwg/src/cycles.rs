@@ -1,6 +1,7 @@
 //! Capped elementary-cycle counting (Johnson's algorithm).
 
-use crate::scc::scc;
+use crate::adjacency::Adjacency;
+use crate::scc::{scc, SccScratch};
 use crate::VertexId;
 
 /// A possibly-capped cycle count.
@@ -56,12 +57,12 @@ impl std::fmt::Display for CycleCount {
 /// non-trivial component — on CWG snapshots the overwhelming majority of
 /// vertices sit in trivial components, making this far cheaper than running
 /// Johnson on the full vertex range.
-pub fn count_cycles(adj: &[Vec<VertexId>], cap: u64) -> CycleCount {
-    let comps = scc(adj);
+pub fn count_cycles<A: Adjacency + ?Sized>(adj: &A, cap: u64) -> CycleCount {
+    let mut comps = SccScratch::new();
+    comps.run(adj);
     let mut total = CycleCount::Exact(0);
-    for comp in &comps.components {
-        let has_self_loop =
-            comp.len() == 1 && adj[comp[0] as usize].contains(&comp[0]);
+    for comp in comps.components() {
+        let has_self_loop = comp.len() == 1 && adj.neighbors(comp[0]).contains(&comp[0]);
         if comp.len() < 2 && !has_self_loop {
             continue;
         }
@@ -76,7 +77,7 @@ pub fn count_cycles(adj: &[Vec<VertexId>], cap: u64) -> CycleCount {
 }
 
 /// Johnson's algorithm restricted to one SCC, vertices remapped to `0..m`.
-fn count_in_component(adj: &[Vec<VertexId>], comp: &[VertexId], cap: u64) -> CycleCount {
+fn count_in_component<A: Adjacency + ?Sized>(adj: &A, comp: &[VertexId], cap: u64) -> CycleCount {
     let m = comp.len();
     let mut index_of = std::collections::HashMap::with_capacity(m);
     for (i, &v) in comp.iter().enumerate() {
@@ -86,7 +87,7 @@ fn count_in_component(adj: &[Vec<VertexId>], comp: &[VertexId], cap: u64) -> Cyc
     let local: Vec<Vec<u32>> = comp
         .iter()
         .map(|&v| {
-            adj[v as usize]
+            adj.neighbors(v)
                 .iter()
                 .filter_map(|t| index_of.get(t).copied())
                 .collect()
@@ -106,7 +107,11 @@ fn count_in_component(adj: &[Vec<VertexId>], comp: &[VertexId], cap: u64) -> Cyc
                 if v < s {
                     Vec::new()
                 } else {
-                    local[v as usize].iter().copied().filter(|&t| t >= s).collect()
+                    local[v as usize]
+                        .iter()
+                        .copied()
+                        .filter(|&t| t >= s)
+                        .collect()
                 }
             })
             .collect();
@@ -115,9 +120,7 @@ fn count_in_component(adj: &[Vec<VertexId>], comp: &[VertexId], cap: u64) -> Cyc
         let in_k: Vec<bool> = (0..m as u32)
             .map(|v| v >= s && sub_comps.comp_of[v as usize] == s_comp)
             .collect();
-        if sub_comps.components[s_comp as usize].len() < 2
-            && !local[s as usize].contains(&s)
-        {
+        if sub_comps.components[s_comp as usize].len() < 2 && !local[s as usize].contains(&s) {
             continue;
         }
 
@@ -198,7 +201,8 @@ mod tests {
 
     #[test]
     fn empty_and_acyclic() {
-        assert_eq!(count_cycles(&[], 100), CycleCount::Exact(0));
+        let empty: &[Vec<u32>] = &[];
+        assert_eq!(count_cycles(empty, 100), CycleCount::Exact(0));
         let chain = vec![vec![1], vec![2], vec![]];
         assert_eq!(count_cycles(&chain, 100), CycleCount::Exact(0));
     }
@@ -279,13 +283,7 @@ mod tests {
     fn brute_force(adj: &[Vec<u32>]) -> u64 {
         let n = adj.len();
         let mut count = 0u64;
-        fn dfs(
-            adj: &[Vec<u32>],
-            start: u32,
-            v: u32,
-            visited: &mut Vec<bool>,
-            count: &mut u64,
-        ) {
+        fn dfs(adj: &[Vec<u32>], start: u32, v: u32, visited: &mut Vec<bool>, count: &mut u64) {
             for &w in &adj[v as usize] {
                 if w == start {
                     *count += 1;
@@ -312,10 +310,10 @@ mod tests {
         for _ in 0..50 {
             let n = rng.gen_range(2..9);
             let mut adj: Vec<Vec<u32>> = vec![Vec::new(); n];
-            for v in 0..n {
+            for (v, row) in adj.iter_mut().enumerate() {
                 for w in 0..n as u32 {
                     if v as u32 != w && rng.gen_bool(0.3) {
-                        adj[v].push(w);
+                        row.push(w);
                     }
                 }
             }

@@ -1,5 +1,6 @@
 //! The channel wait-for graph structure.
 
+use crate::adjacency::Csr;
 use std::collections::HashMap;
 
 /// A virtual-channel vertex in the CWG. The embedding (which VC of which
@@ -22,32 +23,71 @@ pub struct Edge {
     pub dashed: bool,
 }
 
+/// Sentinel slot for "no owning message".
+const NO_MSG: u32 = u32::MAX;
+
+/// Per-message flat record: ranges into the chain / request pools.
+#[derive(Clone, Copy, Debug)]
+struct MsgEntry {
+    id: MessageId,
+    chain_start: u32,
+    chain_len: u32,
+    req_start: u32,
+    req_len: u32,
+}
+
 /// A snapshot of resource allocations and requests at one instant.
 ///
 /// Built from simulator state at each detection epoch (the paper invokes
 /// detection every 50 cycles). Unlike the dependency graphs of avoidance
 /// theory, this depicts the *dynamic* state — it is generally disconnected.
+///
+/// The graph is **rebuildable in place**: [`reset`](WaitGraph::reset)
+/// clears it while keeping every buffer's capacity, so the per-epoch
+/// rebuild performs no heap allocation once capacities have warmed up.
+/// Message state lives in slot-indexed flat storage (a record table plus
+/// shared chain/request vertex pools) rather than per-message `Vec`s.
 #[derive(Clone, Debug, Default)]
 pub struct WaitGraph {
     adj: Vec<Vec<Edge>>,
-    owner: Vec<Option<MessageId>>,
-    /// All vertices owned by each message, in acquisition order.
-    owned: HashMap<MessageId, Vec<VertexId>>,
-    /// Request targets of each blocked message.
-    requests: HashMap<MessageId, Vec<VertexId>>,
+    /// Vertex -> owning message slot (index into `msgs`), or [`NO_MSG`].
+    owner_slot: Vec<u32>,
+    msgs: Vec<MsgEntry>,
+    /// Message id -> slot; reused across rebuilds (capacity survives
+    /// [`reset`](WaitGraph::reset)).
+    index: HashMap<MessageId, u32>,
+    chain_pool: Vec<VertexId>,
+    req_pool: Vec<VertexId>,
     num_dashed: usize,
 }
 
 impl WaitGraph {
     /// An empty graph over `n` vertices.
     pub fn new(n: usize) -> Self {
-        WaitGraph {
-            adj: vec![Vec::new(); n],
-            owner: vec![None; n],
-            owned: HashMap::new(),
-            requests: HashMap::new(),
-            num_dashed: 0,
+        let mut g = WaitGraph::default();
+        g.reset(n);
+        g
+    }
+
+    /// Clears the graph back to `n` unowned, edgeless vertices, retaining
+    /// every buffer's capacity. Only vertices touched by the previous
+    /// build are visited, so a reset after a sparse epoch is cheap.
+    pub fn reset(&mut self, n: usize) {
+        // Clear per-vertex state at previously owned vertices (edges only
+        // ever originate at owned vertices).
+        for &v in &self.chain_pool {
+            self.adj[v as usize].clear();
+            self.owner_slot[v as usize] = NO_MSG;
         }
+        if self.adj.len() != n {
+            self.adj.resize_with(n, Vec::new);
+            self.owner_slot.resize(n, NO_MSG);
+        }
+        self.msgs.clear();
+        self.index.clear();
+        self.chain_pool.clear();
+        self.req_pool.clear();
+        self.num_dashed = 0;
     }
 
     /// Number of vertices (owned or not).
@@ -63,13 +103,14 @@ impl WaitGraph {
     /// owned, or the message already registered a chain.
     pub fn add_chain(&mut self, msg: MessageId, chain: &[VertexId]) {
         assert!(!chain.is_empty(), "ownership chain may not be empty");
+        let slot = self.msgs.len() as u32;
         for &v in chain {
             assert!((v as usize) < self.adj.len(), "vertex {v} out of range");
             assert!(
-                self.owner[v as usize].is_none(),
+                self.owner_slot[v as usize] == NO_MSG,
                 "vertex {v} already owned"
             );
-            self.owner[v as usize] = Some(msg);
+            self.owner_slot[v as usize] = slot;
         }
         for w in chain.windows(2) {
             self.adj[w[0] as usize].push(Edge {
@@ -78,8 +119,17 @@ impl WaitGraph {
                 dashed: false,
             });
         }
-        let prev = self.owned.insert(msg, chain.to_vec());
+        let chain_start = self.chain_pool.len() as u32;
+        self.chain_pool.extend_from_slice(chain);
+        let prev = self.index.insert(msg, slot);
         assert!(prev.is_none(), "message {msg} registered twice");
+        self.msgs.push(MsgEntry {
+            id: msg,
+            chain_start,
+            chain_len: chain.len() as u32,
+            req_start: 0,
+            req_len: 0,
+        });
     }
 
     /// Records that blocked message `msg` (whose chain must already be
@@ -91,12 +141,13 @@ impl WaitGraph {
     /// of range.
     pub fn add_requests(&mut self, msg: MessageId, targets: &[VertexId]) {
         assert!(!targets.is_empty(), "a blocked message waits for something");
-        let head = *self
-            .owned
+        let &slot = self
+            .index
             .get(&msg)
-            .expect("requests require an ownership chain")
-            .last()
-            .unwrap();
+            .expect("requests require an ownership chain");
+        let entry = self.msgs[slot as usize];
+        assert!(entry.req_len == 0, "message {msg} requested twice");
+        let head = self.chain_pool[(entry.chain_start + entry.chain_len - 1) as usize];
         for &t in targets {
             assert!((t as usize) < self.adj.len(), "vertex {t} out of range");
             self.adj[head as usize].push(Edge {
@@ -106,8 +157,33 @@ impl WaitGraph {
             });
         }
         self.num_dashed += targets.len();
-        let prev = self.requests.insert(msg, targets.to_vec());
-        assert!(prev.is_none(), "message {msg} requested twice");
+        let e = &mut self.msgs[slot as usize];
+        e.req_start = self.req_pool.len() as u32;
+        e.req_len = targets.len() as u32;
+        self.req_pool.extend_from_slice(targets);
+    }
+
+    /// Removes the dashed request arcs of `msg` in place, turning its chain
+    /// into a CWG sink — exactly how an in-progress recovery victim stops
+    /// waiting while still owning its chain. Returns `false` when `msg` is
+    /// unknown or had no requests.
+    ///
+    /// The resulting graph is edge-for-edge identical to one freshly built
+    /// from the same snapshot with `msg`'s requests omitted, which is what
+    /// makes the recovery loop's incremental re-analysis exact.
+    pub fn remove_requests(&mut self, msg: MessageId) -> bool {
+        let Some(&slot) = self.index.get(&msg) else {
+            return false;
+        };
+        let entry = self.msgs[slot as usize];
+        if entry.req_len == 0 {
+            return false;
+        }
+        let head = self.chain_pool[(entry.chain_start + entry.chain_len - 1) as usize];
+        self.adj[head as usize].retain(|e| !(e.dashed && e.msg == msg));
+        self.num_dashed -= entry.req_len as usize;
+        self.msgs[slot as usize].req_len = 0;
+        true
     }
 
     /// Outgoing arcs of a vertex.
@@ -119,32 +195,42 @@ impl WaitGraph {
     /// The message owning `v`, if any.
     #[inline]
     pub fn owner(&self, v: VertexId) -> Option<MessageId> {
-        self.owner[v as usize]
+        match self.owner_slot[v as usize] {
+            NO_MSG => None,
+            slot => Some(self.msgs[slot as usize].id),
+        }
     }
 
     /// The chain owned by `msg` (acquisition order), if registered.
     pub fn chain(&self, msg: MessageId) -> Option<&[VertexId]> {
-        self.owned.get(&msg).map(|v| v.as_slice())
+        let &slot = self.index.get(&msg)?;
+        let e = self.msgs[slot as usize];
+        Some(&self.chain_pool[e.chain_start as usize..(e.chain_start + e.chain_len) as usize])
     }
 
     /// Request targets of `msg`, if it is blocked.
     pub fn requests_of(&self, msg: MessageId) -> Option<&[VertexId]> {
-        self.requests.get(&msg).map(|v| v.as_slice())
+        let &slot = self.index.get(&msg)?;
+        let e = self.msgs[slot as usize];
+        if e.req_len == 0 {
+            return None;
+        }
+        Some(&self.req_pool[e.req_start as usize..(e.req_start + e.req_len) as usize])
     }
 
     /// Messages with registered requests (the blocked messages).
     pub fn blocked_messages(&self) -> impl Iterator<Item = MessageId> + '_ {
-        self.requests.keys().copied()
+        self.msgs.iter().filter(|e| e.req_len > 0).map(|e| e.id)
     }
 
     /// Number of blocked messages in the snapshot.
     pub fn num_blocked(&self) -> usize {
-        self.requests.len()
+        self.msgs.iter().filter(|e| e.req_len > 0).count()
     }
 
     /// All registered messages (owners of at least one vertex).
     pub fn messages(&self) -> impl Iterator<Item = MessageId> + '_ {
-        self.owned.keys().copied()
+        self.msgs.iter().map(|e| e.id)
     }
 
     /// Total dashed (request) arcs — the CWG "fan-out" mass.
@@ -156,15 +242,18 @@ impl WaitGraph {
     /// (capped at `cap`). The paper uses this as the congestion precursor
     /// metric when no deadlock exists — cyclic non-deadlocks (§2.2.3).
     pub fn count_cycles(&self, cap: u64) -> crate::CycleCount {
-        crate::count_cycles(&self.adjacency(), cap)
+        let mut csr = Csr::new();
+        self.build_csr(&mut csr);
+        crate::count_cycles(&csr, cap)
     }
 
-    /// Plain adjacency (targets only), for the SCC / cycle algorithms.
-    pub(crate) fn adjacency(&self) -> Vec<Vec<VertexId>> {
-        self.adj
-            .iter()
-            .map(|es| es.iter().map(|e| e.to).collect())
-            .collect()
+    /// Refills `csr` with the targets-only adjacency, shared by the SCC,
+    /// knot, and cycle algorithms (no allocation once warmed up).
+    pub fn build_csr(&self, csr: &mut Csr) {
+        csr.reset(self.adj.len());
+        for es in &self.adj {
+            csr.push_vertex(es.iter().map(|e| e.to));
+        }
     }
 }
 
@@ -176,8 +265,22 @@ mod tests {
     fn chain_adds_solid_edges() {
         let mut g = WaitGraph::new(4);
         g.add_chain(1, &[0, 1, 2]);
-        assert_eq!(g.edges(0), &[Edge { to: 1, msg: 1, dashed: false }]);
-        assert_eq!(g.edges(1), &[Edge { to: 2, msg: 1, dashed: false }]);
+        assert_eq!(
+            g.edges(0),
+            &[Edge {
+                to: 1,
+                msg: 1,
+                dashed: false
+            }]
+        );
+        assert_eq!(
+            g.edges(1),
+            &[Edge {
+                to: 2,
+                msg: 1,
+                dashed: false
+            }]
+        );
         assert!(g.edges(2).is_empty());
         assert_eq!(g.owner(0), Some(1));
         assert_eq!(g.owner(3), None);
@@ -201,7 +304,14 @@ mod tests {
         let mut g = WaitGraph::new(2);
         g.add_chain(9, &[1]);
         g.add_requests(9, &[0]);
-        assert_eq!(g.edges(1), &[Edge { to: 0, msg: 9, dashed: true }]);
+        assert_eq!(
+            g.edges(1),
+            &[Edge {
+                to: 0,
+                msg: 9,
+                dashed: true
+            }]
+        );
     }
 
     #[test]
@@ -225,5 +335,89 @@ mod tests {
     fn requests_without_chain_rejected() {
         let mut g = WaitGraph::new(3);
         g.add_requests(1, &[0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "requested twice")]
+    fn double_requests_rejected() {
+        let mut g = WaitGraph::new(3);
+        g.add_chain(1, &[0]);
+        g.add_requests(1, &[1]);
+        g.add_requests(1, &[2]);
+    }
+
+    #[test]
+    fn reset_clears_and_reuses() {
+        let mut g = WaitGraph::new(6);
+        g.add_chain(1, &[0, 1]);
+        g.add_chain(2, &[3]);
+        g.add_requests(1, &[3]);
+        g.reset(6);
+        assert_eq!(g.num_vertices(), 6);
+        assert_eq!(g.num_blocked(), 0);
+        assert_eq!(g.num_requests(), 0);
+        for v in 0..6 {
+            assert_eq!(g.owner(v), None, "vertex {v} still owned after reset");
+            assert!(g.edges(v).is_empty());
+        }
+        assert_eq!(g.chain(1), None);
+        // The same ids and vertices can be registered again.
+        g.add_chain(1, &[1, 2]);
+        g.add_requests(1, &[0]);
+        assert_eq!(g.chain(1), Some(&[1, 2][..]));
+        assert_eq!(g.requests_of(1), Some(&[0][..]));
+    }
+
+    #[test]
+    fn reset_can_resize() {
+        let mut g = WaitGraph::new(2);
+        g.add_chain(5, &[1]);
+        g.reset(8);
+        assert_eq!(g.num_vertices(), 8);
+        g.add_chain(5, &[7]);
+        assert_eq!(g.owner(7), Some(5));
+        g.reset(3);
+        assert_eq!(g.num_vertices(), 3);
+        assert_eq!(g.owner(1), None);
+    }
+
+    #[test]
+    fn remove_requests_matches_fresh_build() {
+        let mut g = WaitGraph::new(6);
+        g.add_chain(1, &[0, 1]);
+        g.add_chain(2, &[2, 3]);
+        g.add_requests(1, &[2]);
+        g.add_requests(2, &[0]);
+        assert!(g.remove_requests(1));
+        assert!(!g.remove_requests(1), "second removal is a no-op");
+        assert!(!g.remove_requests(99), "unknown message is a no-op");
+
+        let mut fresh = WaitGraph::new(6);
+        fresh.add_chain(1, &[0, 1]);
+        fresh.add_chain(2, &[2, 3]);
+        fresh.add_requests(2, &[0]);
+        for v in 0..6u32 {
+            assert_eq!(g.edges(v), fresh.edges(v), "vertex {v} edges diverge");
+        }
+        assert_eq!(g.num_requests(), fresh.num_requests());
+        assert_eq!(g.num_blocked(), fresh.num_blocked());
+        assert_eq!(g.requests_of(1), None);
+        assert_eq!(g.requests_of(2), Some(&[0][..]));
+    }
+
+    #[test]
+    fn csr_matches_edge_lists() {
+        use crate::adjacency::{Adjacency, Csr};
+        let mut g = WaitGraph::new(5);
+        g.add_chain(1, &[0, 1, 2]);
+        g.add_requests(1, &[4]);
+        g.add_chain(2, &[4]);
+        let mut csr = Csr::new();
+        g.build_csr(&mut csr);
+        assert_eq!(csr.num_vertices(), 5);
+        for v in 0..5u32 {
+            let expect: Vec<u32> = g.edges(v).iter().map(|e| e.to).collect();
+            assert_eq!(csr.neighbors(v), expect.as_slice(), "vertex {v}");
+        }
     }
 }

@@ -45,13 +45,15 @@
 //! assert_eq!(d.kind(), DeadlockKind::SingleCycle);
 //! ```
 
+mod adjacency;
 mod analysis;
 mod cycles;
 mod dot;
 mod graph;
 mod scc;
 
-pub use analysis::{Analysis, Deadlock, DeadlockKind, DependentKind};
+pub use adjacency::{Adjacency, Csr};
+pub use analysis::{Analysis, Deadlock, DeadlockKind, DependentKind, DetectorScratch};
 pub use cycles::{count_cycles, CycleCount};
 pub use graph::{Edge, MessageId, VertexId, WaitGraph};
-pub use scc::{scc, SccResult};
+pub use scc::{scc, SccResult, SccScratch};

@@ -1,6 +1,9 @@
 //! Iterative Tarjan strongly-connected components.
 
+use crate::adjacency::Adjacency;
 use crate::VertexId;
+
+const UNVISITED: u32 = u32::MAX;
 
 /// Result of an SCC decomposition.
 #[derive(Clone, Debug)]
@@ -26,76 +29,140 @@ impl SccResult {
     }
 }
 
-/// Computes strongly connected components of `adj` (vertices `0..adj.len()`).
+/// Reusable state for repeated SCC runs.
 ///
-/// Implemented iteratively: deep chains of waiting messages would overflow
-/// the call stack of the textbook recursive formulation on large networks.
-pub fn scc(adj: &[Vec<VertexId>]) -> SccResult {
-    let n = adj.len();
-    const UNVISITED: u32 = u32::MAX;
-    let mut index = vec![UNVISITED; n];
-    let mut lowlink = vec![0u32; n];
-    let mut on_stack = vec![false; n];
-    let mut stack: Vec<u32> = Vec::new();
-    let mut comp_of = vec![0u32; n];
-    let mut components: Vec<Vec<VertexId>> = Vec::new();
-    let mut next_index = 0u32;
+/// The detection loop decomposes a similarly-sized CWG every epoch, so all
+/// of Tarjan's working arrays — plus the output, stored as a component CSR
+/// (`comp_offsets`/`comp_vertices`) instead of a `Vec` per component — live
+/// here and are refilled in place: the steady state allocates nothing.
+#[derive(Clone, Debug, Default)]
+pub struct SccScratch {
+    index: Vec<u32>,
+    lowlink: Vec<u32>,
+    on_stack: Vec<bool>,
+    stack: Vec<u32>,
+    /// Explicit DFS frames: (vertex, next child edge to explore).
+    frames: Vec<(u32, usize)>,
+    comp_of: Vec<u32>,
+    comp_offsets: Vec<u32>,
+    comp_vertices: Vec<VertexId>,
+}
 
-    // Explicit DFS frames: (vertex, next child edge to explore).
-    let mut frames: Vec<(u32, usize)> = Vec::new();
+impl SccScratch {
+    /// Empty scratch; capacities grow on first use and are then reused.
+    pub fn new() -> Self {
+        Self::default()
+    }
 
-    for start in 0..n as u32 {
-        if index[start as usize] != UNVISITED {
-            continue;
-        }
-        frames.push((start, 0));
-        index[start as usize] = next_index;
-        lowlink[start as usize] = next_index;
-        next_index += 1;
-        stack.push(start);
-        on_stack[start as usize] = true;
+    /// Decomposes `adj` (vertices `0..n`), replacing any previous result.
+    ///
+    /// Implemented iteratively: deep chains of waiting messages would
+    /// overflow the call stack of the textbook recursive formulation on
+    /// large networks.
+    pub fn run<A: Adjacency + ?Sized>(&mut self, adj: &A) {
+        let n = adj.num_vertices();
+        self.index.clear();
+        self.index.resize(n, UNVISITED);
+        self.lowlink.clear();
+        self.lowlink.resize(n, 0);
+        self.on_stack.clear();
+        self.on_stack.resize(n, false);
+        self.stack.clear();
+        self.frames.clear();
+        self.comp_of.clear();
+        self.comp_of.resize(n, 0);
+        self.comp_offsets.clear();
+        self.comp_offsets.push(0);
+        self.comp_vertices.clear();
+        let mut next_index = 0u32;
 
-        while let Some(&mut (v, ref mut ei)) = frames.last_mut() {
-            if *ei < adj[v as usize].len() {
-                let w = adj[v as usize][*ei];
-                *ei += 1;
-                if index[w as usize] == UNVISITED {
-                    index[w as usize] = next_index;
-                    lowlink[w as usize] = next_index;
-                    next_index += 1;
-                    stack.push(w);
-                    on_stack[w as usize] = true;
-                    frames.push((w, 0));
-                } else if on_stack[w as usize] {
-                    lowlink[v as usize] = lowlink[v as usize].min(index[w as usize]);
-                }
-            } else {
-                frames.pop();
-                if let Some(&mut (parent, _)) = frames.last_mut() {
-                    lowlink[parent as usize] =
-                        lowlink[parent as usize].min(lowlink[v as usize]);
-                }
-                if lowlink[v as usize] == index[v as usize] {
-                    let comp_id = components.len() as u32;
-                    let mut comp = Vec::new();
-                    loop {
-                        let w = stack.pop().expect("tarjan stack underflow");
-                        on_stack[w as usize] = false;
-                        comp_of[w as usize] = comp_id;
-                        comp.push(w);
-                        if w == v {
-                            break;
-                        }
+        for start in 0..n as u32 {
+            if self.index[start as usize] != UNVISITED {
+                continue;
+            }
+            self.frames.push((start, 0));
+            self.index[start as usize] = next_index;
+            self.lowlink[start as usize] = next_index;
+            next_index += 1;
+            self.stack.push(start);
+            self.on_stack[start as usize] = true;
+
+            while let Some(&mut (v, ref mut ei)) = self.frames.last_mut() {
+                let outs = adj.neighbors(v);
+                if *ei < outs.len() {
+                    let w = outs[*ei];
+                    *ei += 1;
+                    if self.index[w as usize] == UNVISITED {
+                        self.index[w as usize] = next_index;
+                        self.lowlink[w as usize] = next_index;
+                        next_index += 1;
+                        self.stack.push(w);
+                        self.on_stack[w as usize] = true;
+                        self.frames.push((w, 0));
+                    } else if self.on_stack[w as usize] {
+                        self.lowlink[v as usize] =
+                            self.lowlink[v as usize].min(self.index[w as usize]);
                     }
-                    components.push(comp);
+                } else {
+                    self.frames.pop();
+                    if let Some(&mut (parent, _)) = self.frames.last_mut() {
+                        self.lowlink[parent as usize] =
+                            self.lowlink[parent as usize].min(self.lowlink[v as usize]);
+                    }
+                    if self.lowlink[v as usize] == self.index[v as usize] {
+                        let comp_id = (self.comp_offsets.len() - 1) as u32;
+                        loop {
+                            let w = self.stack.pop().expect("tarjan stack underflow");
+                            self.on_stack[w as usize] = false;
+                            self.comp_of[w as usize] = comp_id;
+                            self.comp_vertices.push(w);
+                            if w == v {
+                                break;
+                            }
+                        }
+                        self.comp_offsets.push(self.comp_vertices.len() as u32);
+                    }
                 }
             }
         }
     }
 
+    /// Number of components of the last run.
+    pub fn num_components(&self) -> usize {
+        self.comp_offsets.len().saturating_sub(1)
+    }
+
+    /// Component index of `v` (reverse topological numbering).
+    #[inline]
+    pub fn comp_of(&self, v: VertexId) -> u32 {
+        self.comp_of[v as usize]
+    }
+
+    /// Vertices of component `c`, in Tarjan pop order.
+    #[inline]
+    pub fn component(&self, c: u32) -> &[VertexId] {
+        let s = self.comp_offsets[c as usize] as usize;
+        let e = self.comp_offsets[c as usize + 1] as usize;
+        &self.comp_vertices[s..e]
+    }
+
+    /// Iterates components in emission (reverse topological) order.
+    pub fn components(&self) -> impl Iterator<Item = &[VertexId]> {
+        (0..self.num_components() as u32).map(move |c| self.component(c))
+    }
+}
+
+/// Computes strongly connected components of `adj` (vertices `0..adj.len()`).
+///
+/// Convenience wrapper over [`SccScratch`] that allocates fresh scratch and
+/// copies the result out; repeated callers (the detection loop) hold a
+/// scratch instead.
+pub fn scc(adj: &[Vec<VertexId>]) -> SccResult {
+    let mut scratch = SccScratch::new();
+    scratch.run(adj);
     SccResult {
-        comp_of,
-        components,
+        comp_of: scratch.comp_of.clone(),
+        components: scratch.components().map(<[VertexId]>::to_vec).collect(),
     }
 }
 
@@ -171,7 +238,13 @@ mod tests {
         // 100k-vertex path: would blow the stack if recursion were used.
         let n = 100_000;
         let adj: Vec<Vec<u32>> = (0..n as u32)
-            .map(|v| if v + 1 < n as u32 { vec![v + 1] } else { vec![] })
+            .map(|v| {
+                if v + 1 < n as u32 {
+                    vec![v + 1]
+                } else {
+                    vec![]
+                }
+            })
             .collect();
         let r = scc(&adj);
         assert_eq!(r.len(), n);
@@ -182,5 +255,27 @@ mod tests {
         let adj = vec![vec![0], vec![]];
         let r = scc(&adj);
         assert_eq!(r.len(), 2);
+    }
+
+    #[test]
+    fn scratch_reuse_matches_fresh_runs() {
+        let graphs: Vec<Vec<Vec<u32>>> = vec![
+            vec![vec![1], vec![2], vec![0]],
+            vec![vec![1], vec![0, 2], vec![3], vec![2]],
+            vec![],
+            vec![vec![0]],
+        ];
+        let mut scratch = SccScratch::new();
+        for adj in &graphs {
+            scratch.run(adj);
+            let fresh = scc(adj);
+            assert_eq!(scratch.num_components(), fresh.len());
+            for (c, comp) in fresh.components.iter().enumerate() {
+                assert_eq!(scratch.component(c as u32), comp.as_slice());
+            }
+            for v in 0..adj.len() as u32 {
+                assert_eq!(scratch.comp_of(v), fresh.comp_of[v as usize]);
+            }
+        }
     }
 }

@@ -1,0 +1,157 @@
+//! Property test: the rebuild-in-place + CSR detection path produces an
+//! analysis identical to a fresh `WaitGraph` built from the same snapshot.
+//!
+//! One `WaitGraph` and one `DetectorScratch` are reused across several
+//! consecutive random "epochs" per case — exactly the detection loop's
+//! usage — so stale state from any previous rebuild would be caught.
+
+use std::collections::HashSet;
+
+use icn_cwg::{Analysis, DetectorScratch, WaitGraph};
+use proptest::prelude::*;
+
+/// A randomly generated wait-for snapshot: vertex count, ownership chains,
+/// and per-message requests (parallel to chains; empty = not blocked).
+#[derive(Clone, Debug)]
+struct RandomCwg {
+    n: usize,
+    chains: Vec<Vec<u32>>,
+    requests: Vec<Vec<u32>>,
+}
+
+fn random_cwg(seed: u64, n: usize) -> RandomCwg {
+    // Deterministic pseudo-random construction from the seed.
+    let mut state = seed | 1;
+    let mut next = move |m: usize| {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        ((state >> 33) as usize) % m.max(1)
+    };
+    let mut free: Vec<u32> = (0..n as u32).collect();
+    let mut chains = Vec::new();
+    let mut requests = Vec::new();
+    while free.len() > 2 && chains.len() < n / 2 {
+        let len = 1 + next(3.min(free.len() - 1));
+        let chain: Vec<u32> = (0..len)
+            .map(|_| {
+                let i = next(free.len());
+                free.swap_remove(i)
+            })
+            .collect();
+        chains.push(chain);
+        requests.push(Vec::new());
+    }
+    for i in 0..chains.len() {
+        if next(4) == 0 {
+            continue; // moving message
+        }
+        let own: HashSet<u32> = chains[i].iter().copied().collect();
+        let mut req = Vec::new();
+        for _ in 0..(1 + next(3)) {
+            let t = next(n) as u32;
+            if !own.contains(&t) && !req.contains(&t) {
+                req.push(t);
+            }
+        }
+        requests[i] = req;
+    }
+    RandomCwg {
+        n,
+        chains,
+        requests,
+    }
+}
+
+fn fill(g: &mut WaitGraph, cwg: &RandomCwg) {
+    for (i, chain) in cwg.chains.iter().enumerate() {
+        g.add_chain(i as u64 + 1, chain);
+    }
+    for (i, req) in cwg.requests.iter().enumerate() {
+        if !req.is_empty() {
+            g.add_requests(i as u64 + 1, req);
+        }
+    }
+}
+
+fn assert_same_analysis(got: &Analysis, expected: &Analysis) {
+    assert_eq!(got.num_blocked, expected.num_blocked);
+    assert_eq!(got.dependent, expected.dependent);
+    assert_eq!(got.deadlocks.len(), expected.deadlocks.len());
+    for (g, e) in got.deadlocks.iter().zip(expected.deadlocks.iter()) {
+        assert_eq!(g.knot, e.knot);
+        assert_eq!(g.deadlock_set, e.deadlock_set);
+        assert_eq!(g.resource_set, e.resource_set);
+        assert_eq!(g.cycle_density, e.cycle_density);
+        assert_eq!(g.kind(), e.kind());
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn rebuild_in_place_matches_fresh(seed in any::<u64>()) {
+        let mut reused = WaitGraph::new(0);
+        let mut scratch = DetectorScratch::new();
+        // Several epochs of different sizes through the same storage.
+        for epoch in 0..4u64 {
+            let n = 6 + ((seed ^ epoch.wrapping_mul(0x9e3779b97f4a7c15)) % 34) as usize;
+            let cwg = random_cwg(seed.wrapping_add(epoch), n);
+
+            let mut fresh = WaitGraph::new(cwg.n);
+            fill(&mut fresh, &cwg);
+            let expected = fresh.analyze(10_000);
+
+            reused.reset(cwg.n);
+            fill(&mut reused, &cwg);
+            let got = reused.analyze_with(10_000, &mut scratch);
+
+            assert_same_analysis(&got, &expected);
+        }
+    }
+
+    #[test]
+    fn in_place_victim_removal_matches_excluding_rebuild(seed in any::<u64>()) {
+        let mut scratch = DetectorScratch::new();
+        let cwg = random_cwg(seed, 6 + (seed % 30) as usize);
+
+        let mut g = WaitGraph::new(cwg.n);
+        fill(&mut g, &cwg);
+        let analysis = g.analyze_with(10_000, &mut scratch);
+        prop_assume!(analysis.has_deadlock());
+
+        // Remove one victim per knot in place, as the recovery loop does.
+        let mut victims: Vec<u64> = Vec::new();
+        for d in &analysis.deadlocks {
+            let v = d.deadlock_set[0];
+            assert!(g.remove_requests(v), "deadlock-set member must be blocked");
+            victims.push(v);
+        }
+        let residual_sets = g.knot_deadlock_sets(&mut scratch);
+
+        // Reference: rebuild from scratch with the victims' requests dropped.
+        let mut rebuilt = WaitGraph::new(cwg.n);
+        for (i, chain) in cwg.chains.iter().enumerate() {
+            rebuilt.add_chain(i as u64 + 1, chain);
+        }
+        for (i, req) in cwg.requests.iter().enumerate() {
+            let id = i as u64 + 1;
+            if !req.is_empty() && !victims.contains(&id) {
+                rebuilt.add_requests(id, req);
+            }
+        }
+        let reference = rebuilt.analyze(10_000);
+        let reference_sets: Vec<Vec<u64>> = reference
+            .deadlocks
+            .iter()
+            .map(|d| d.deadlock_set.clone())
+            .collect();
+        assert_eq!(residual_sets, reference_sets);
+
+        // Edge-for-edge equality, the stronger invariant behind it.
+        for v in 0..cwg.n as u32 {
+            assert_eq!(g.edges(v), rebuilt.edges(v), "vertex {v} edges diverge");
+        }
+    }
+}

@@ -150,7 +150,7 @@ mod tests {
         let q50 = h.quantile(0.5);
         let q99 = h.quantile(0.99);
         assert!(q10 <= q50 && q50 <= q99);
-        assert!(q50 >= 255 && q50 <= 1023, "median bucket bound {q50}");
+        assert!((255..=1023).contains(&q50), "median bucket bound {q50}");
     }
 
     #[test]

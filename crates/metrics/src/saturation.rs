@@ -13,9 +13,7 @@ pub const SATURATION_EFFICIENCY: f64 = 0.95;
 pub fn saturation_point(points: &[(f64, f64)]) -> Option<f64> {
     points
         .iter()
-        .find(|&&(offered, accepted)| {
-            offered > 0.0 && accepted < SATURATION_EFFICIENCY * offered
-        })
+        .find(|&&(offered, accepted)| offered > 0.0 && accepted < SATURATION_EFFICIENCY * offered)
         .map(|&(offered, _)| offered)
 }
 

@@ -32,13 +32,7 @@ impl RoutingAlgorithm for DatelineDor {
         2
     }
 
-    fn candidates(
-        &self,
-        topo: &KAryNCube,
-        vcs: usize,
-        ctx: &RoutingCtx,
-        out: &mut Vec<Candidate>,
-    ) {
+    fn candidates(&self, topo: &KAryNCube, vcs: usize, ctx: &RoutingCtx, out: &mut Vec<Candidate>) {
         debug_assert!(vcs >= self.min_vcs());
         if let Some((ch, dim)) = Dor::next_hop(topo, ctx) {
             // Meshes have no wraparound, so the class split only matters on

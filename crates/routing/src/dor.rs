@@ -17,10 +17,7 @@ impl Dor {
     /// The single DOR output for `ctx`, or `None` when already at the
     /// destination. Exposed so avoidance baselines (dateline, Duato escape)
     /// can reuse the same dimension-order next hop.
-    pub fn next_hop(
-        topo: &KAryNCube,
-        ctx: &RoutingCtx,
-    ) -> Option<(icn_topology::ChannelId, u8)> {
+    pub fn next_hop(topo: &KAryNCube, ctx: &RoutingCtx) -> Option<(icn_topology::ChannelId, u8)> {
         for dim in 0..topo.n() {
             let dir = match topo.routing_offset(ctx.current, ctx.dst, dim) {
                 RoutingOffset::Zero => continue,
@@ -47,13 +44,7 @@ impl RoutingAlgorithm for Dor {
         false
     }
 
-    fn candidates(
-        &self,
-        topo: &KAryNCube,
-        vcs: usize,
-        ctx: &RoutingCtx,
-        out: &mut Vec<Candidate>,
-    ) {
+    fn candidates(&self, topo: &KAryNCube, vcs: usize, ctx: &RoutingCtx, out: &mut Vec<Candidate>) {
         if let Some((ch, _)) = Self::next_hop(topo, ctx) {
             out.push(Candidate {
                 channel: ch,

@@ -33,13 +33,7 @@ impl RoutingAlgorithm for DuatoFar {
         3
     }
 
-    fn candidates(
-        &self,
-        topo: &KAryNCube,
-        vcs: usize,
-        ctx: &RoutingCtx,
-        out: &mut Vec<Candidate>,
-    ) {
+    fn candidates(&self, topo: &KAryNCube, vcs: usize, ctx: &RoutingCtx, out: &mut Vec<Candidate>) {
         debug_assert!(vcs >= self.min_vcs());
         // Adaptive layer: every profitable channel, VCs 2..V.
         let mut chans = Vec::with_capacity(2 * topo.n());

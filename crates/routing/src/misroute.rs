@@ -36,24 +36,22 @@ impl RoutingAlgorithm for MisroutingTfar {
         true
     }
 
-    fn candidates(
-        &self,
-        topo: &KAryNCube,
-        vcs: usize,
-        ctx: &RoutingCtx,
-        out: &mut Vec<Candidate>,
-    ) {
+    fn candidates(&self, topo: &KAryNCube, vcs: usize, ctx: &RoutingCtx, out: &mut Vec<Candidate>) {
         let mask = VcMask::all(vcs);
         let mut profitable = Vec::with_capacity(2 * topo.n());
         profitable_channels(topo, ctx, &mut profitable);
-        out.extend(profitable.iter().map(|&(channel, _)| Candidate {
-            channel,
-            vcs: mask,
-        }));
+        out.extend(
+            profitable
+                .iter()
+                .map(|&(channel, _)| Candidate { channel, vcs: mask }),
+        );
         if ctx.misroutes < self.max_misroutes {
             for &ch in topo.channels_from(ctx.current) {
                 if profitable.iter().all(|&(p, _)| p != ch) {
-                    out.push(Candidate { channel: ch, vcs: mask });
+                    out.push(Candidate {
+                        channel: ch,
+                        vcs: mask,
+                    });
                 }
             }
         }

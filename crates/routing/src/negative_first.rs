@@ -26,13 +26,7 @@ impl RoutingAlgorithm for NegativeFirst {
         true
     }
 
-    fn candidates(
-        &self,
-        topo: &KAryNCube,
-        vcs: usize,
-        ctx: &RoutingCtx,
-        out: &mut Vec<Candidate>,
-    ) {
+    fn candidates(&self, topo: &KAryNCube, vcs: usize, ctx: &RoutingCtx, out: &mut Vec<Candidate>) {
         debug_assert!(!topo.is_torus(), "turn model applies to meshes");
         let mask = VcMask::all(vcs);
         let mut dirs: Vec<(usize, Direction)> = Vec::with_capacity(topo.n());
@@ -49,7 +43,10 @@ impl RoutingAlgorithm for NegativeFirst {
             let ch = topo
                 .channel_from(ctx.current, dim, dir)
                 .expect("mesh interior channel");
-            out.push(Candidate { channel: ch, vcs: mask });
+            out.push(Candidate {
+                channel: ch,
+                vcs: mask,
+            });
         }
         if let Some(last) = ctx.last_dim {
             out.sort_by_key(|c| topo.channel(c.channel).dim != last);

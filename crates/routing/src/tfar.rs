@@ -54,13 +54,7 @@ impl RoutingAlgorithm for Tfar {
         true
     }
 
-    fn candidates(
-        &self,
-        topo: &KAryNCube,
-        vcs: usize,
-        ctx: &RoutingCtx,
-        out: &mut Vec<Candidate>,
-    ) {
+    fn candidates(&self, topo: &KAryNCube, vcs: usize, ctx: &RoutingCtx, out: &mut Vec<Candidate>) {
         let mut chans = Vec::with_capacity(2 * topo.n());
         profitable_channels(topo, ctx, &mut chans);
         out.extend(chans.into_iter().map(|(channel, _)| Candidate {
@@ -88,10 +82,7 @@ mod tests {
         let dst = t.node_at(&Coords::new(&[2, 3]));
         let cands = route(&t, &RoutingCtx::fresh(cur, dst, cur));
         assert_eq!(cands.len(), 2);
-        let dims: Vec<u8> = cands
-            .iter()
-            .map(|c| t.channel(c.channel).dim)
-            .collect();
+        let dims: Vec<u8> = cands.iter().map(|c| t.channel(c.channel).dim).collect();
         assert_eq!(dims, vec![0, 1]);
     }
 

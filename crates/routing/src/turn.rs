@@ -25,13 +25,7 @@ impl RoutingAlgorithm for WestFirst {
         true
     }
 
-    fn candidates(
-        &self,
-        topo: &KAryNCube,
-        vcs: usize,
-        ctx: &RoutingCtx,
-        out: &mut Vec<Candidate>,
-    ) {
+    fn candidates(&self, topo: &KAryNCube, vcs: usize, ctx: &RoutingCtx, out: &mut Vec<Candidate>) {
         debug_assert!(!topo.is_torus(), "turn model applies to meshes");
         debug_assert_eq!(topo.n(), 2, "west-first is defined for 2-D meshes");
         let mask = VcMask::all(vcs);
@@ -42,7 +36,10 @@ impl RoutingAlgorithm for WestFirst {
             let ch = topo
                 .channel_from(ctx.current, 0, Direction::Minus)
                 .expect("mesh interior channel");
-            out.push(Candidate { channel: ch, vcs: mask });
+            out.push(Candidate {
+                channel: ch,
+                vcs: mask,
+            });
             return;
         }
         // Otherwise fully adaptive among the profitable non-west directions.
@@ -51,7 +48,10 @@ impl RoutingAlgorithm for WestFirst {
                 let ch = topo
                     .channel_from(ctx.current, dim, dir)
                     .expect("mesh interior channel");
-                out.push(Candidate { channel: ch, vcs: mask });
+                out.push(Candidate {
+                    channel: ch,
+                    vcs: mask,
+                });
             }
         }
         if let Some(last) = ctx.last_dim {

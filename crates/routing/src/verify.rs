@@ -71,7 +71,7 @@ pub fn channel_dependency_graph(
             }
             let key = (node, bits);
             // Expand candidates once per state.
-            if !state_cands.contains_key(&key) {
+            if let std::collections::hash_map::Entry::Vacant(entry) = state_cands.entry(key) {
                 let ctx = RoutingCtx {
                     src: node, // relations here never read src
                     dst,
@@ -105,7 +105,7 @@ pub fn channel_dependency_graph(
                         queue.push_back((info.dst, nbits, Some((base + v) as u32)));
                     }
                 }
-                state_cands.insert(key, outs);
+                entry.insert(outs);
                 state_in.insert(key, HashSet::new());
             }
             // Record the incoming VC and emit its dependency edges.

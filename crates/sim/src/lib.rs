@@ -62,5 +62,5 @@ pub use config::SimConfig;
 pub use events::{DeliveredMsg, StepEvents};
 pub use message::{MessageId, MessageInfo, MsgPhase};
 pub use network::Network;
-pub use snapshot::{SnapshotMsg, WaitSnapshot};
+pub use snapshot::{ArenaMsg, SnapshotArena, SnapshotMsg, WaitSnapshot};
 pub use trace::TraceEvent;

@@ -238,10 +238,7 @@ impl Network {
     /// Drains recorded events; the second value counts events dropped at
     /// capacity. Panics if tracing was never enabled.
     pub fn take_trace(&mut self) -> (Vec<crate::TraceEvent>, u64) {
-        self.tracer
-            .as_mut()
-            .expect("tracing not enabled")
-            .take()
+        self.tracer.as_mut().expect("tracing not enabled").take()
     }
 
     /// Marks a physical channel as failed: it is filtered from every
@@ -459,12 +456,15 @@ impl Network {
                 msg.blocked = false;
                 continue;
             }
-            let here = self.topo.channel(ChannelId(head_vc / self.cfg.vcs_per_channel as u32)).dst;
+            let here = self
+                .topo
+                .channel(ChannelId(head_vc / self.cfg.vcs_per_channel as u32))
+                .dst;
 
             if here == msg.dst {
                 let base = here.idx() * self.reception_per_node;
-                let free = (0..self.reception_per_node)
-                    .find(|&r| self.reception[base + r] == NO_OWNER);
+                let free =
+                    (0..self.reception_per_node).find(|&r| self.reception[base + r] == NO_OWNER);
                 if let Some(r) = free {
                     self.reception[base + r] = slot;
                     msg.reception_slot = r as u8;
@@ -642,8 +642,7 @@ impl Network {
                 debug_assert!(msg.chain.is_empty());
                 debug_assert_eq!(msg.uninjected, 0);
                 if msg.phase == MsgPhase::Ejecting {
-                    let r = msg.dst.idx() * self.reception_per_node
-                        + msg.reception_slot as usize;
+                    let r = msg.dst.idx() * self.reception_per_node + msg.reception_slot as usize;
                     debug_assert_eq!(self.reception[r], slot);
                     self.reception[r] = NO_OWNER;
                 }
@@ -722,8 +721,7 @@ impl Network {
                 assert_eq!(a.dst, b.src, "chain must be a connected path");
             }
             if msg.phase == MsgPhase::Ejecting {
-                let r =
-                    msg.dst.idx() * self.reception_per_node + msg.reception_slot as usize;
+                let r = msg.dst.idx() * self.reception_per_node + msg.reception_slot as usize;
                 assert_eq!(self.reception[r], slot);
             }
         }

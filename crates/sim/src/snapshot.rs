@@ -20,10 +20,16 @@
 //!
 //! Vertex numbering: VC `v` of channel `c` is vertex `c * V + v`; the
 //! reception channel of node `n` is vertex `num_channels * V + n`.
+//!
+//! Snapshots are taken every detection epoch for the whole run, so the hot
+//! entry point is [`Network::wait_snapshot_into`], which refills a
+//! caller-owned [`SnapshotArena`] without allocating; the Vec-per-message
+//! [`WaitSnapshot`] remains as a convenience wrapper for tests and tools.
 
 use crate::message::MsgPhase;
 use crate::network::{compute_candidates, ctx_of, Network, NO_OWNER};
 use crate::MessageId;
+use icn_routing::Candidate;
 use icn_topology::ChannelId;
 
 /// One message's contribution to the wait-for snapshot.
@@ -48,22 +54,164 @@ pub struct WaitSnapshot {
     pub cycle: u64,
 }
 
+/// Per-message record inside a [`SnapshotArena`]: ranges into the shared
+/// vertex pool (chain first, then requests, contiguously).
+#[derive(Clone, Copy, Debug)]
+struct ArenaRecord {
+    id: MessageId,
+    start: u32,
+    chain_len: u32,
+    req_len: u32,
+}
+
+/// Borrowed view of one message in a [`SnapshotArena`].
+#[derive(Clone, Copy, Debug)]
+pub struct ArenaMsg<'a> {
+    /// Message identifier.
+    pub id: MessageId,
+    /// Vertices this message will keep holding (acquisition order).
+    pub chain: &'a [u32],
+    /// Vertices this message is blocked waiting for (empty if moving).
+    pub requests: &'a [u32],
+}
+
+/// Reusable, flat wait-for snapshot storage.
+///
+/// One arena is allocated per run and refilled in place by
+/// [`Network::wait_snapshot_into`] each detection epoch: a single vertex
+/// pool plus per-message range records, so the steady-state snapshot path
+/// performs no heap allocation once capacities have warmed up.
+///
+/// During the fill the arena also computes a 64-bit **fingerprint** of the
+/// blocked wait-state (an order-independent hash over each blocked
+/// message's `(id, settled chain, requests)`). Knots are closed exclusively
+/// by blocked messages — moving chains are CWG sinks — so two epochs with
+/// equal blocked wait-states have identical knot analyses; the runner uses
+/// this to skip re-analysis entirely when nothing blocked has changed.
+#[derive(Clone, Debug, Default)]
+pub struct SnapshotArena {
+    num_vertices: usize,
+    cycle: u64,
+    pool: Vec<u32>,
+    records: Vec<ArenaRecord>,
+    blocked: usize,
+    fingerprint: u64,
+    cand_buf: Vec<Candidate>,
+}
+
+/// FNV-1a over a word stream.
+#[inline]
+fn fnv1a_words(mut h: u64, words: impl IntoIterator<Item = u64>) -> u64 {
+    for w in words {
+        h ^= w;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// SplitMix64 finalizer: decorrelates per-message hashes before the
+/// commutative combine.
+#[inline]
+fn mix(mut z: u64) -> u64 {
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+impl SnapshotArena {
+    /// An empty arena; capacities grow on first use and are then reused.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Total vertex count (VCs plus reception channels) of the last fill.
+    pub fn num_vertices(&self) -> usize {
+        self.num_vertices
+    }
+
+    /// Cycle at which the last fill was taken.
+    pub fn cycle(&self) -> u64 {
+        self.cycle
+    }
+
+    /// Number of messages captured by the last fill.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// True when the last fill captured no messages.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Number of blocked messages captured by the last fill.
+    pub fn num_blocked(&self) -> usize {
+        self.blocked
+    }
+
+    /// Order-independent 64-bit hash of the blocked wait-state: equal
+    /// fingerprints (collisions aside) mean an identical set of blocked
+    /// `(id, settled chain, requests)` triples and therefore an identical
+    /// knot analysis.
+    pub fn fingerprint(&self) -> u64 {
+        self.fingerprint
+    }
+
+    /// Iterates the captured messages.
+    pub fn messages(&self) -> impl Iterator<Item = ArenaMsg<'_>> {
+        self.records.iter().map(move |r| {
+            let s = r.start as usize;
+            let c = s + r.chain_len as usize;
+            ArenaMsg {
+                id: r.id,
+                chain: &self.pool[s..c],
+                requests: &self.pool[c..c + r.req_len as usize],
+            }
+        })
+    }
+
+    /// Copies the arena out into the Vec-per-message snapshot form.
+    pub fn to_snapshot(&self) -> WaitSnapshot {
+        WaitSnapshot {
+            num_vertices: self.num_vertices,
+            messages: self
+                .messages()
+                .map(|m| SnapshotMsg {
+                    id: m.id,
+                    chain: m.chain.to_vec(),
+                    requests: m.requests.to_vec(),
+                })
+                .collect(),
+            cycle: self.cycle,
+        }
+    }
+
+    fn clear(&mut self, num_vertices: usize, cycle: u64) {
+        self.num_vertices = num_vertices;
+        self.cycle = cycle;
+        self.pool.clear();
+        self.records.clear();
+        self.blocked = 0;
+        self.fingerprint = 0;
+    }
+}
+
 impl Network {
     /// Vertex id of reception-channel slot `slot` at `node`.
     pub fn reception_vertex(&self, node: icn_topology::NodeId, slot: usize) -> u32 {
         debug_assert!(slot < self.reception_per_node);
-        (self.topo.num_channels() * self.vcs_per()
-            + node.idx() * self.reception_per_node
-            + slot) as u32
+        (self.topo.num_channels() * self.vcs_per() + node.idx() * self.reception_per_node + slot)
+            as u32
     }
 
-    /// Takes a wait-for snapshot of the current state.
-    pub fn wait_snapshot(&self) -> WaitSnapshot {
+    /// Refills `arena` with a wait-for snapshot of the current state,
+    /// reusing its storage (no allocation once capacities have warmed up).
+    pub fn wait_snapshot_into(&self, arena: &mut SnapshotArena) {
         let vcs_per = self.vcs_per();
-        let num_vertices = self.topo.num_channels() * vcs_per
-            + self.topo.num_nodes() * self.reception_per_node;
-        let mut messages = Vec::with_capacity(self.active.len());
-        let mut cand_buf = Vec::new();
+        let num_vertices =
+            self.topo.num_channels() * vcs_per + self.topo.num_nodes() * self.reception_per_node;
+        arena.clear(num_vertices, self.cycle);
+        let mut cand_buf = std::mem::take(&mut arena.cand_buf);
 
         for &slot in &self.active {
             let msg = self.messages[slot as usize].as_ref().expect("active slot");
@@ -74,35 +222,37 @@ impl Network {
             }
 
             let blocked = msg.phase == MsgPhase::Routing && msg.blocked;
+            let start = arena.pool.len() as u32;
 
             // Settled chain: the suffix still holding flits once compaction
             // finishes (blocked messages only; draining messages are CWG
             // sinks either way, so their full chain is fine and cheaper).
-            let chain: Vec<u32> = if blocked {
+            if blocked {
                 let remaining = (msg.len - msg.delivered) as usize;
                 let depth = self.cfg.buffer_depth;
                 let keep = remaining.div_ceil(depth).min(msg.chain.len());
-                msg.chain.iter().skip(msg.chain.len() - keep).copied().collect()
+                arena
+                    .pool
+                    .extend(msg.chain.iter().skip(msg.chain.len() - keep).copied());
             } else {
-                let mut c: Vec<u32> = msg.chain.iter().copied().collect();
+                arena.pool.extend(msg.chain.iter().copied());
                 if msg.phase == MsgPhase::Ejecting {
-                    c.push(self.reception_vertex(msg.dst, msg.reception_slot as usize));
+                    arena
+                        .pool
+                        .push(self.reception_vertex(msg.dst, msg.reception_slot as usize));
                 }
-                c
-            };
+            }
+            let chain_len = arena.pool.len() as u32 - start;
 
-            let requests = if blocked {
+            if blocked {
                 let &head_vc = msg.chain.back().unwrap();
-                let here = self
-                    .topo
-                    .channel(ChannelId(head_vc / vcs_per as u32))
-                    .dst;
+                let here = self.topo.channel(ChannelId(head_vc / vcs_per as u32)).dst;
                 if here == msg.dst {
                     // Waiting on the destination's (all busy) reception
                     // channels.
-                    (0..self.reception_per_node)
-                        .map(|r| self.reception_vertex(here, r))
-                        .collect()
+                    arena.pool.extend(
+                        (0..self.reception_per_node).map(|r| self.reception_vertex(here, r)),
+                    );
                 } else {
                     compute_candidates(
                         &self.topo,
@@ -112,31 +262,58 @@ impl Network {
                         &ctx_of(msg, here),
                         &mut cand_buf,
                     );
-                    let mut reqs = Vec::new();
                     for cand in &cand_buf {
                         let base = cand.channel.idx() * vcs_per;
-                        for v in cand.vcs.iter() {
-                            reqs.push((base + v) as u32);
-                        }
+                        arena
+                            .pool
+                            .extend(cand.vcs.iter().map(|v| (base + v) as u32));
                     }
-                    reqs
                 }
-            } else {
-                Vec::new()
-            };
+            }
+            let req_len = arena.pool.len() as u32 - start - chain_len;
 
-            messages.push(SnapshotMsg {
+            arena.records.push(ArenaRecord {
                 id: msg.id,
-                chain,
-                requests,
+                start,
+                chain_len,
+                req_len,
             });
-        }
 
-        WaitSnapshot {
-            num_vertices,
-            messages,
-            cycle: self.cycle,
+            if blocked {
+                arena.blocked += 1;
+                // Per-message FNV-1a over (id, chain, separator, requests),
+                // finalized and combined commutatively so the fingerprint
+                // is independent of `active` iteration order.
+                let s = start as usize;
+                let c = s + chain_len as usize;
+                let mut h = fnv1a_words(0xcbf2_9ce4_8422_2325, [msg.id]);
+                h = fnv1a_words(h, arena.pool[s..c].iter().map(|&v| v as u64));
+                h = fnv1a_words(h, [u64::MAX]);
+                h = fnv1a_words(
+                    h,
+                    arena.pool[c..c + req_len as usize]
+                        .iter()
+                        .map(|&v| v as u64),
+                );
+                arena.fingerprint = arena.fingerprint.wrapping_add(mix(h));
+            }
         }
+        // Fold in the population so e.g. "no blocked messages" epochs at
+        // different vertex counts never alias.
+        arena.fingerprint ^=
+            mix((arena.blocked as u64) << 32 ^ arena.num_vertices as u64 ^ 0x9e37_79b9_7f4a_7c15);
+        arena.cand_buf = cand_buf;
+    }
+
+    /// Takes a wait-for snapshot of the current state.
+    ///
+    /// Convenience wrapper over [`wait_snapshot_into`](Self::wait_snapshot_into)
+    /// that allocates a fresh Vec-per-message snapshot; the detection loop
+    /// uses the arena form directly.
+    pub fn wait_snapshot(&self) -> WaitSnapshot {
+        let mut arena = SnapshotArena::new();
+        self.wait_snapshot_into(&mut arena);
+        arena.to_snapshot()
     }
 
     /// Whether any VC of `ch` is currently owned (test helper).

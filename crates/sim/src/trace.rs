@@ -30,7 +30,11 @@ pub enum TraceEvent {
     },
     /// Header failed to acquire any candidate (start of a blocking
     /// episode; re-emitted only on transitions, not every cycle).
-    Blocked { cycle: u64, id: MessageId, at: NodeId },
+    Blocked {
+        cycle: u64,
+        id: MessageId,
+        at: NodeId,
+    },
     /// Header acquired the reception channel at its destination.
     EjectStart { cycle: u64, id: MessageId },
     /// Message was named a deadlock victim and switched to the recovery

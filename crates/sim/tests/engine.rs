@@ -4,11 +4,19 @@ use icn_routing::{DatelineDor, Dor, Tfar};
 use icn_sim::{MsgPhase, Network, SimConfig, StepEvents};
 use icn_topology::{Coords, KAryNCube, NodeId};
 
-fn net(topo: KAryNCube, routing: impl icn_routing::RoutingAlgorithm + 'static, cfg: SimConfig) -> Network {
+fn net(
+    topo: KAryNCube,
+    routing: impl icn_routing::RoutingAlgorithm + 'static,
+    cfg: SimConfig,
+) -> Network {
     Network::new(topo, Box::new(routing), cfg)
 }
 
-fn run_until_delivered(n: &mut Network, expect: u64, max_cycles: u64) -> Vec<icn_sim::DeliveredMsg> {
+fn run_until_delivered(
+    n: &mut Network,
+    expect: u64,
+    max_cycles: u64,
+) -> Vec<icn_sim::DeliveredMsg> {
     let mut out = Vec::new();
     for _ in 0..max_cycles {
         let ev = n.step();
@@ -62,7 +70,7 @@ fn latency_is_distance_plus_length_pipeline() {
     let dst = n.topology().node_at(&Coords::new(&[3, 2]));
     n.enqueue(NodeId(0), dst);
     let done = run_until_delivered(&mut n, 1, 200);
-    assert_eq!(done[0].hops as u32, d);
+    assert_eq!(done[0].hops, d);
     // Header pipelines at 1 hop/cycle; the tail lags msg_len flit cycles.
     assert_eq!(done[0].latency, (d as u64) + 16);
     n.check_invariants();
@@ -599,7 +607,10 @@ fn two_vcs_multiplex_one_physical_link() {
     };
     let solo = mk(false);
     let shared = mk(true);
-    assert!(shared > solo + 16, "sharing must slow both (solo={solo}, shared={shared})");
+    assert!(
+        shared > solo + 16,
+        "sharing must slow both (solo={solo}, shared={shared})"
+    );
     assert!(shared < solo * 3, "but not starve either");
     let _ = topo;
 }
@@ -777,10 +788,7 @@ fn misrouting_takes_detours_around_contention() {
     n.enqueue(NodeId(2), NodeId(3));
     let done = run_until_delivered(&mut n, 2, 400);
     let detoured = done.iter().find(|d| d.hops > 1 && d.dst == NodeId(3));
-    assert!(
-        detoured.is_some(),
-        "second message should detour: {done:?}"
-    );
+    assert!(detoured.is_some(), "second message should detour: {done:?}");
     n.check_invariants();
 }
 

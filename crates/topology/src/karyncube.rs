@@ -76,7 +76,10 @@ impl KAryNCube {
 
     fn build(k: u16, n: usize, wrap: bool, bidirectional: bool) -> Self {
         assert!(k >= 2, "radix must be at least 2");
-        assert!((1..=MAX_DIMS).contains(&n), "1..={MAX_DIMS} dimensions required");
+        assert!(
+            (1..=MAX_DIMS).contains(&n),
+            "1..={MAX_DIMS} dimensions required"
+        );
         assert!(
             wrap || bidirectional,
             "a unidirectional mesh is disconnected"
@@ -476,7 +479,10 @@ mod tests {
         for id in 0..t.num_channels() as u32 {
             let c = ChannelId(id);
             let info = *t.channel(c);
-            assert_eq!(t.channel_from(info.src, info.dim as usize, info.dir), Some(c));
+            assert_eq!(
+                t.channel_from(info.src, info.dim as usize, info.dir),
+                Some(c)
+            );
             assert_eq!(
                 t.neighbor(info.src, info.dim as usize, info.dir),
                 Some(info.dst)
@@ -548,7 +554,7 @@ mod tests {
         let h = KAryNCube::hypercube(4);
         assert_eq!(h.num_nodes(), 16);
         assert_eq!(h.num_channels(), 4 * 16); // n outgoing per node
-        // Neighbours differ in exactly one coordinate bit.
+                                              // Neighbours differ in exactly one coordinate bit.
         for node in 0..16u32 {
             for &ch in h.channels_from(NodeId(node)) {
                 let info = h.channel(ch);
@@ -559,10 +565,7 @@ mod tests {
         // Distance = Hamming distance.
         assert_eq!(h.distance(NodeId(0b0000), NodeId(0b1011)), 3);
         // Node ids are the coordinate bit strings.
-        assert_eq!(
-            h.node_at(&Coords::new(&[1, 0, 1, 1])),
-            NodeId(0b1101)
-        );
+        assert_eq!(h.node_at(&Coords::new(&[1, 0, 1, 1])), NodeId(0b1101));
     }
 
     #[test]

@@ -31,7 +31,9 @@ impl BernoulliInjector {
     /// cycle (the injection channel is a single resource).
     pub fn new(rate: f64) -> Self {
         assert!(rate >= 0.0 && rate.is_finite());
-        BernoulliInjector { prob: rate.min(1.0) }
+        BernoulliInjector {
+            prob: rate.min(1.0),
+        }
     }
 
     /// Convenience constructor from a normalized load.

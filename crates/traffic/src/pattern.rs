@@ -98,7 +98,10 @@ impl Pattern {
 }
 
 fn pow2_bits(n: u32) -> u32 {
-    assert!(n.is_power_of_two(), "pattern requires a power-of-two node count");
+    assert!(
+        n.is_power_of_two(),
+        "pattern requires a power-of-two node count"
+    );
     n.trailing_zeros()
 }
 
@@ -127,7 +130,7 @@ mod tests {
     fn uniform_covers_all_destinations() {
         let t = KAryNCube::torus(4, 2, true);
         let mut r = rng();
-        let mut seen = vec![false; 16];
+        let mut seen = [false; 16];
         for _ in 0..2000 {
             let d = Pattern::Uniform.dest(&t, NodeId(0), &mut r).unwrap();
             seen[d.idx()] = true;
@@ -145,7 +148,10 @@ mod tests {
         assert_eq!(d, NodeId(128));
         // palindromic id maps to itself -> None
         assert_eq!(Pattern::BitReversal.dest(&t, NodeId(0), &mut r), None);
-        assert_eq!(Pattern::BitReversal.dest(&t, NodeId(0b10000001), &mut r), None);
+        assert_eq!(
+            Pattern::BitReversal.dest(&t, NodeId(0b10000001), &mut r),
+            None
+        );
     }
 
     #[test]
@@ -177,9 +183,13 @@ mod tests {
         let t = KAryNCube::torus(16, 2, true);
         let mut r = rng();
         // 8 bits: 0b1000_0000 -> 0b0000_0001
-        let d = Pattern::PerfectShuffle.dest(&t, NodeId(128), &mut r).unwrap();
+        let d = Pattern::PerfectShuffle
+            .dest(&t, NodeId(128), &mut r)
+            .unwrap();
         assert_eq!(d, NodeId(1));
-        let d = Pattern::PerfectShuffle.dest(&t, NodeId(0b0100_0001), &mut r).unwrap();
+        let d = Pattern::PerfectShuffle
+            .dest(&t, NodeId(0b0100_0001), &mut r)
+            .unwrap();
         assert_eq!(d, NodeId(0b1000_0010));
     }
 

@@ -39,16 +39,22 @@ fn main() {
         }
     }
 
-    println!("running {} points (8-ary 2-cube, 3 VCs each)...", configs.len());
+    println!(
+        "running {} points (8-ary 2-cube, 3 VCs each)...",
+        configs.len()
+    );
     let results = sweep(&configs);
 
-    let mut t = Table::new(["design", "load", "accepted", "latency", "deadlocks", "recovered"]);
+    let mut t = Table::new([
+        "design",
+        "load",
+        "accepted",
+        "latency",
+        "deadlocks",
+        "recovered",
+    ]);
     for (cfg, r) in configs.iter().zip(&results) {
-        let name = designs
-            .iter()
-            .find(|(_, rt)| *rt == cfg.routing)
-            .unwrap()
-            .0;
+        let name = designs.iter().find(|(_, rt)| *rt == cfg.routing).unwrap().0;
         t.row([
             name.to_string(),
             format!("{:.1}", cfg.load),

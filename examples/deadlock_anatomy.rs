@@ -35,7 +35,11 @@ fn main() {
     for _ in 0..30 {
         net.step();
     }
-    println!("\nafter 30 cycles: {} in network, {} blocked", net.in_network(), net.blocked_count());
+    println!(
+        "\nafter 30 cycles: {} in network, {} blocked",
+        net.in_network(),
+        net.blocked_count()
+    );
 
     // Build and analyze the channel wait-for graph.
     let snap = net.wait_snapshot();
@@ -49,9 +53,16 @@ fn main() {
     assert!(analysis.has_deadlock(), "the ring must be deadlocked");
     let d = &analysis.deadlocks[0];
     println!("\nKNOT found: vertices {:?}", d.knot);
-    println!("  deadlock set : {:?} (removing any of these resolves it)", d.deadlock_set);
+    println!(
+        "  deadlock set : {:?} (removing any of these resolves it)",
+        d.deadlock_set
+    );
     println!("  resource set : {:?}", d.resource_set);
-    println!("  cycle density: {} => {:?} deadlock", d.cycle_density, d.kind());
+    println!(
+        "  cycle density: {} => {:?} deadlock",
+        d.cycle_density,
+        d.kind()
+    );
 
     // Break it by removing the oldest deadlock-set message, flit by flit.
     let victim = *d.deadlock_set.iter().min().unwrap();
@@ -66,7 +77,11 @@ fn main() {
                 "  cycle {:>3}: m{} delivered ({}, latency {})",
                 cycle,
                 del.id,
-                if del.recovered { "recovered" } else { "normal route" },
+                if del.recovered {
+                    "recovered"
+                } else {
+                    "normal route"
+                },
                 del.latency
             );
             done += 1;

@@ -20,19 +20,47 @@ fn main() {
     let r = run(&cfg);
 
     println!("cycles measured       : {}", r.cycles);
-    println!("messages delivered    : {} ({} via recovery)", r.delivered, r.recovered);
-    println!("accepted load         : {:.3} of capacity", r.accepted_load());
+    println!(
+        "messages delivered    : {} ({} via recovery)",
+        r.delivered, r.recovered
+    );
+    println!(
+        "accepted load         : {:.3} of capacity",
+        r.accepted_load()
+    );
     println!("mean latency          : {:.1} cycles", r.avg_latency());
-    println!("blocked (avg)         : {:.1}% of in-network messages", 100.0 * r.blocked_fraction());
+    println!(
+        "blocked (avg)         : {:.1}% of in-network messages",
+        100.0 * r.blocked_fraction()
+    );
     println!();
-    println!("true deadlocks        : {} ({} single-cycle, {} multi-cycle)",
-        r.deadlocks, r.single_cycle_deadlocks, r.multi_cycle_deadlocks);
-    println!("normalized deadlocks  : {:.4} per delivered message", r.normalized_deadlocks());
+    println!(
+        "true deadlocks        : {} ({} single-cycle, {} multi-cycle)",
+        r.deadlocks, r.single_cycle_deadlocks, r.multi_cycle_deadlocks
+    );
+    println!(
+        "normalized deadlocks  : {:.4} per delivered message",
+        r.normalized_deadlocks()
+    );
     if r.deadlocks > 0 {
-        println!("deadlock set size     : mean {:.1}, max {}", r.deadlock_set.mean(), r.deadlock_set.max());
-        println!("resource set size     : mean {:.1}, max {}", r.resource_set.mean(), r.resource_set.max());
-        println!("knot cycle density    : mean {:.1}, max {}", r.knot_density.mean(), r.knot_density.max());
-        println!("dependent messages    : {} committed, {} transient",
-            r.dependent_committed, r.dependent_transient);
+        println!(
+            "deadlock set size     : mean {:.1}, max {}",
+            r.deadlock_set.mean(),
+            r.deadlock_set.max()
+        );
+        println!(
+            "resource set size     : mean {:.1}, max {}",
+            r.resource_set.mean(),
+            r.resource_set.max()
+        );
+        println!(
+            "knot cycle density    : mean {:.1}, max {}",
+            r.knot_density.mean(),
+            r.knot_density.max()
+        );
+        println!(
+            "dependent messages    : {} committed, {} transient",
+            r.dependent_committed, r.dependent_transient
+        );
     }
 }

@@ -41,11 +41,20 @@ fn main() {
         }
     }
 
-    println!("running {} points (8-ary 2-cube, 1 VC, load 1.0)...", configs.len());
+    println!(
+        "running {} points (8-ary 2-cube, 1 VC, load 1.0)...",
+        configs.len()
+    );
     let results = sweep(&configs);
 
     let mut t = Table::new([
-        "routing", "pattern", "accepted", "blk%", "deadlocks", "ndl", "dls.avg",
+        "routing",
+        "pattern",
+        "accepted",
+        "blk%",
+        "deadlocks",
+        "ndl",
+        "dls.avg",
     ]);
     for (cfg, r) in configs.iter().zip(&results) {
         t.row([

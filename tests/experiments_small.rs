@@ -9,7 +9,8 @@ use flexsim::{sweep, RunConfig, RunResult};
 /// Shrinks an experiment so the whole suite stays test-suite fast:
 /// shorter windows and a subsampled load sweep.
 fn shrink(mut exp: Experiment, loads: &[f64]) -> Experiment {
-    exp.configs.retain(|c| loads.iter().any(|&l| (c.load - l).abs() < 1e-9));
+    exp.configs
+        .retain(|c| loads.iter().any(|&l| (c.load - l).abs() < 1e-9));
     for c in &mut exp.configs {
         c.warmup = 500;
         c.measure = 2_500;

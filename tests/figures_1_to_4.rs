@@ -157,7 +157,10 @@ fn figure4_cyclic_non_deadlock() {
     // "There are 8 unique cycles in the CWG" — cycles exist without a
     // knot, confirming "cycles are necessary but not sufficient".
     let cycles = g.count_cycles(10_000);
-    assert!(cycles.value() > 1, "cyclic non-deadlock has cycles: {cycles}");
+    assert!(
+        cycles.value() > 1,
+        "cyclic non-deadlock has cycles: {cycles}"
+    );
     assert!(!cycles.is_capped());
 }
 

@@ -22,7 +22,9 @@ fn random_cwg() -> impl Strategy<Value = RandomCwg> {
         // Deterministic pseudo-random construction from the seed.
         let mut state = seed | 1;
         let mut next = move |m: usize| {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             ((state >> 33) as usize) % m.max(1)
         };
         let mut free: Vec<u32> = (0..n as u32).collect();
@@ -53,7 +55,11 @@ fn random_cwg() -> impl Strategy<Value = RandomCwg> {
             }
             requests[i] = req;
         }
-        RandomCwg { n, chains, requests }
+        RandomCwg {
+            n,
+            chains,
+            requests,
+        }
     })
 }
 
