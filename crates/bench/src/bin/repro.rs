@@ -2,6 +2,7 @@
 //!
 //! ```text
 //! repro [fig5] [fig6] [fig7] [fig8] [degree] [traffic] [all] [--small] [--csv]
+//! repro forensics [--store DIR] [--seed N] [--max N] [--cycles N] [--no-prefix]
 //! ```
 //!
 //! With no experiment named, runs `all`. `--small` switches to the
@@ -10,13 +11,182 @@
 //! 30,000 measured cycles — expect minutes of wall-clock). `--csv` also
 //! emits machine-readable CSV after each table; `--json` writes
 //! `repro_<id>.json` files next to the working directory.
+//!
+//! `repro forensics` runs a known-deadlocking micro-configuration (a
+//! unidirectional 8-ary 2-cube under DOR, one VC, full load) with
+//! incident capture enabled, then — for every captured deadlock — prints
+//! the per-member formation timeline, replays the run to verify the
+//! identical knot re-forms, minimizes the scenario (knot-induced sub-CWG
+//! plus shortest reproducing cycle-prefix), and persists JSON + DOT
+//! artifacts to the incident store. Exits non-zero if any incident fails
+//! to replay or minimize, which makes it a self-checking smoke command.
 
 use flexsim::experiments::{self, Scale};
+use flexsim::forensics::{minimize, replay, timeline_table, IncidentStore};
+use flexsim::report::Table;
 use flexsim::sweep;
+use flexsim::{run, ForensicsConfig, RoutingSpec, RunConfig, TopologySpec};
+use icn_metrics::Histogram;
 use std::time::Instant;
+
+/// Parses `--flag value` from the argument list.
+fn flag_value<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str)
+}
+
+fn hist_row(name: &str, h: &Histogram) -> Vec<String> {
+    vec![
+        name.to_string(),
+        h.count().to_string(),
+        format!("{:.1}", h.mean()),
+        h.quantile(0.5).to_string(),
+        h.quantile(0.95).to_string(),
+        h.max().to_string(),
+    ]
+}
+
+/// The `repro forensics` subcommand. Returns the process exit code.
+fn forensics_main(args: &[String]) -> i32 {
+    let store_dir = flag_value(args, "--store").unwrap_or("incidents");
+    let with_prefix = !args.iter().any(|a| a == "--no-prefix");
+    let parse_u64 = |flag: &str, default: u64| {
+        flag_value(args, flag).map_or(default, |v| {
+            v.parse().unwrap_or_else(|_| {
+                eprintln!("{flag} wants an integer, got `{v}`");
+                std::process::exit(2);
+            })
+        })
+    };
+
+    // The Figure-6 corner point scaled down: reliably knots within a few
+    // hundred cycles and keeps every replay/minimization probe cheap.
+    let mut cfg = RunConfig::small_default();
+    cfg.topology = TopologySpec::torus(8, 2, false);
+    cfg.routing = RoutingSpec::Dor;
+    cfg.sim.vcs_per_channel = 1;
+    cfg.load = 1.0;
+    cfg.warmup = 400;
+    cfg.measure = parse_u64("--cycles", 1_600);
+    cfg.seed = parse_u64("--seed", cfg.seed);
+    cfg.forensics = Some(ForensicsConfig {
+        max_incidents: parse_u64("--max", 8) as usize,
+        ..ForensicsConfig::default()
+    });
+
+    println!("== deadlock forensics ==");
+    println!("   config: {}", cfg.label());
+    let started = Instant::now();
+    let res = run(&cfg);
+    println!(
+        "   {} deadlock epochs, {} incidents captured ({:.1?} elapsed)",
+        res.deadlocks,
+        res.forensic_incidents.len(),
+        started.elapsed()
+    );
+    if res.forensic_incidents.is_empty() {
+        eprintln!("no deadlock captured — nothing to analyze");
+        return 1;
+    }
+
+    let store = match IncidentStore::open(store_dir) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("cannot open incident store `{store_dir}`: {e}");
+            return 1;
+        }
+    };
+
+    let mut ok = true;
+    for inc in &res.forensic_incidents {
+        let sets = inc.deadlock_sets();
+        println!(
+            "\n-- incident #{} @ cycle {} --  knots={} members={} fingerprint={:#018x}",
+            inc.seq,
+            inc.cycle,
+            sets.len(),
+            inc.members().len(),
+            inc.fingerprint
+        );
+        println!(
+            "formation timeline (knot closed at cycle {}):",
+            inc.closure_cycle()
+        );
+        println!("{}", timeline_table(inc).render());
+
+        let rep = replay(inc);
+        println!(
+            "replay: fingerprint {} deadlock sets {}",
+            if rep.fingerprint_match() {
+                "MATCH"
+            } else {
+                "MISMATCH"
+            },
+            if rep.sets_match() {
+                "MATCH"
+            } else {
+                "MISMATCH"
+            },
+        );
+        ok &= rep.reproduced();
+
+        let m = minimize(inc, with_prefix);
+        println!(
+            "minimize: CWG {} -> {} messages ({})",
+            m.original_messages,
+            m.kept_messages,
+            if m.verified {
+                "still knots identically"
+            } else {
+                "VERIFICATION FAILED"
+            },
+        );
+        ok &= m.verified;
+        if with_prefix {
+            match m.shortest_prefix {
+                Some(p) => println!(
+                    "minimize: shortest reproducing prefix = {} cycles \
+                     ({} probes, {} cycles shorter than detection)",
+                    p.cycle, p.probes, p.saved_cycles
+                ),
+                None => {
+                    println!("minimize: bisection failed to reproduce the knot");
+                    ok = false;
+                }
+            }
+        }
+
+        match store.save(inc) {
+            Ok((json_path, dot_path)) => {
+                println!("wrote {} and {}", json_path.display(), dot_path.display());
+            }
+            Err(e) => {
+                eprintln!("cannot persist incident #{}: {e}", inc.seq);
+                ok = false;
+            }
+        }
+    }
+
+    let mut summary = Table::new(vec!["stat", "count", "mean", "p50", "p95", "max"]);
+    summary.row(hist_row("formation latency", &res.formation_latency));
+    summary.row(hist_row("formation spread", &res.formation_spread));
+    println!("\nformation-time statistics (cycles):");
+    println!("{}", summary.render());
+
+    if !ok {
+        eprintln!("some incidents failed replay or minimization");
+        return 1;
+    }
+    0
+}
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) == Some("forensics") {
+        std::process::exit(forensics_main(&args[1..]));
+    }
     let small = args.iter().any(|a| a == "--small");
     let csv = args.iter().any(|a| a == "--csv");
     let json = args.iter().any(|a| a == "--json");

@@ -1,0 +1,147 @@
+//! On-disk incident storage: one JSON + one DOT file per incident, under
+//! an `index.json` catalogue.
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use icn_cwg::jsonio::{obj, parse, u64_arr, Json};
+
+use super::DeadlockIncident;
+
+/// A directory of persisted incidents.
+///
+/// Layout: `incident-NNNNN.json` (the full record), `incident-NNNNN.dot`
+/// (knot-highlighted Graphviz rendering), and `index.json` summarizing
+/// every stored incident. The index is rewritten atomically-enough for a
+/// single writer; stores are per-run artifacts, not shared databases.
+pub struct IncidentStore {
+    dir: PathBuf,
+}
+
+/// One `index.json` row.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct IndexEntry {
+    /// JSON file name within the store directory.
+    pub file: String,
+    /// Capture ordinal within its run.
+    pub seq: u32,
+    /// Detection-epoch cycle.
+    pub cycle: u64,
+    /// Config label of the producing run.
+    pub label: String,
+    /// Blocked-wait-state fingerprint.
+    pub fingerprint: u64,
+    /// Deadlock-set sizes, one per knot.
+    pub set_sizes: Vec<u64>,
+}
+
+fn corrupt(msg: impl std::fmt::Display) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg.to_string())
+}
+
+impl IncidentStore {
+    /// Opens (creating if needed) a store directory.
+    pub fn open(dir: impl AsRef<Path>) -> io::Result<Self> {
+        fs::create_dir_all(&dir)?;
+        Ok(IncidentStore {
+            dir: dir.as_ref().to_path_buf(),
+        })
+    }
+
+    /// The store's directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Persists an incident: writes its JSON record and DOT rendering,
+    /// appends to the index. Returns the two file paths.
+    pub fn save(&self, inc: &DeadlockIncident) -> io::Result<(PathBuf, PathBuf)> {
+        let mut entries = self.list()?;
+        let stem = format!("incident-{:05}", entries.len());
+        let json_path = self.dir.join(format!("{stem}.json"));
+        let dot_path = self.dir.join(format!("{stem}.dot"));
+        fs::write(&json_path, inc.to_json_string())?;
+        fs::write(&dot_path, inc.to_dot())?;
+        entries.push(IndexEntry {
+            file: format!("{stem}.json"),
+            seq: inc.seq,
+            cycle: inc.cycle,
+            label: inc.config.label(),
+            fingerprint: inc.fingerprint,
+            set_sizes: inc.deadlock_sets().iter().map(|s| s.len() as u64).collect(),
+        });
+        self.write_index(&entries)?;
+        Ok((json_path, dot_path))
+    }
+
+    /// Loads one incident by its index `file` name.
+    pub fn load(&self, file: &str) -> io::Result<DeadlockIncident> {
+        let text = fs::read_to_string(self.dir.join(file))?;
+        DeadlockIncident::from_json_str(&text).map_err(corrupt)
+    }
+
+    /// Reads the index (empty when no incident has been stored yet).
+    pub fn list(&self) -> io::Result<Vec<IndexEntry>> {
+        let path = self.dir.join("index.json");
+        let text = match fs::read_to_string(&path) {
+            Ok(t) => t,
+            Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(Vec::new()),
+            Err(e) => return Err(e),
+        };
+        let v = parse(&text).map_err(corrupt)?;
+        let arr = v
+            .get("incidents")
+            .and_then(Json::as_arr)
+            .ok_or_else(|| corrupt("index.json lacks `incidents`"))?;
+        let mut out = Vec::with_capacity(arr.len());
+        for e in arr {
+            let field = |k: &str| {
+                e.get(k)
+                    .and_then(Json::as_u64)
+                    .ok_or_else(|| corrupt(format!("index entry lacks `{k}`")))
+            };
+            out.push(IndexEntry {
+                file: e
+                    .get("file")
+                    .and_then(Json::as_str)
+                    .ok_or_else(|| corrupt("index entry lacks `file`"))?
+                    .to_string(),
+                seq: field("seq")? as u32,
+                cycle: field("cycle")?,
+                label: e
+                    .get("label")
+                    .and_then(Json::as_str)
+                    .ok_or_else(|| corrupt("index entry lacks `label`"))?
+                    .to_string(),
+                fingerprint: field("fingerprint")?,
+                set_sizes: e
+                    .get("set_sizes")
+                    .and_then(Json::as_arr)
+                    .ok_or_else(|| corrupt("index entry lacks `set_sizes`"))?
+                    .iter()
+                    .map(|s| s.as_u64().ok_or_else(|| corrupt("bad set size")))
+                    .collect::<io::Result<Vec<u64>>>()?,
+            });
+        }
+        Ok(out)
+    }
+
+    fn write_index(&self, entries: &[IndexEntry]) -> io::Result<()> {
+        let arr: Vec<Json> = entries
+            .iter()
+            .map(|e| {
+                obj(vec![
+                    ("file", Json::Str(e.file.clone())),
+                    ("seq", Json::U64(e.seq as u64)),
+                    ("cycle", Json::U64(e.cycle)),
+                    ("label", Json::Str(e.label.clone())),
+                    ("fingerprint", Json::U64(e.fingerprint)),
+                    ("set_sizes", u64_arr(e.set_sizes.iter().copied())),
+                ])
+            })
+            .collect();
+        let index = obj(vec![("incidents", Json::Arr(arr))]);
+        fs::write(self.dir.join("index.json"), index.to_string())
+    }
+}

@@ -1,0 +1,199 @@
+//! Per-message formation timelines, reconstructed from engine traces.
+
+use std::collections::HashMap;
+
+use icn_sim::TraceEvent;
+
+use crate::report::Table;
+
+use super::DeadlockIncident;
+
+/// Per-message event log for every live message, fed by the runner's
+/// per-cycle trace drain. Delivered messages are pruned immediately —
+/// only messages that could still end up in a knot stay indexed.
+pub(crate) struct TimelineIndex {
+    events: HashMap<u64, Vec<TraceEvent>>,
+}
+
+/// Formation summary of one knot (see
+/// [`TimelineIndex::formation_stats`]).
+pub(crate) struct FormationStats {
+    /// Injection → knot closure, for each member with a known injection.
+    pub member_latencies: Vec<u64>,
+    /// First member's final blocking episode → knot closure.
+    pub spread: u64,
+}
+
+impl TimelineIndex {
+    pub fn new() -> Self {
+        TimelineIndex {
+            events: HashMap::new(),
+        }
+    }
+
+    /// Folds in one cycle's events, pruning messages on delivery.
+    pub fn absorb(&mut self, events: Vec<TraceEvent>) {
+        for ev in events {
+            if matches!(ev, TraceEvent::Delivered { .. }) {
+                self.events.remove(&ev.id());
+            } else {
+                self.events.entry(ev.id()).or_default().push(ev);
+            }
+        }
+    }
+
+    /// The recorded event log of `id` (empty if unknown or delivered).
+    pub fn events_of(&self, id: u64) -> &[TraceEvent] {
+        self.events.get(&id).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Formation statistics for one deadlock set. The knot **closes** when
+    /// its last member enters its final blocking episode; per-member
+    /// formation latency is injection → closure, and the spread is how
+    /// long the earliest-blocked member waited for the knot to complete.
+    /// `None` when no member has a recorded blocking episode (tracing
+    /// started mid-run).
+    pub fn formation_stats(&self, members: &[u64]) -> Option<FormationStats> {
+        let final_blocks: Vec<u64> = members
+            .iter()
+            .filter_map(|&m| final_block_cycle(self.events_of(m)))
+            .collect();
+        let closure = final_blocks.iter().copied().max()?;
+        let first = final_blocks.iter().copied().min().unwrap_or(closure);
+        let member_latencies = members
+            .iter()
+            .filter_map(|&m| injected_cycle(self.events_of(m)))
+            .map(|inj| closure.saturating_sub(inj))
+            .collect();
+        Some(FormationStats {
+            member_latencies,
+            spread: closure - first,
+        })
+    }
+}
+
+/// Cycle of the last (= final, for a knot member) blocking episode.
+pub(crate) fn final_block_cycle(events: &[TraceEvent]) -> Option<u64> {
+    events.iter().rev().find_map(|ev| match ev {
+        TraceEvent::Blocked { cycle, .. } => Some(*cycle),
+        _ => None,
+    })
+}
+
+/// Injection cycle, if recorded.
+pub(crate) fn injected_cycle(events: &[TraceEvent]) -> Option<u64> {
+    events.iter().find_map(|ev| match ev {
+        TraceEvent::Injected { cycle, .. } => Some(*cycle),
+        _ => None,
+    })
+}
+
+/// Renders an incident's per-member formation timelines as a table: when
+/// each deadlock-set member was injected, how many VCs it acquired, where
+/// and when it entered its final blocking episode, how long it had been
+/// waiting at capture, and which candidate channels it failed to acquire.
+pub fn timeline_table(inc: &DeadlockIncident) -> Table {
+    let mut t = Table::new([
+        "msg",
+        "injected",
+        "hops",
+        "final-block",
+        "at",
+        "waited",
+        "wants",
+    ]);
+    for tl in &inc.timelines {
+        let injected = tl
+            .injected_at()
+            .map_or_else(|| "-".to_string(), |c| c.to_string());
+        let (block, at, waited, wants) = match tl.final_block() {
+            Some((cycle, node, cands)) => {
+                let wants = if cands.is_empty() {
+                    "reception".to_string()
+                } else {
+                    cands
+                        .iter()
+                        .map(|c| format!("c{}", c.0))
+                        .collect::<Vec<_>>()
+                        .join(" ")
+                };
+                (
+                    cycle.to_string(),
+                    format!("n{node}"),
+                    inc.cycle.saturating_sub(cycle).to_string(),
+                    wants,
+                )
+            }
+            None => ("-".into(), "-".into(), "-".into(), "-".into()),
+        };
+        t.row([
+            format!("m{}", tl.id),
+            injected,
+            tl.hops().to_string(),
+            block,
+            at,
+            waited,
+            wants,
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use icn_topology::{ChannelId, NodeId};
+
+    fn injected(cycle: u64, id: u64) -> TraceEvent {
+        TraceEvent::Injected {
+            cycle,
+            id,
+            src: NodeId(0),
+            dst: NodeId(1),
+            len: 4,
+        }
+    }
+
+    fn blocked(cycle: u64, id: u64) -> TraceEvent {
+        TraceEvent::Blocked {
+            cycle,
+            id,
+            at: NodeId(0),
+            candidates: vec![ChannelId(3)],
+        }
+    }
+
+    #[test]
+    fn delivery_prunes_the_log() {
+        let mut ix = TimelineIndex::new();
+        ix.absorb(vec![injected(1, 7), blocked(2, 7)]);
+        assert_eq!(ix.events_of(7).len(), 2);
+        ix.absorb(vec![TraceEvent::Delivered {
+            cycle: 9,
+            id: 7,
+            recovered: false,
+        }]);
+        assert!(ix.events_of(7).is_empty());
+    }
+
+    #[test]
+    fn formation_stats_use_last_blocking_episode() {
+        let mut ix = TimelineIndex::new();
+        // m1: injected at 1, blocked at 4, unblocked, blocked again at 10.
+        ix.absorb(vec![injected(1, 1), blocked(4, 1), blocked(10, 1)]);
+        // m2: injected at 3, blocked at 12 — the knot closes here.
+        ix.absorb(vec![injected(3, 2), blocked(12, 2)]);
+        let s = ix.formation_stats(&[1, 2]).unwrap();
+        let mut lat = s.member_latencies.clone();
+        lat.sort_unstable();
+        assert_eq!(lat, vec![9, 11]); // closure 12 − injections 3, 1
+        assert_eq!(s.spread, 2); // closure 12 − first final block 10
+    }
+
+    #[test]
+    fn no_blocking_episode_yields_none() {
+        let mut ix = TimelineIndex::new();
+        ix.absorb(vec![injected(1, 5)]);
+        assert!(ix.formation_stats(&[5]).is_none());
+    }
+}

@@ -41,6 +41,7 @@ pub mod ablations;
 pub mod chart;
 pub mod experiments;
 pub mod extensions;
+pub mod forensics;
 pub mod json;
 pub mod report;
 mod result;
@@ -48,15 +49,16 @@ mod runner;
 mod spec;
 mod sweep;
 
+pub use forensics::ForensicsConfig;
 pub use result::{Incident, RunResult};
-pub use runner::{build_wait_graph, run};
+pub use runner::{build_wait_graph, run, run_with, EpochView, RunObserver};
 pub use spec::{RecoveryPolicy, RoutingSpec, TopologySpec};
 pub use sweep::{replicate, replication_summary, sweep, ReplicationSummary};
 
 use icn_traffic::{MsgLenDist, Pattern};
 
 /// One simulation point.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct RunConfig {
     /// Network shape.
     pub topology: TopologySpec,
@@ -93,6 +95,11 @@ pub struct RunConfig {
     pub recovery: RecoveryPolicy,
     /// RNG seed (traffic generation).
     pub seed: u64,
+    /// When `Some`, capture full [`forensics::DeadlockIncident`] records
+    /// (CWG, formation timelines, recovery outcome) for detected knots.
+    /// Tracing never perturbs the simulation, so a forensic run is
+    /// cycle-identical to a plain one under the same seed.
+    pub forensics: Option<ForensicsConfig>,
 }
 
 impl RunConfig {
@@ -116,6 +123,7 @@ impl RunConfig {
             fingerprint_skip: true,
             recovery: RecoveryPolicy::RemoveOldest,
             seed: 0x5ca1ab1e,
+            forensics: None,
         }
     }
 

@@ -74,6 +74,23 @@ pub struct RunResult {
     pub resolution_latency: Histogram,
     /// The first few deadlocks in full detail, for inspection.
     pub incidents: Vec<Incident>,
+
+    /// Knot formation latency: injection → knot closure, per deadlock-set
+    /// member. Populated only when [`RunConfig::forensics`] is set (the
+    /// timelines come from the tracer), and over the whole run including
+    /// warm-up — forensics diagnoses formation, it is not a §3 metric.
+    ///
+    /// [`RunConfig::forensics`]: crate::RunConfig::forensics
+    pub formation_latency: Histogram,
+    /// Knot formation spread per knot: cycles between the first member
+    /// entering its final blocking episode and the knot closing (the last
+    /// member blocking). Forensic runs only, whole run.
+    pub formation_spread: Histogram,
+    /// Full forensic incident records (capped by
+    /// [`ForensicsConfig::max_incidents`]). Forensic runs only, whole run.
+    ///
+    /// [`ForensicsConfig::max_incidents`]: crate::ForensicsConfig::max_incidents
+    pub forensic_incidents: Vec<crate::forensics::DeadlockIncident>,
 }
 
 /// A single detected deadlock, summarized.
@@ -132,6 +149,9 @@ impl RunResult {
             victims_started: 0,
             resolution_latency: Histogram::new(),
             incidents: Vec::new(),
+            formation_latency: Histogram::new(),
+            formation_spread: Histogram::new(),
+            forensic_incidents: Vec::new(),
         }
     }
 

@@ -1,5 +1,7 @@
 //! The simulation loop: traffic, stepping, detection, recovery.
 
+use std::ops::ControlFlow;
+
 use icn_cwg::{
     count_cycles, Analysis, CycleCount, DeadlockKind, DependentKind, DetectorScratch, WaitGraph,
 };
@@ -9,9 +11,50 @@ use icn_traffic::BernoulliInjector;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
+use crate::forensics::ForensicsState;
 use crate::result::RunResult;
 use crate::spec::RecoveryPolicy;
 use crate::RunConfig;
+
+/// What [`RunObserver::on_epoch`] sees at a detection epoch: the snapshot,
+/// its analysis, and the network — immediately after knot analysis and
+/// before recovery mutates anything.
+pub struct EpochView<'a> {
+    /// Simulation cycle of this detection epoch.
+    pub cycle: u64,
+    /// 1-based detection-epoch ordinal.
+    pub epoch: u64,
+    /// The wait-for snapshot the analysis was computed from.
+    pub arena: &'a SnapshotArena,
+    /// The epoch's knot analysis (empty when `skipped`).
+    pub analysis: &'a Analysis,
+    /// Whether the fingerprint fast path skipped the full analysis (the
+    /// epoch matched a previously verified clean wait-state).
+    pub skipped: bool,
+    /// The network, read-only.
+    pub net: &'a Network,
+}
+
+/// Hooks into [`run_with`]: forensic replay and minimization probes use
+/// these to halt a deterministic re-run at an exact cycle or epoch.
+/// Returning `ControlFlow::Break` stops the run; the result reflects the
+/// truncated window.
+pub trait RunObserver {
+    /// Called after every engine step (and trace drain), before any
+    /// detection work at this cycle.
+    fn on_cycle(&mut self, _net: &Network) -> ControlFlow<()> {
+        ControlFlow::Continue(())
+    }
+
+    /// Called at every detection epoch, after analysis and before
+    /// recovery.
+    fn on_epoch(&mut self, _view: &EpochView<'_>) -> ControlFlow<()> {
+        ControlFlow::Continue(())
+    }
+}
+
+/// The no-op observer behind plain [`run`].
+impl RunObserver for () {}
 
 /// Converts a simulator wait-for snapshot into a channel wait-for graph.
 ///
@@ -53,6 +96,13 @@ fn rebuild_wait_graph(arena: &SnapshotArena, g: &mut WaitGraph) {
 /// recovery of every detected knot. Detection and recovery also run during
 /// warm-up so the network reaches a meaningful steady state.
 pub fn run(cfg: &RunConfig) -> RunResult {
+    run_with(cfg, &mut ())
+}
+
+/// [`run`] with observer hooks (see [`RunObserver`]). The observer never
+/// influences traffic or routing, so an observed run is cycle-identical
+/// to a plain one up to the point it breaks.
+pub fn run_with(cfg: &RunConfig, obs: &mut dyn RunObserver) -> RunResult {
     cfg.sim.validate();
     let topo = cfg.topology.build();
     if cfg.pattern.needs_pow2() {
@@ -97,7 +147,14 @@ pub fn run(cfg: &RunConfig) -> RunResult {
     // — so an identical blocked wait-state implies an identical verdict.
     let mut clean_fingerprint: Option<u64> = None;
 
-    for cycle in 0..total {
+    // Forensic capture: enable engine tracing and index events per live
+    // message, so a detected knot's formation can be reconstructed.
+    let mut forensic = cfg.forensics.map(ForensicsState::new);
+    if let Some(f) = cfg.forensics {
+        net.enable_trace(f.trace_capacity);
+    }
+
+    'run: for cycle in 0..total {
         let measuring = cycle >= cfg.warmup;
 
         // Traffic generation.
@@ -115,6 +172,10 @@ pub fn run(cfg: &RunConfig) -> RunResult {
 
         // One cycle of the engine.
         let ev = net.step();
+        if let Some(f) = forensic.as_mut() {
+            let (events, dropped) = net.take_trace();
+            f.absorb(events, dropped);
+        }
         for d in &ev.delivered {
             if d.recovered {
                 if let Some(start) = victim_starts.remove(&d.id) {
@@ -135,6 +196,10 @@ pub fn run(cfg: &RunConfig) -> RunResult {
                 }
                 res.latency.record(d.latency);
             }
+        }
+
+        if obs.on_cycle(&net).is_break() {
+            break 'run;
         }
 
         // Detection epoch.
@@ -191,6 +256,20 @@ pub fn run(cfg: &RunConfig) -> RunResult {
                 None
             };
 
+            {
+                let view = EpochView {
+                    cycle: net.cycle(),
+                    epoch: detection_epoch,
+                    arena: &arena,
+                    analysis: &analysis,
+                    skipped: skip,
+                    net: &net,
+                };
+                if obs.on_epoch(&view).is_break() {
+                    break 'run;
+                }
+            }
+
             // Recovery: resolve every knot in this snapshot. Removing one
             // victim breaks *a* knot, but the residual wait-for graph may
             // still contain knots among the remaining messages (large
@@ -202,6 +281,7 @@ pub fn run(cfg: &RunConfig) -> RunResult {
             // deadlocked packets keep claiming the recovery lane until the
             // deadlock is fully resolved. Only the first pass's knots are
             // *counted* as detected deadlocks.
+            let mut epoch_victims: Vec<u64> = Vec::new();
             if cfg.recovery != RecoveryPolicy::None && analysis.has_deadlock() {
                 let mut victims: std::collections::HashSet<u64> = std::collections::HashSet::new();
                 let mut sets: Vec<Vec<u64>> = analysis
@@ -220,6 +300,7 @@ pub fn run(cfg: &RunConfig) -> RunResult {
                         };
                         if let Some(v) = victim {
                             victims.insert(v);
+                            epoch_victims.push(v);
                             graph.remove_requests(v);
                             let ok = net.start_recovery(v);
                             debug_assert!(ok, "victim must be an active routing message");
@@ -238,6 +319,20 @@ pub fn run(cfg: &RunConfig) -> RunResult {
                         break;
                     }
                 }
+            }
+
+            // Forensic incident capture — after recovery so the outcome is
+            // part of the record; the CWG comes from the immutable arena,
+            // so it is the pre-recovery graph.
+            if let Some(f) = forensic.as_mut() {
+                f.record_epoch(
+                    cfg,
+                    &arena,
+                    &analysis,
+                    &epoch_victims,
+                    net.cycle(),
+                    &mut res,
+                );
             }
 
             if measuring {

@@ -1,0 +1,188 @@
+//! End-to-end forensics: capture → replay → minimize → persist.
+//!
+//! The known-deadlocking micro-config throughout is the Figure-6 corner
+//! point — a unidirectional 8-ary 2-cube under DOR with one VC at full
+//! load — which reliably knots within a few hundred cycles.
+
+use flexsim::forensics::{
+    incidents_equal, minimize, replay, timeline_table, DeadlockIncident, IncidentStore,
+};
+use flexsim::{run, ForensicsConfig, RoutingSpec, RunConfig, TopologySpec};
+
+/// Shorthand: structural CWG comparison through the cwg crate.
+mod cmp {
+    pub use icn_cwg::{analyses_equal, graphs_equal};
+}
+
+fn fig6_micro() -> RunConfig {
+    let mut cfg = RunConfig::small_default();
+    cfg.topology = TopologySpec::torus(8, 2, false);
+    cfg.routing = RoutingSpec::Dor;
+    cfg.sim.vcs_per_channel = 1;
+    cfg.load = 1.0;
+    cfg.warmup = 400;
+    cfg.measure = 1600;
+    cfg.forensics = Some(ForensicsConfig::default());
+    cfg
+}
+
+fn captured() -> (RunConfig, Vec<DeadlockIncident>) {
+    let cfg = fig6_micro();
+    let res = run(&cfg);
+    assert!(
+        !res.forensic_incidents.is_empty(),
+        "the fig6 micro-config must deadlock and be captured"
+    );
+    (cfg, res.forensic_incidents)
+}
+
+#[test]
+fn capture_records_cwg_timelines_and_formation_stats() {
+    let cfg = fig6_micro();
+    let res = run(&cfg);
+    assert!(res.deadlocks > 0);
+    assert!(!res.forensic_incidents.is_empty());
+    assert!(res.forensic_incidents.len() <= ForensicsConfig::default().max_incidents);
+    assert!(res.formation_latency.count() > 0);
+    assert!(res.formation_spread.count() > 0);
+
+    for inc in &res.forensic_incidents {
+        assert_eq!(inc.trace_dropped, 0, "default capacity must not drop");
+        assert!(inc.cycle.is_multiple_of(cfg.detection_interval));
+        assert!(!inc.analysis.deadlocks.is_empty());
+        assert_eq!(inc.config, cfg);
+        // Timelines cover exactly the deadlock-set members, each with an
+        // injection and a final blocking episode inside the run.
+        let members = inc.members();
+        assert!(!members.is_empty());
+        for &m in &members {
+            let tl = inc.timeline_of(m).expect("member timeline");
+            assert!(tl.injected_at().is_some());
+            let (block_cycle, _, _) = tl.final_block().expect("member must have blocked");
+            assert!(block_cycle <= inc.cycle);
+        }
+        // The knot closed in the final detection interval — otherwise the
+        // previous epoch would have caught it.
+        let closure = inc.closure_cycle();
+        assert!(closure <= inc.cycle);
+        assert!(closure > inc.cycle - cfg.detection_interval);
+        // The recovery outcome names at least one deadlock-set member.
+        assert!(inc.recovery.victims.iter().any(|v| members.contains(v)));
+        // The timeline table renders one row per member.
+        assert_eq!(timeline_table(inc).len(), members.len());
+    }
+}
+
+#[test]
+fn forensic_capture_never_perturbs_the_run() {
+    let mut cfg = fig6_micro();
+    let with = run(&cfg);
+    cfg.forensics = None;
+    let without = run(&cfg);
+    assert_eq!(with.delivered, without.delivered);
+    assert_eq!(with.generated, without.generated);
+    assert_eq!(with.deadlocks, without.deadlocks);
+    assert_eq!(with.victims_started, without.victims_started);
+    assert!(without.forensic_incidents.is_empty());
+}
+
+#[test]
+fn capture_is_deterministic_golden() {
+    let (_, a) = captured();
+    let (_, b) = captured();
+    assert_eq!(a.len(), b.len());
+    for (x, y) in a.iter().zip(&b) {
+        assert!(
+            incidents_equal(x, y),
+            "forensic capture must be a pure function of the config"
+        );
+    }
+}
+
+#[test]
+fn replay_reproduces_the_identical_knot() {
+    let (_, incidents) = captured();
+    let inc = &incidents[0];
+    let report = replay(inc);
+    assert_eq!(
+        report.observed_fingerprint,
+        Some(inc.fingerprint),
+        "replayed wait-state fingerprint must match the capture"
+    );
+    assert!(
+        report.sets_match(),
+        "the same deadlock-set message ids must re-form"
+    );
+    assert!(report.reproduced());
+}
+
+#[test]
+fn incident_json_round_trips_identically() {
+    let (_, incidents) = captured();
+    for inc in &incidents {
+        let text = inc.to_json_string();
+        let back = DeadlockIncident::from_json_str(&text).expect("parse own output");
+        assert!(incidents_equal(inc, &back));
+        // The CWG and analysis survive as analyzable structures, not just
+        // as bytes.
+        assert!(cmp::graphs_equal(
+            &inc.cwg.build_graph(),
+            &back.cwg.build_graph()
+        ));
+        assert!(cmp::analyses_equal(&inc.analysis, &back.analysis));
+        // And serialization is stable (parse → serialize is a fixpoint).
+        assert_eq!(text, back.to_json_string());
+    }
+}
+
+#[test]
+fn minimization_shrinks_and_still_knots() {
+    let (cfg, incidents) = captured();
+    let inc = &incidents[0];
+    let m = minimize(inc, true);
+    assert!(
+        m.verified,
+        "the knot-induced sub-CWG must still knot identically"
+    );
+    assert!(m.kept_messages <= m.original_messages);
+    assert_eq!(m.kept_messages, inc.members().len());
+
+    let prefix = m.shortest_prefix.expect("bisection must reproduce");
+    assert!(prefix.cycle <= inc.cycle);
+    assert!(prefix.cycle + cfg.detection_interval > inc.cycle);
+    assert_eq!(prefix.saved_cycles, inc.cycle - prefix.cycle);
+    // The shortest reproducing prefix is exactly the knot's closure: the
+    // first cycle boundary after the last member entered its final
+    // blocking episode.
+    assert_eq!(prefix.cycle, inc.closure_cycle());
+}
+
+#[test]
+fn store_persists_and_reloads_incidents() {
+    let (_, incidents) = captured();
+    let dir = std::env::temp_dir().join(format!("icn-forensics-store-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let store = IncidentStore::open(&dir).unwrap();
+
+    let n = incidents.len().min(2);
+    for inc in &incidents[..n] {
+        let (json_path, dot_path) = store.save(inc).unwrap();
+        assert!(json_path.exists() && dot_path.exists());
+        let dot = std::fs::read_to_string(&dot_path).unwrap();
+        assert!(dot.starts_with("digraph"));
+        assert!(
+            dot.contains("fillcolor=lightcoral"),
+            "knot must be highlighted"
+        );
+        assert!(dot.contains("@ cycle"), "artifact must be titled");
+    }
+    let index = store.list().unwrap();
+    assert_eq!(index.len(), n);
+    assert_eq!(index[0].cycle, incidents[0].cycle);
+    assert_eq!(index[0].fingerprint, incidents[0].fingerprint);
+
+    let back = store.load(&index[0].file).unwrap();
+    assert!(incidents_equal(&incidents[0], &back));
+
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -5,6 +5,24 @@ use crate::graph::WaitGraph;
 use std::collections::HashSet;
 use std::fmt::Write;
 
+/// Escapes a string for use inside a double-quoted DOT attribute value:
+/// backslashes and quotes are escaped, newlines become DOT line breaks.
+/// Without this, a graph title taken from an arbitrary config label (which
+/// may contain quotes) would produce syntactically invalid DOT.
+fn dot_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            '\r' => {}
+            c => out.push(c),
+        }
+    }
+    out
+}
+
 impl WaitGraph {
     /// Renders the CWG in Graphviz DOT format, in the visual language of
     /// the paper's figures: solid arcs for ownership order, dashed arcs
@@ -15,6 +33,14 @@ impl WaitGraph {
     /// Only vertices that participate (owned, requested, or connected)
     /// are emitted; CWG snapshots are mostly empty space.
     pub fn to_dot(&self, analysis: Option<&Analysis>) -> String {
+        self.to_dot_titled("", analysis)
+    }
+
+    /// [`to_dot`](Self::to_dot) with a graph title — the form incident
+    /// artifacts use, titling the graph with the run's config label and
+    /// capture cycle. The title is escaped, so arbitrary config labels
+    /// always yield valid DOT.
+    pub fn to_dot_titled(&self, title: &str, analysis: Option<&Analysis>) -> String {
         let knot: HashSet<u32> = analysis
             .map(|a| {
                 a.deadlocks
@@ -38,27 +64,28 @@ impl WaitGraph {
         vertices.sort_unstable();
 
         let mut out = String::from("digraph cwg {\n  rankdir=LR;\n  node [shape=circle];\n");
+        if !title.is_empty() {
+            let _ = writeln!(out, "  label=\"{}\";\n  labelloc=t;", dot_escape(title));
+        }
         for &v in &vertices {
             let mut attrs = String::new();
             if knot.contains(&v) {
                 attrs.push_str(" style=filled fillcolor=lightcoral");
             }
-            match self.owner(v) {
-                Some(m) => {
-                    let _ = writeln!(out, "  v{v} [label=\"c{v}\\nm{m}\"{attrs}];");
-                }
-                None => {
-                    let _ = writeln!(out, "  v{v} [label=\"c{v}\\nfree\"{attrs}];");
-                }
-            }
+            let label = match self.owner(v) {
+                Some(m) => format!("c{v}\nm{m}"),
+                None => format!("c{v}\nfree"),
+            };
+            let _ = writeln!(out, "  v{v} [label=\"{}\"{attrs}];", dot_escape(&label));
         }
         for &v in &vertices {
             for e in self.edges(v) {
                 let style = if e.dashed { "dashed" } else { "solid" };
                 let _ = writeln!(
                     out,
-                    "  v{v} -> v{} [style={style} label=\"m{}\"];",
-                    e.to, e.msg
+                    "  v{v} -> v{} [style={style} label=\"{}\"];",
+                    e.to,
+                    dot_escape(&format!("m{}", e.msg))
                 );
             }
         }
@@ -113,5 +140,23 @@ mod tests {
         g.add_requests(1, &[3]);
         let dot = g.to_dot(None);
         assert!(dot.contains("v3 [label=\"c3\\nfree\"]"));
+    }
+
+    #[test]
+    fn title_with_quotes_and_backslashes_is_escaped() {
+        let g = deadlocked();
+        let dot = g.to_dot_titled("uni-8ary2 \"DOR\" vc=1 \\ load=1.00\ncycle 1450", None);
+        assert!(dot.contains("label=\"uni-8ary2 \\\"DOR\\\" vc=1 \\\\ load=1.00\\ncycle 1450\";"));
+        // Every quote in the output is balanced: an unescaped interior
+        // quote would make the count of raw-quote boundaries odd.
+        let unescaped = dot.replace("\\\"", "");
+        assert_eq!(unescaped.matches('"').count() % 2, 0);
+    }
+
+    #[test]
+    fn untitled_output_has_no_graph_label() {
+        let dot = deadlocked().to_dot(None);
+        assert!(!dot.contains("label=\"\";"));
+        assert!(!dot.contains("labelloc"));
     }
 }

@@ -50,10 +50,13 @@ mod analysis;
 mod cycles;
 mod dot;
 mod graph;
+pub mod jsonio;
 mod scc;
+mod serialize;
 
 pub use adjacency::{Adjacency, Csr};
 pub use analysis::{Analysis, Deadlock, DeadlockKind, DependentKind, DetectorScratch};
 pub use cycles::{count_cycles, CycleCount};
 pub use graph::{Edge, MessageId, VertexId, WaitGraph};
 pub use scc::{scc, SccResult, SccScratch};
+pub use serialize::{analyses_equal, graphs_equal};

@@ -6,7 +6,7 @@ use icn_routing::MAX_VCS;
 ///
 /// The paper's defaults (§3): 32-flit messages, edge buffers of 2 flits,
 /// and a VC count swept from 1 to 4.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct SimConfig {
     /// Virtual channels per physical channel (1–16).
     pub vcs_per_channel: usize,

@@ -481,10 +481,13 @@ impl Network {
                     msg.blocked = true;
                     msg.blocked_since = Some(self.cycle);
                     if let Some(t) = self.tracer.as_mut() {
+                        // Waiting on the destination's reception channels,
+                        // not on any link.
                         t.push(crate::TraceEvent::Blocked {
                             cycle: self.cycle,
                             id: msg.id,
                             at: here,
+                            candidates: Vec::new(),
                         });
                     }
                 }
@@ -528,6 +531,7 @@ impl Network {
                                 cycle: self.cycle,
                                 id: msg.id,
                                 at: here,
+                                candidates: self.cand_buf.iter().map(|c| c.channel).collect(),
                             });
                         }
                     }

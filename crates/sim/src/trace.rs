@@ -11,7 +11,7 @@ use icn_topology::{ChannelId, NodeId};
 use crate::message::MessageId;
 
 /// One engine event.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub enum TraceEvent {
     /// Header acquired its first VC (left the source queue).
     Injected {
@@ -34,6 +34,11 @@ pub enum TraceEvent {
         cycle: u64,
         id: MessageId,
         at: NodeId,
+        /// The physical channels the routing relation offered and the
+        /// header failed to acquire — the resources a wait-for arc would
+        /// point at. Empty when the message is waiting at its destination
+        /// for a (busy) reception channel rather than for a link.
+        candidates: Vec<ChannelId>,
     },
     /// Header acquired the reception channel at its destination.
     EjectStart { cycle: u64, id: MessageId },

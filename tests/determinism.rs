@@ -1,0 +1,148 @@
+//! Determinism guarantees: a [`RunConfig`] (seed included) is a pure
+//! function — repeated runs produce byte-identical results, and so does
+//! running the same point inside a threaded [`sweep`]. This is the
+//! foundation forensic replay stands on: without it, re-running an
+//! incident's config could not be expected to re-form the same knot.
+
+use flexsim::{run, sweep, ForensicsConfig, RoutingSpec, RunConfig, RunResult};
+use icn_metrics::Histogram;
+
+fn hist_digest(h: &Histogram, out: &mut String) {
+    use std::fmt::Write;
+    let _ = write!(
+        out,
+        "[n={} sum={} min={} max={} p50={} p90={}]",
+        h.count(),
+        h.sum(),
+        h.min(),
+        h.max(),
+        h.quantile(0.5),
+        h.quantile(0.9)
+    );
+}
+
+/// A byte-exact rendering of every counter and distribution in a
+/// [`RunResult`]. Floating-point values are digested via `to_bits` so
+/// that even last-ulp divergence (e.g. from a different accumulation
+/// order) is caught.
+fn digest(r: &RunResult) -> String {
+    use std::fmt::Write;
+    let mut s = String::new();
+    let _ = write!(
+        s,
+        "{} cycles={} gen={} inj={} del={} rec={} flits={} links={} \
+         dead={} single={} multi={} depc={} dept={} capped={} cnd={} epochs={} victims={} ",
+        r.label,
+        r.cycles,
+        r.generated,
+        r.injected,
+        r.delivered,
+        r.recovered,
+        r.delivered_flits,
+        r.link_flits,
+        r.deadlocks,
+        r.single_cycle_deadlocks,
+        r.multi_cycle_deadlocks,
+        r.dependent_committed,
+        r.dependent_transient,
+        r.cycles_capped,
+        r.cyclic_nondeadlock_epochs,
+        r.counting_epochs,
+        r.victims_started,
+    );
+    for h in [
+        &r.latency,
+        &r.deadlock_set,
+        &r.resource_set,
+        &r.knot_density,
+        &r.resolution_latency,
+        &r.formation_latency,
+        &r.formation_spread,
+    ] {
+        hist_digest(h, &mut s);
+    }
+    for m in [&r.blocked, &r.in_network, &r.source_queued] {
+        let _ = write!(s, "(n={} mean={:016x})", m.count(), m.mean().to_bits());
+    }
+    for ts in [&r.cwg_cycles, &r.blocked_frac] {
+        for (c, v) in ts.points() {
+            let _ = write!(s, "@{c}:{:016x}", v.to_bits());
+        }
+    }
+    for i in &r.incidents {
+        let _ = write!(
+            s,
+            "i({},{},{},{},{})",
+            i.cycle, i.deadlock_set_size, i.resource_set_size, i.knot_cycle_density, i.dependents
+        );
+    }
+    for f in &r.forensic_incidents {
+        let _ = write!(s, "f({},{},{:016x})", f.seq, f.cycle, f.fingerprint);
+    }
+    s
+}
+
+fn points() -> Vec<RunConfig> {
+    let mut configs = Vec::new();
+    for (routing, vcs, load) in [
+        (RoutingSpec::Dor, 1, 1.0),
+        (RoutingSpec::Tfar, 2, 0.8),
+        (RoutingSpec::Duato, 3, 0.6),
+    ] {
+        let mut c = RunConfig::small_default();
+        c.routing = routing;
+        c.sim.vcs_per_channel = vcs;
+        c.load = load;
+        c.warmup = 200;
+        c.measure = 600;
+        configs.push(c);
+    }
+    configs
+}
+
+#[test]
+fn repeated_runs_are_byte_identical() {
+    for cfg in points() {
+        let first = digest(&run(&cfg));
+        for _ in 0..2 {
+            assert_eq!(
+                digest(&run(&cfg)),
+                first,
+                "run diverged for {}",
+                cfg.label()
+            );
+        }
+    }
+}
+
+#[test]
+fn forensic_runs_are_byte_identical_too() {
+    // Forensics adds tracing and capture on top of the engine; neither may
+    // perturb the run or introduce nondeterminism of its own.
+    let mut cfg = points().remove(0);
+    cfg.forensics = Some(ForensicsConfig::default());
+    let a = run(&cfg);
+    let b = run(&cfg);
+    assert!(!a.forensic_incidents.is_empty(), "expected captures");
+    assert_eq!(digest(&a), digest(&b));
+}
+
+#[test]
+fn sweep_threading_is_byte_identical_to_serial() {
+    // Duplicate each point so distinct worker threads race on identical
+    // configs within one sweep call.
+    let mut configs = points();
+    configs.extend(points());
+    let swept = sweep(&configs);
+    assert_eq!(swept.len(), configs.len());
+
+    let serial: Vec<String> = configs.iter().map(|c| digest(&run(c))).collect();
+    for (i, (s, r)) in serial.iter().zip(&swept).enumerate() {
+        assert_eq!(&digest(r), s, "sweep slot {i} diverged from serial run");
+    }
+    // And the duplicated halves agree with each other.
+    let n = points().len();
+    for i in 0..n {
+        assert_eq!(digest(&swept[i]), digest(&swept[i + n]));
+    }
+}
