@@ -1,6 +1,6 @@
 //! The cycle-driven network engine.
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::VecDeque;
 
 use icn_routing::{Candidate, RoutingAlgorithm, RoutingCtx};
 use icn_topology::{ChannelId, KAryNCube, NodeId};
@@ -29,6 +29,46 @@ struct Pending {
     dst: NodeId,
     born: u64,
     len: u32,
+}
+
+/// Dense id→slot map. Message ids are allocated monotonically, so the live
+/// ids always fall in a window `[base, base + slots.len())` mapped by a
+/// deque indexed with `id - base`; retired ids at the front of the window
+/// compact away by advancing `base`. Lookup, insert, and removal are O(1)
+/// (amortized), with no hashing on the injection hot path.
+#[derive(Debug, Default)]
+struct IdMap {
+    base: MessageId,
+    slots: VecDeque<u32>,
+}
+
+impl IdMap {
+    fn get(&self, id: MessageId) -> Option<u32> {
+        let idx = id.checked_sub(self.base)?;
+        self.slots
+            .get(usize::try_from(idx).ok()?)
+            .copied()
+            .filter(|&s| s != NO_OWNER)
+    }
+
+    /// Registers the next allocated id (ids arrive in order, gap-free).
+    fn push(&mut self, id: MessageId, slot: u32) {
+        debug_assert_eq!(id, self.base + self.slots.len() as u64);
+        debug_assert_ne!(slot, NO_OWNER);
+        self.slots.push_back(slot);
+    }
+
+    fn remove(&mut self, id: MessageId) {
+        if let Some(idx) = id.checked_sub(self.base) {
+            if let Some(s) = self.slots.get_mut(idx as usize) {
+                *s = NO_OWNER;
+            }
+        }
+        while self.slots.front() == Some(&NO_OWNER) {
+            self.slots.pop_front();
+            self.base += 1;
+        }
+    }
 }
 
 /// The simulated network: topology + routing relation + all dynamic state.
@@ -73,10 +113,16 @@ pub struct Network {
     /// Message slab + free list.
     pub(crate) messages: Vec<Option<Message>>,
     free_slots: Vec<u32>,
-    /// Active message slots in creation (age) order.
+    /// Active message slots. Unordered: completion removes by swap-remove
+    /// through [`active_idx`](Self::active_idx), so consumers that need
+    /// age (id) order sort on demand.
     pub(crate) active: Vec<u32>,
-    id2slot: HashMap<MessageId, u32>,
+    /// Slot → index in [`active`](Self::active), or [`NO_OWNER`].
+    active_idx: Vec<u32>,
+    id_map: IdMap,
     next_id: MessageId,
+    /// Scratch: active slots sorted by id (age order), rebuilt per step.
+    step_order: Vec<u32>,
 
     /// Scratch: start-of-cycle occupancies.
     occ_start: Vec<u16>,
@@ -150,8 +196,10 @@ impl Network {
             messages: Vec::new(),
             free_slots: Vec::new(),
             active: Vec::new(),
-            id2slot: HashMap::new(),
+            active_idx: Vec::new(),
+            id_map: IdMap::default(),
             next_id: 0,
+            step_order: Vec::new(),
             occ_start: vec![0; n_vcs],
             cand_buf: Vec::new(),
             tracer: None,
@@ -261,7 +309,7 @@ impl Network {
     /// (recovered) when the last flit exits. Returns `false` when the
     /// message is not active or not in the `Routing` phase.
     pub fn start_recovery(&mut self, id: MessageId) -> bool {
-        let Some(&slot) = self.id2slot.get(&id) else {
+        let Some(slot) = self.id_map.get(id) else {
             return false;
         };
         let msg = self.messages[slot as usize].as_mut().expect("slot live");
@@ -311,21 +359,37 @@ impl Network {
 
     /// Ids of active messages, oldest first.
     pub fn active_ids(&self) -> Vec<MessageId> {
-        self.active
+        let mut ids: Vec<MessageId> = self
+            .active
             .iter()
             .map(|&s| self.messages[s as usize].as_ref().unwrap().id)
-            .collect()
+            .collect();
+        ids.sort_unstable();
+        ids
     }
 
     /// Read-only view of an active message.
     pub fn message_info(&self, id: MessageId) -> Option<MessageInfo> {
-        let &slot = self.id2slot.get(&id)?;
+        let slot = self.id_map.get(id)?;
         self.messages[slot as usize].as_ref().map(MessageInfo::of)
+    }
+
+    /// Rebuilds the per-step age-order view of `active` (oldest id first).
+    /// Messages injected later this cycle are deliberately absent: on their
+    /// injection cycle they are no-ops in every later phase (header flit
+    /// not yet buffered, `uninjected > 0`).
+    fn rebuild_step_order(&mut self) {
+        self.step_order.clear();
+        self.step_order.extend_from_slice(&self.active);
+        let messages = &self.messages;
+        self.step_order
+            .sort_unstable_by_key(|&s| messages[s as usize].as_ref().expect("active slot").id);
     }
 
     /// Simulates one cycle.
     pub fn step(&mut self) -> StepEvents {
         let mut events = StepEvents::default();
+        self.rebuild_step_order();
         self.phase_allocation(&mut events);
         self.phase_transfer(&mut events);
         self.phase_release(&mut events);
@@ -432,8 +496,12 @@ impl Network {
                 });
             }
             self.messages[slot as usize] = Some(msg);
-            self.id2slot.insert(id, slot);
+            self.id_map.push(id, slot);
             self.injecting_count[node] += 1;
+            if self.active_idx.len() <= slot as usize {
+                self.active_idx.resize(slot as usize + 1, NO_OWNER);
+            }
+            self.active_idx[slot as usize] = self.active.len() as u32;
             self.active.push(slot);
             self.total_injected += 1;
             events.injected += 1;
@@ -444,8 +512,8 @@ impl Network {
     /// In-flight headers try to acquire their next VC, or the reception
     /// channel at the destination. Oldest message first (age priority).
     fn try_next_hops(&mut self) {
-        for i in 0..self.active.len() {
-            let slot = self.active[i];
+        for i in 0..self.step_order.len() {
+            let slot = self.step_order[i];
             let msg = self.messages[slot as usize].as_mut().expect("active slot");
             if msg.phase != MsgPhase::Routing {
                 continue;
@@ -597,8 +665,8 @@ impl Network {
         }
 
         // Ejection and recovery drains: one flit per cycle per message.
-        for i in 0..self.active.len() {
-            let slot = self.active[i];
+        for i in 0..self.step_order.len() {
+            let slot = self.step_order[i];
             let msg = self.messages[slot as usize].as_mut().expect("active slot");
             if msg.phase == MsgPhase::Routing {
                 continue;
@@ -618,10 +686,24 @@ impl Network {
     // Phase 3: release & completion
     // ------------------------------------------------------------------
 
+    /// Unlinks `slot` from the active list in O(1) (swap-remove through the
+    /// slot → index back-map) and recycles its storage.
+    fn finish_slot(&mut self, slot: u32) {
+        let msg = self.messages[slot as usize].take().expect("finished slot");
+        self.id_map.remove(msg.id);
+        let i = self.active_idx[slot as usize] as usize;
+        debug_assert_eq!(self.active[i], slot);
+        self.active.swap_remove(i);
+        if let Some(&moved) = self.active.get(i) {
+            self.active_idx[moved as usize] = i as u32;
+        }
+        self.active_idx[slot as usize] = NO_OWNER;
+        self.free_slots.push(slot);
+    }
+
     fn phase_release(&mut self, events: &mut StepEvents) {
-        let mut finished: Vec<u32> = Vec::new();
-        for i in 0..self.active.len() {
-            let slot = self.active[i];
+        for i in 0..self.step_order.len() {
+            let slot = self.step_order[i];
             let msg = self.messages[slot as usize].as_mut().expect("active slot");
 
             // The injection channel frees once the tail leaves the source.
@@ -672,17 +754,8 @@ impl Network {
                         recovered,
                     });
                 }
-                finished.push(slot);
+                self.finish_slot(slot);
             }
-        }
-
-        if !finished.is_empty() {
-            for &slot in &finished {
-                let msg = self.messages[slot as usize].take().expect("finished slot");
-                self.id2slot.remove(&msg.id);
-                self.free_slots.push(slot);
-            }
-            self.active.retain(|s| !finished.contains(s));
         }
     }
 
@@ -698,6 +771,22 @@ impl Network {
     pub fn check_invariants(&self) {
         let vcs_per = self.cfg.vcs_per_channel;
         let mut owned_seen = vec![0u16; self.topo.num_channels()];
+        for (i, &slot) in self.active.iter().enumerate() {
+            assert_eq!(
+                self.active_idx[slot as usize], i as u32,
+                "active back-map out of sync for slot {slot}"
+            );
+        }
+        for (slot, &i) in self.active_idx.iter().enumerate() {
+            if i != NO_OWNER {
+                assert_eq!(self.active[i as usize] as usize, slot);
+            } else {
+                assert!(
+                    self.messages.get(slot).is_none_or(|m| m.is_none()),
+                    "live slot {slot} missing from the active list"
+                );
+            }
+        }
         for &slot in &self.active {
             let msg = self.messages[slot as usize].as_ref().expect("active slot");
             let in_chain: u32 = msg

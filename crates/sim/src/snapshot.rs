@@ -97,6 +97,10 @@ pub struct SnapshotArena {
     blocked: usize,
     fingerprint: u64,
     cand_buf: Vec<Candidate>,
+    /// Scratch: active slots in id (age) order — the engine's active list
+    /// is unordered (swap-remove), and snapshot/graph/analysis output must
+    /// stay independent of that internal ordering.
+    order_buf: Vec<u32>,
 }
 
 /// FNV-1a over a word stream.
@@ -212,8 +216,13 @@ impl Network {
             self.topo.num_channels() * vcs_per + self.topo.num_nodes() * self.reception_per_node;
         arena.clear(num_vertices, self.cycle);
         let mut cand_buf = std::mem::take(&mut arena.cand_buf);
+        let mut order_buf = std::mem::take(&mut arena.order_buf);
+        order_buf.clear();
+        order_buf.extend_from_slice(&self.active);
+        order_buf
+            .sort_unstable_by_key(|&s| self.messages[s as usize].as_ref().expect("active slot").id);
 
-        for &slot in &self.active {
+        for &slot in &order_buf {
             let msg = self.messages[slot as usize].as_ref().expect("active slot");
             if msg.chain.is_empty() {
                 // A recovering message can momentarily hold nothing while
@@ -303,6 +312,7 @@ impl Network {
         arena.fingerprint ^=
             mix((arena.blocked as u64) << 32 ^ arena.num_vertices as u64 ^ 0x9e37_79b9_7f4a_7c15);
         arena.cand_buf = cand_buf;
+        arena.order_buf = order_buf;
     }
 
     /// Takes a wait-for snapshot of the current state.
