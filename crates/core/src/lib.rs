@@ -51,7 +51,7 @@ mod sweep;
 
 pub use forensics::ForensicsConfig;
 pub use result::{Incident, RunResult};
-pub use runner::{build_wait_graph, run, run_with, EpochView, RunObserver};
+pub use runner::{build_wait_graph, run, run_reference, run_with, EpochView, RunObserver};
 pub use spec::{RecoveryPolicy, RoutingSpec, TopologySpec};
 pub use sweep::{replicate, replication_summary, sweep, ReplicationSummary};
 

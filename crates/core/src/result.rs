@@ -216,6 +216,87 @@ impl RunResult {
     pub fn max_cwg_cycles(&self) -> f64 {
         self.cwg_cycles.max().unwrap_or(0.0)
     }
+
+    /// A byte-exact rendering of every counter and distribution in this
+    /// result. Floating-point values are digested via `to_bits` so that
+    /// even last-ulp divergence (e.g. from a different accumulation
+    /// order) is caught. Two results with equal digests are equal for
+    /// every purpose the paper's tables and figures care about — this is
+    /// the equivalence the determinism and engine-differential tests
+    /// compare.
+    pub fn digest(&self) -> String {
+        use std::fmt::Write;
+        fn hist_digest(h: &Histogram, out: &mut String) {
+            use std::fmt::Write;
+            let _ = write!(
+                out,
+                "[n={} sum={} min={} max={} p50={} p90={}]",
+                h.count(),
+                h.sum(),
+                h.min(),
+                h.max(),
+                h.quantile(0.5),
+                h.quantile(0.9)
+            );
+        }
+        let mut s = String::new();
+        let _ = write!(
+            s,
+            "{} cycles={} gen={} inj={} del={} rec={} flits={} links={} \
+             dead={} single={} multi={} depc={} dept={} capped={} cnd={} epochs={} victims={} ",
+            self.label,
+            self.cycles,
+            self.generated,
+            self.injected,
+            self.delivered,
+            self.recovered,
+            self.delivered_flits,
+            self.link_flits,
+            self.deadlocks,
+            self.single_cycle_deadlocks,
+            self.multi_cycle_deadlocks,
+            self.dependent_committed,
+            self.dependent_transient,
+            self.cycles_capped,
+            self.cyclic_nondeadlock_epochs,
+            self.counting_epochs,
+            self.victims_started,
+        );
+        for h in [
+            &self.latency,
+            &self.deadlock_set,
+            &self.resource_set,
+            &self.knot_density,
+            &self.resolution_latency,
+            &self.formation_latency,
+            &self.formation_spread,
+        ] {
+            hist_digest(h, &mut s);
+        }
+        for m in [&self.blocked, &self.in_network, &self.source_queued] {
+            let _ = write!(s, "(n={} mean={:016x})", m.count(), m.mean().to_bits());
+        }
+        for ts in [&self.cwg_cycles, &self.blocked_frac] {
+            for (c, v) in ts.points() {
+                let _ = write!(s, "@{c}:{:016x}", v.to_bits());
+            }
+        }
+        for i in &self.incidents {
+            let _ = write!(
+                s,
+                "i({},{},{},{},{})",
+                i.cycle,
+                i.deadlock_set_size,
+                i.resource_set_size,
+                i.knot_cycle_density,
+                i.dependents
+            );
+        }
+        for f in &self.forensic_incidents {
+            let _ = write!(s, "f({},{},{:016x})", f.seq, f.cycle, f.fingerprint);
+        }
+        s
+    }
 }
 
 #[cfg(test)]

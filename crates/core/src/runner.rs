@@ -88,6 +88,15 @@ fn rebuild_wait_graph(arena: &SnapshotArena, g: &mut WaitGraph) {
     }
 }
 
+/// Which simulation-engine stepper drives the run.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Stepper {
+    /// The activity-driven engine ([`Network::step`]) — the default.
+    Activity,
+    /// The dense reference scan ([`Network::step_reference`]).
+    Dense,
+}
+
 /// Executes one simulation point.
 ///
 /// The loop per cycle: Bernoulli traffic generation at every node, one
@@ -96,13 +105,27 @@ fn rebuild_wait_graph(arena: &SnapshotArena, g: &mut WaitGraph) {
 /// recovery of every detected knot. Detection and recovery also run during
 /// warm-up so the network reaches a meaningful steady state.
 pub fn run(cfg: &RunConfig) -> RunResult {
-    run_with(cfg, &mut ())
+    run_impl(cfg, &mut (), Stepper::Activity)
+}
+
+/// [`run`], but driven by the dense reference stepper
+/// ([`icn_sim::Network::step_reference`]) instead of the activity engine.
+/// The two are differentially tested to be byte-identical
+/// ([`RunResult::digest`] equality), so this exists as the semantic
+/// baseline for those tests and for engine benchmarks — not for normal
+/// use.
+pub fn run_reference(cfg: &RunConfig) -> RunResult {
+    run_impl(cfg, &mut (), Stepper::Dense)
 }
 
 /// [`run`] with observer hooks (see [`RunObserver`]). The observer never
 /// influences traffic or routing, so an observed run is cycle-identical
 /// to a plain one up to the point it breaks.
 pub fn run_with(cfg: &RunConfig, obs: &mut dyn RunObserver) -> RunResult {
+    run_impl(cfg, obs, Stepper::Activity)
+}
+
+fn run_impl(cfg: &RunConfig, obs: &mut dyn RunObserver, stepper: Stepper) -> RunResult {
     cfg.sim.validate();
     let topo = cfg.topology.build();
     if cfg.pattern.needs_pow2() {
@@ -171,7 +194,10 @@ pub fn run_with(cfg: &RunConfig, obs: &mut dyn RunObserver) -> RunResult {
         }
 
         // One cycle of the engine.
-        let ev = net.step();
+        let ev = match stepper {
+            Stepper::Activity => net.step(),
+            Stepper::Dense => net.step_reference(),
+        };
         if let Some(f) = forensic.as_mut() {
             let (events, dropped) = net.take_trace();
             f.absorb(events, dropped);

@@ -23,7 +23,7 @@ pub struct DeliveredMsg {
 }
 
 /// Everything that happened during one [`crate::Network::step`].
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct StepEvents {
     /// Messages completed this cycle.
     pub delivered: Vec<DeliveredMsg>,

@@ -71,6 +71,72 @@ impl IdMap {
     }
 }
 
+/// Which stepping engine an instance is committed to. The activity-driven
+/// [`step`](Network::step) and the dense reference
+/// [`step_reference`](Network::step_reference) keep different bookkeeping,
+/// so an instance must use one exclusively; the first step locks the mode.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum StepMode {
+    Unset,
+    Activity,
+    Dense,
+}
+
+/// Allocation-phase scheduling state of an active message (activity engine).
+///
+/// * `Queued` — runnable: in the allocation queue (or the `woken` buffer)
+///   and re-attempted every cycle. Covers moving, filling, and just-woken
+///   messages.
+/// * `Parked` — blocked with every watched resource busy; skipped until a
+///   wake fires. A parked message with an empty watch set has an empty
+///   (fault-filtered) candidate set, which can never grow back: it is
+///   stranded exactly as the dense stepper would re-discover each cycle.
+/// * `Inactive` — not routing (ejecting or recovering; drains instead).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum AllocState {
+    Queued,
+    Parked,
+    Inactive,
+}
+
+/// Injection scheduling state of a node (activity engine).
+///
+/// * `Idle` — empty source queue, or no free injection channel; woken by
+///   [`Network::enqueue_with_len`] / an injection-channel release.
+/// * `Ready` — on the ready list; attempted next allocation phase.
+/// * `Parked` — queue front found every candidate VC busy; watching them.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum InjState {
+    Idle,
+    Ready,
+    Parked,
+}
+
+/// High bit of a wake-list waiter: set when the waiter is an injector node
+/// rather than a message slot.
+const INJECTOR: u32 = 1 << 31;
+
+/// One entry on a resource's wake list: `waiter` (message slot, or
+/// `INJECTOR | node`) plus the index of this watch in the waiter's own
+/// watch table, so either side can unlink the other in O(1).
+#[derive(Clone, Copy, Debug)]
+struct WakeEntry {
+    waiter: u32,
+    watch_pos: u32,
+}
+
+/// Outcome of one injection attempt at a node.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum InjectOutcome {
+    /// Queue front acquired a first VC and left the queue.
+    Injected,
+    /// Nothing queued at this node.
+    EmptyQueue,
+    /// Every candidate VC for the queue front is owned; the candidates are
+    /// left in `cand_buf` so the activity engine can park on them.
+    NoFreeVc,
+}
+
 /// The simulated network: topology + routing relation + all dynamic state.
 ///
 /// Each [`step`](Network::step) simulates one cycle in three phases:
@@ -121,8 +187,58 @@ pub struct Network {
     active_idx: Vec<u32>,
     id_map: IdMap,
     next_id: MessageId,
-    /// Scratch: active slots sorted by id (age order), rebuilt per step.
+    /// Scratch: active slots sorted by id (age order), rebuilt per step
+    /// (dense reference stepper only).
     step_order: Vec<u32>,
+
+    /// Which stepper this instance is committed to (locked on first step).
+    mode: StepMode,
+    /// Runnable routing-phase slots in id (age) order. New injections
+    /// append (ids are monotone), wakes merge in via [`Self::woken`], and
+    /// parked / inactive entries compact out during the allocation pass.
+    alloc_queue: Vec<u32>,
+    /// Merge scratch for [`Self::alloc_queue`].
+    alloc_scratch: Vec<u32>,
+    /// Slots woken since the last allocation phase (unordered).
+    woken: Vec<u32>,
+    /// Per-slot allocation scheduling state.
+    alloc_state: Vec<AllocState>,
+    /// Per-node injection scheduling state.
+    inj_state: Vec<InjState>,
+    /// Nodes to attempt next allocation phase (unordered; sorted on use).
+    inj_ready: Vec<u32>,
+    /// Per-resource wake lists: VC `v` at index `v`, the reception group
+    /// of node `n` at `num_vcs + n`.
+    wake_lists: Vec<Vec<WakeEntry>>,
+    /// Per-slot watch table: `(resource, index in wake_lists[resource])`.
+    msg_watches: Vec<Vec<(u32, u32)>>,
+    /// Per-node watch table for parked injectors.
+    inj_watches: Vec<Vec<(u32, u32)>>,
+    /// Channels to examine in the transfer phase (membership in
+    /// [`Self::chan_on`]). Entries appended during a transfer apply to the
+    /// next cycle; entries appended during allocation to the same cycle.
+    chan_list: Vec<u32>,
+    /// Channel membership flags for [`Self::chan_list`].
+    chan_on: Vec<bool>,
+    /// Ejecting / recovering slots, each draining one flit per cycle.
+    drain_list: Vec<u32>,
+    /// Slot → index in [`Self::drain_list`], or [`NO_OWNER`].
+    drain_idx: Vec<u32>,
+    /// VCs whose occupancy changed since `occ_start` was last synced.
+    occ_dirty: Vec<u32>,
+    /// Slots the release phase must visit this cycle (unordered; sorted).
+    release_check: Vec<u32>,
+    /// Slots whose release visit is deferred to the next cycle: the dense
+    /// release phase only scans messages active at the *start* of a cycle,
+    /// so a message that finishes injecting within its injection cycle is
+    /// not visited (and its injection channel not freed) until the next
+    /// one.
+    release_deferred: Vec<u32>,
+    /// Membership flags for [`Self::release_check`] ∪
+    /// [`Self::release_deferred`].
+    release_flag: Vec<bool>,
+    /// Count of active messages with `blocked` set (both steppers).
+    blocked_ctr: usize,
 
     /// Scratch: start-of-cycle occupancies.
     occ_start: Vec<u16>,
@@ -200,6 +316,25 @@ impl Network {
             id_map: IdMap::default(),
             next_id: 0,
             step_order: Vec::new(),
+            mode: StepMode::Unset,
+            alloc_queue: Vec::new(),
+            alloc_scratch: Vec::new(),
+            woken: Vec::new(),
+            alloc_state: Vec::new(),
+            inj_state: vec![InjState::Idle; n_nodes],
+            inj_ready: Vec::new(),
+            wake_lists: vec![Vec::new(); n_vcs + n_nodes],
+            msg_watches: Vec::new(),
+            inj_watches: vec![Vec::new(); n_nodes],
+            chan_list: Vec::new(),
+            chan_on: vec![false; topo.num_channels()],
+            drain_list: Vec::new(),
+            drain_idx: Vec::new(),
+            occ_dirty: Vec::new(),
+            release_check: Vec::new(),
+            release_deferred: Vec::new(),
+            release_flag: vec![],
+            blocked_ctr: 0,
             occ_start: vec![0; n_vcs],
             cand_buf: Vec::new(),
             tracer: None,
@@ -261,6 +396,16 @@ impl Network {
             len: len as u32,
         });
         self.total_generated += 1;
+        // Activity engine: an idle node with traffic and a free injection
+        // channel belongs on the ready list. (A parked node stays parked:
+        // its queue front — the only injectable message — is unchanged.)
+        let n = src.idx();
+        if self.inj_state[n] == InjState::Idle
+            && (self.injecting_count[n] as usize) < self.injection_per_node
+        {
+            self.inj_state[n] = InjState::Ready;
+            self.inj_ready.push(n as u32);
+        }
     }
 
     /// Gives every node `injection` injection channels and `reception`
@@ -312,18 +457,33 @@ impl Network {
         let Some(slot) = self.id_map.get(id) else {
             return false;
         };
-        let msg = self.messages[slot as usize].as_mut().expect("slot live");
-        if msg.phase != MsgPhase::Routing {
-            return false;
+        {
+            let msg = self.messages[slot as usize].as_mut().expect("slot live");
+            if msg.phase != MsgPhase::Routing {
+                return false;
+            }
+            msg.phase = MsgPhase::Recovering;
+            if msg.blocked {
+                self.blocked_ctr -= 1;
+            }
+            msg.blocked = false;
+            msg.blocked_since = None;
+            if let Some(t) = self.tracer.as_mut() {
+                t.push(crate::TraceEvent::RecoveryStart {
+                    cycle: self.cycle,
+                    id,
+                });
+            }
         }
-        msg.phase = MsgPhase::Recovering;
-        msg.blocked = false;
-        msg.blocked_since = None;
-        if let Some(t) = self.tracer.as_mut() {
-            t.push(crate::TraceEvent::RecoveryStart {
-                cycle: self.cycle,
-                id,
-            });
+        if self.mode != StepMode::Dense {
+            // Pull the message out of the allocation machinery and onto the
+            // drain list. A `Queued` entry stays in `alloc_queue` / `woken`
+            // and is dropped by the state check at the next pass.
+            if self.alloc_state[slot as usize] == AllocState::Parked {
+                self.unpark(slot);
+            }
+            self.alloc_state[slot as usize] = AllocState::Inactive;
+            self.drain_push(slot);
         }
         true
     }
@@ -333,13 +493,10 @@ impl Network {
         self.active.len()
     }
 
-    /// Active messages whose header acquisition failed this cycle.
+    /// Active messages whose header acquisition failed this cycle. O(1):
+    /// maintained as a counter on blocked transitions.
     pub fn blocked_count(&self) -> usize {
-        self.active
-            .iter()
-            .map(|&s| self.messages[s as usize].as_ref().unwrap())
-            .filter(|m| m.blocked)
-            .count()
+        self.blocked_ctr
     }
 
     /// Messages waiting in source queues.
@@ -386,44 +543,78 @@ impl Network {
             .sort_unstable_by_key(|&s| messages[s as usize].as_ref().expect("active slot").id);
     }
 
-    /// Simulates one cycle.
+    /// Simulates one cycle with the activity-driven engine: only ready
+    /// injectors, runnable messages, active channels, and triggered
+    /// releases are visited. Byte-identical to
+    /// [`step_reference`](Self::step_reference) — same arbitration order,
+    /// events, traces, and counters — which the differential tests enforce.
     pub fn step(&mut self) -> StepEvents {
+        assert_ne!(
+            self.mode,
+            StepMode::Dense,
+            "instance already stepped with step_reference; steppers cannot be mixed"
+        );
+        self.mode = StepMode::Activity;
+        let mut events = StepEvents::default();
+        // Visits deferred from last cycle (injection completed in the
+        // injection cycle) come due now; their release flags stay set so
+        // this cycle's transfer triggers cannot double-add them.
+        debug_assert!(self.release_check.is_empty());
+        std::mem::swap(&mut self.release_check, &mut self.release_deferred);
+        self.merge_woken();
+        self.activity_injections(&mut events);
+        self.activity_next_hops();
+        self.activity_transfer(&mut events);
+        self.activity_release(&mut events);
+        self.cycle += 1;
+        events
+    }
+
+    /// Simulates one cycle with the dense reference stepper: every node,
+    /// active message, and channel is scanned, exactly as the original
+    /// engine did. Kept as the semantic baseline the activity engine is
+    /// differentially tested (and benchmarked) against. An instance must
+    /// use one stepper exclusively.
+    pub fn step_reference(&mut self) -> StepEvents {
+        assert_ne!(
+            self.mode,
+            StepMode::Activity,
+            "instance already stepped with step; steppers cannot be mixed"
+        );
+        self.mode = StepMode::Dense;
         let mut events = StepEvents::default();
         self.rebuild_step_order();
-        self.phase_allocation(&mut events);
-        self.phase_transfer(&mut events);
-        self.phase_release(&mut events);
+        self.reference_injections(&mut events);
+        self.reference_next_hops();
+        self.reference_transfer(&mut events);
+        self.reference_release(&mut events);
         self.cycle += 1;
         events
     }
 
     // ------------------------------------------------------------------
-    // Phase 1: allocation
+    // Phase 1: allocation (dense reference)
     // ------------------------------------------------------------------
-
-    fn phase_allocation(&mut self, events: &mut StepEvents) {
-        self.try_injections(events);
-        self.try_next_hops();
-    }
 
     /// Source-queue heads try to acquire their first VC (which implicitly
     /// claims the node's single injection channel).
-    fn try_injections(&mut self, events: &mut StepEvents) {
+    fn reference_injections(&mut self, events: &mut StepEvents) {
         for node in 0..self.topo.num_nodes() {
             // One acquisition attempt per free injection channel per cycle.
             while (self.injecting_count[node] as usize) < self.injection_per_node {
-                if !self.try_inject_one(node, events) {
+                if self.try_inject_one(node, events) != InjectOutcome::Injected {
                     break;
                 }
             }
         }
     }
 
-    /// Attempts to start the queue-front message at `node`; returns
-    /// whether a message left the queue.
-    fn try_inject_one(&mut self, node: usize, events: &mut StepEvents) -> bool {
+    /// Attempts to start the queue-front message at `node` (shared by both
+    /// steppers). On [`InjectOutcome::NoFreeVc`] the message stays queued
+    /// holding nothing, and `cand_buf` still lists its candidates.
+    fn try_inject_one(&mut self, node: usize, events: &mut StepEvents) -> InjectOutcome {
         let Some(&Pending { dst, born, len }) = self.source_q[node].front() else {
-            return false;
+            return InjectOutcome::EmptyQueue;
         };
         let src = NodeId(node as u32);
         compute_candidates(
@@ -436,7 +627,7 @@ impl Network {
         );
         let Some(vc_idx) = first_free_vc(&self.vcs, self.cfg.vcs_per_channel, &self.cand_buf)
         else {
-            return false; // stays queued; holds nothing
+            return InjectOutcome::NoFreeVc;
         };
 
         {
@@ -499,19 +690,33 @@ impl Network {
             self.id_map.push(id, slot);
             self.injecting_count[node] += 1;
             if self.active_idx.len() <= slot as usize {
-                self.active_idx.resize(slot as usize + 1, NO_OWNER);
+                let n = slot as usize + 1;
+                self.active_idx.resize(n, NO_OWNER);
+                self.alloc_state.resize(n, AllocState::Inactive);
+                self.drain_idx.resize(n, NO_OWNER);
+                self.release_flag.resize(n, false);
+                self.msg_watches.resize_with(n, Vec::new);
             }
             self.active_idx[slot as usize] = self.active.len() as u32;
             self.active.push(slot);
             self.total_injected += 1;
             events.injected += 1;
+            // Activity engine: the new message is runnable (a same-cycle
+            // no-op: its head VC fills only during this cycle's transfer),
+            // and its freshly acquired VC may carry a flit this cycle.
+            // Appending keeps `alloc_queue` id-sorted (ids are monotone).
+            if self.mode == StepMode::Activity {
+                self.alloc_state[slot as usize] = AllocState::Queued;
+                self.alloc_queue.push(slot);
+                self.activate_channel(vc_idx as usize / self.cfg.vcs_per_channel);
+            }
         }
-        true
+        InjectOutcome::Injected
     }
 
     /// In-flight headers try to acquire their next VC, or the reception
     /// channel at the destination. Oldest message first (age priority).
-    fn try_next_hops(&mut self) {
+    fn reference_next_hops(&mut self) {
         for i in 0..self.step_order.len() {
             let slot = self.step_order[i];
             let msg = self.messages[slot as usize].as_mut().expect("active slot");
@@ -521,6 +726,7 @@ impl Network {
             let &head_vc = msg.chain.back().expect("routing message owns its head VC");
             if self.vcs[head_vc as usize].occupancy == 0 {
                 // Header flit still in flight towards this buffer.
+                debug_assert!(!msg.blocked, "blocked header always has a buffered flit");
                 msg.blocked = false;
                 continue;
             }
@@ -537,6 +743,9 @@ impl Network {
                     self.reception[base + r] = slot;
                     msg.reception_slot = r as u8;
                     msg.phase = MsgPhase::Ejecting;
+                    if msg.blocked {
+                        self.blocked_ctr -= 1;
+                    }
                     msg.blocked = false;
                     msg.blocked_since = None;
                     if let Some(t) = self.tracer.as_mut() {
@@ -548,6 +757,7 @@ impl Network {
                 } else if !msg.blocked {
                     msg.blocked = true;
                     msg.blocked_since = Some(self.cycle);
+                    self.blocked_ctr += 1;
                     if let Some(t) = self.tracer.as_mut() {
                         // Waiting on the destination's reception channels,
                         // not on any link.
@@ -572,6 +782,9 @@ impl Network {
             );
             match first_free_vc(&self.vcs, self.cfg.vcs_per_channel, &self.cand_buf) {
                 Some(vc_idx) => {
+                    if msg.blocked {
+                        self.blocked_ctr -= 1;
+                    }
                     acquire_vc(
                         &mut self.vcs,
                         &mut self.owned_per_channel,
@@ -594,6 +807,7 @@ impl Network {
                     if !msg.blocked {
                         msg.blocked = true;
                         msg.blocked_since = Some(self.cycle);
+                        self.blocked_ctr += 1;
                         if let Some(t) = self.tracer.as_mut() {
                             t.push(crate::TraceEvent::Blocked {
                                 cycle: self.cycle,
@@ -609,10 +823,10 @@ impl Network {
     }
 
     // ------------------------------------------------------------------
-    // Phase 2: transfer
+    // Phase 2: transfer (dense reference)
     // ------------------------------------------------------------------
 
-    fn phase_transfer(&mut self, events: &mut StepEvents) {
+    fn reference_transfer(&mut self, events: &mut StepEvents) {
         // Snapshot start-of-cycle occupancies: every decision below reads
         // these, so a flit advances at most one hop per cycle and buffer
         // space freed this cycle is only visible next cycle.
@@ -690,6 +904,7 @@ impl Network {
     /// slot → index back-map) and recycles its storage.
     fn finish_slot(&mut self, slot: u32) {
         let msg = self.messages[slot as usize].take().expect("finished slot");
+        debug_assert!(!msg.blocked, "draining messages are never blocked");
         self.id_map.remove(msg.id);
         let i = self.active_idx[slot as usize] as usize;
         debug_assert_eq!(self.active[i], slot);
@@ -698,10 +913,21 @@ impl Network {
             self.active_idx[moved as usize] = i as u32;
         }
         self.active_idx[slot as usize] = NO_OWNER;
+        // Activity bookkeeping (no-ops for a dense-mode instance).
+        self.alloc_state[slot as usize] = AllocState::Inactive;
+        debug_assert!(self.msg_watches[slot as usize].is_empty());
+        let di = self.drain_idx[slot as usize];
+        if di != NO_OWNER {
+            self.drain_list.swap_remove(di as usize);
+            if let Some(&moved) = self.drain_list.get(di as usize) {
+                self.drain_idx[moved as usize] = di;
+            }
+            self.drain_idx[slot as usize] = NO_OWNER;
+        }
         self.free_slots.push(slot);
     }
 
-    fn phase_release(&mut self, events: &mut StepEvents) {
+    fn reference_release(&mut self, events: &mut StepEvents) {
         for i in 0..self.step_order.len() {
             let slot = self.step_order[i];
             let msg = self.messages[slot as usize].as_mut().expect("active slot");
@@ -756,6 +982,614 @@ impl Network {
                 }
                 self.finish_slot(slot);
             }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Activity engine: wake lists, ready lists, active channels
+    // ------------------------------------------------------------------
+    //
+    // The activity stepper exploits three facts about the dense phases:
+    //
+    // * A blocked message's re-attempt has no side effects, and its
+    //   candidate set is frozen while it is parked (routing state only
+    //   changes on acquisition; `fail_channel` requires every VC of the
+    //   channel free, and all of a parked waiter's candidate VCs are
+    //   owned — that is why it parked). It can therefore only become
+    //   acquirable when a watched VC or reception slot is freed, which
+    //   happens exclusively in the release phase, where the wake fires.
+    // * Transfer decisions read only start-of-cycle occupancies, so
+    //   per-channel decisions are order-independent and every movability
+    //   transition is caused by an acquisition or an occupancy change —
+    //   each of which re-activates the affected channel.
+    // * The release actions (injection-channel free, tail release,
+    //   completion) are all triggered by transfer-phase changes
+    //   (`uninjected` hitting zero, an occupancy hitting zero, the last
+    //   flit draining), so only those messages need visiting, in id order.
+
+    /// Adds `ch` to the active-channel set (idempotent).
+    #[inline]
+    fn activate_channel(&mut self, ch: usize) {
+        if !self.chan_on[ch] {
+            self.chan_on[ch] = true;
+            self.chan_list.push(ch as u32);
+        }
+    }
+
+    /// Schedules `slot` for this cycle's release phase (idempotent).
+    #[inline]
+    fn mark_release(&mut self, slot: u32) {
+        if !self.release_flag[slot as usize] {
+            self.release_flag[slot as usize] = true;
+            self.release_check.push(slot);
+        }
+    }
+
+    /// Appends `slot` to the drain list (one flit per cycle until done).
+    fn drain_push(&mut self, slot: u32) {
+        debug_assert_eq!(self.drain_idx[slot as usize], NO_OWNER);
+        self.drain_idx[slot as usize] = self.drain_list.len() as u32;
+        self.drain_list.push(slot);
+    }
+
+    fn watches_of(&self, waiter: u32) -> &Vec<(u32, u32)> {
+        if waiter & INJECTOR != 0 {
+            &self.inj_watches[(waiter ^ INJECTOR) as usize]
+        } else {
+            &self.msg_watches[waiter as usize]
+        }
+    }
+
+    fn watches_of_mut(&mut self, waiter: u32) -> &mut Vec<(u32, u32)> {
+        if waiter & INJECTOR != 0 {
+            &mut self.inj_watches[(waiter ^ INJECTOR) as usize]
+        } else {
+            &mut self.msg_watches[waiter as usize]
+        }
+    }
+
+    /// Parks `waiter` (message slot, or `INJECTOR | node`) on `resource`.
+    fn watch(&mut self, waiter: u32, resource: u32) {
+        let Self {
+            wake_lists,
+            msg_watches,
+            inj_watches,
+            ..
+        } = self;
+        let watches = if waiter & INJECTOR != 0 {
+            &mut inj_watches[(waiter ^ INJECTOR) as usize]
+        } else {
+            &mut msg_watches[waiter as usize]
+        };
+        let list = &mut wake_lists[resource as usize];
+        list.push(WakeEntry {
+            waiter,
+            watch_pos: watches.len() as u32,
+        });
+        watches.push((resource, (list.len() - 1) as u32));
+    }
+
+    /// Removes every watch held by `waiter`: O(1) per watch via swap-remove
+    /// on the wake list plus a back-pointer fix-up for the entry that slid
+    /// into the hole. Leaves no stale entries behind.
+    fn unpark(&mut self, waiter: u32) {
+        let n = self.watches_of(waiter).len();
+        for k in 0..n {
+            let (resource, i) = self.watches_of(waiter)[k];
+            let list = &mut self.wake_lists[resource as usize];
+            debug_assert_eq!(list[i as usize].waiter, waiter);
+            list.swap_remove(i as usize);
+            if let Some(&moved) = list.get(i as usize) {
+                debug_assert_ne!(moved.waiter, waiter, "one watch per resource");
+                self.watches_of_mut(moved.waiter)[moved.watch_pos as usize].1 = i;
+            }
+        }
+        self.watches_of_mut(waiter).clear();
+    }
+
+    /// Wakes every waiter parked on `resource`; messages join the `woken`
+    /// buffer and injectors the ready list, both re-attempted next cycle.
+    fn wake_resource(&mut self, resource: u32) {
+        while let Some(&WakeEntry { waiter, .. }) = self.wake_lists[resource as usize].last() {
+            // unpark removes (at least) the entry just examined.
+            self.unpark(waiter);
+            if waiter & INJECTOR != 0 {
+                let node = (waiter ^ INJECTOR) as usize;
+                debug_assert_eq!(self.inj_state[node], InjState::Parked);
+                self.inj_state[node] = InjState::Ready;
+                self.inj_ready.push(node as u32);
+            } else {
+                debug_assert_eq!(self.alloc_state[waiter as usize], AllocState::Parked);
+                self.alloc_state[waiter as usize] = AllocState::Queued;
+                self.woken.push(waiter);
+            }
+        }
+    }
+
+    /// Parks `waiter` on every VC in the current candidate buffer (all are
+    /// owned, or the attempt would have succeeded). An empty buffer parks
+    /// with no watches: a fixed routing context's fault-filtered candidate
+    /// set can only shrink, so such a waiter can never become acquirable —
+    /// exactly what the dense stepper re-discovers every cycle.
+    fn park_on_candidates(&mut self, waiter: u32) {
+        let cand_buf = std::mem::take(&mut self.cand_buf);
+        let vcs_per = self.cfg.vcs_per_channel;
+        for c in &cand_buf {
+            let base = c.channel.idx() * vcs_per;
+            for v in c.vcs.iter() {
+                debug_assert_ne!(self.vcs[base + v].owner, NO_OWNER);
+                self.watch(waiter, (base + v) as u32);
+            }
+        }
+        self.cand_buf = cand_buf;
+    }
+
+    /// Folds messages woken since the last allocation phase back into the
+    /// id-sorted allocation queue (two-pointer merge).
+    fn merge_woken(&mut self) {
+        if self.woken.is_empty() {
+            return;
+        }
+        let Self {
+            woken,
+            messages,
+            alloc_queue,
+            alloc_scratch,
+            ..
+        } = self;
+        let id_of = |s: u32| messages[s as usize].as_ref().expect("woken slot live").id;
+        woken.sort_unstable_by_key(|&s| id_of(s));
+        alloc_scratch.clear();
+        let (mut a, mut w) = (0usize, 0usize);
+        while a < alloc_queue.len() && w < woken.len() {
+            if id_of(alloc_queue[a]) <= id_of(woken[w]) {
+                alloc_scratch.push(alloc_queue[a]);
+                a += 1;
+            } else {
+                alloc_scratch.push(woken[w]);
+                w += 1;
+            }
+        }
+        alloc_scratch.extend_from_slice(&alloc_queue[a..]);
+        alloc_scratch.extend_from_slice(&woken[w..]);
+        std::mem::swap(alloc_queue, alloc_scratch);
+        woken.clear();
+    }
+
+    /// Activity allocation, injection half: only ready nodes attempt, in
+    /// ascending node order (the dense scan's order).
+    fn activity_injections(&mut self, events: &mut StepEvents) {
+        if self.inj_ready.is_empty() {
+            return;
+        }
+        let mut ready = std::mem::take(&mut self.inj_ready);
+        ready.sort_unstable();
+        for &node in &ready {
+            debug_assert_eq!(self.inj_state[node as usize], InjState::Ready);
+            self.attempt_injector(node, events);
+        }
+        ready.clear();
+        self.inj_ready = ready;
+    }
+
+    /// Drains one node's injection opportunities and records why it
+    /// stopped (idle, or parked on the queue front's candidate VCs).
+    fn attempt_injector(&mut self, node: u32, events: &mut StepEvents) {
+        let n = node as usize;
+        loop {
+            if (self.injecting_count[n] as usize) >= self.injection_per_node {
+                self.inj_state[n] = InjState::Idle;
+                return;
+            }
+            match self.try_inject_one(n, events) {
+                InjectOutcome::Injected => {}
+                InjectOutcome::EmptyQueue => {
+                    self.inj_state[n] = InjState::Idle;
+                    return;
+                }
+                InjectOutcome::NoFreeVc => {
+                    self.inj_state[n] = InjState::Parked;
+                    self.park_on_candidates(INJECTOR | node);
+                    return;
+                }
+            }
+        }
+    }
+
+    /// Activity allocation, routing half: attempt every runnable message
+    /// in id order, compacting parked / inactive entries out of the queue.
+    fn activity_next_hops(&mut self) {
+        let mut queue = std::mem::take(&mut self.alloc_queue);
+        let mut keep = 0;
+        for i in 0..queue.len() {
+            let slot = queue[i];
+            // A recovery pull between steps leaves a stale entry behind;
+            // it is dropped here before the slot can ever be recycled.
+            if self.alloc_state[slot as usize] != AllocState::Queued {
+                continue;
+            }
+            if self.attempt_next_hop(slot) {
+                queue[keep] = slot;
+                keep += 1;
+            }
+        }
+        queue.truncate(keep);
+        debug_assert!(self.alloc_queue.is_empty());
+        self.alloc_queue = queue;
+    }
+
+    /// One message's next-hop attempt (the body of the dense scan), plus
+    /// parking on failure. Returns whether the message stays runnable.
+    fn attempt_next_hop(&mut self, slot: u32) -> bool {
+        let s = slot as usize;
+        let (head_vc, dst) = {
+            let msg = self.messages[s].as_ref().expect("queued slot");
+            debug_assert_eq!(msg.phase, MsgPhase::Routing);
+            (
+                *msg.chain.back().expect("routing message owns its head VC"),
+                msg.dst,
+            )
+        };
+        if self.vcs[head_vc as usize].occupancy == 0 {
+            // Header flit still in flight towards this buffer; re-attempt
+            // next cycle (cheap: this branch).
+            let msg = self.messages[s].as_mut().expect("queued slot");
+            debug_assert!(!msg.blocked, "blocked header always has a buffered flit");
+            msg.blocked = false;
+            return true;
+        }
+        let here = self
+            .topo
+            .channel(ChannelId(head_vc / self.cfg.vcs_per_channel as u32))
+            .dst;
+
+        if here == dst {
+            let base = here.idx() * self.reception_per_node;
+            let free = (0..self.reception_per_node).find(|&r| self.reception[base + r] == NO_OWNER);
+            if let Some(r) = free {
+                self.reception[base + r] = slot;
+                let msg = self.messages[s].as_mut().expect("queued slot");
+                msg.reception_slot = r as u8;
+                msg.phase = MsgPhase::Ejecting;
+                if msg.blocked {
+                    self.blocked_ctr -= 1;
+                }
+                msg.blocked = false;
+                msg.blocked_since = None;
+                let id = msg.id;
+                if let Some(t) = self.tracer.as_mut() {
+                    t.push(crate::TraceEvent::EjectStart {
+                        cycle: self.cycle,
+                        id,
+                    });
+                }
+                self.alloc_state[s] = AllocState::Inactive;
+                self.drain_push(slot);
+            } else {
+                {
+                    let msg = self.messages[s].as_mut().expect("queued slot");
+                    if !msg.blocked {
+                        msg.blocked = true;
+                        msg.blocked_since = Some(self.cycle);
+                        self.blocked_ctr += 1;
+                        let id = msg.id;
+                        if let Some(t) = self.tracer.as_mut() {
+                            // Waiting on the destination's reception
+                            // channels, not on any link.
+                            t.push(crate::TraceEvent::Blocked {
+                                cycle: self.cycle,
+                                id,
+                                at: here,
+                                candidates: Vec::new(),
+                            });
+                        }
+                    }
+                }
+                self.alloc_state[s] = AllocState::Parked;
+                let resource = (self.vcs.len() + here.idx()) as u32;
+                self.watch(slot, resource);
+            }
+            return false;
+        }
+
+        let acquired = {
+            let msg = self.messages[s].as_mut().expect("queued slot");
+            compute_candidates(
+                &self.topo,
+                &*self.routing,
+                self.cfg.vcs_per_channel,
+                &self.failed,
+                &ctx_of(msg, here),
+                &mut self.cand_buf,
+            );
+            match first_free_vc(&self.vcs, self.cfg.vcs_per_channel, &self.cand_buf) {
+                Some(vc_idx) => {
+                    if msg.blocked {
+                        self.blocked_ctr -= 1;
+                    }
+                    acquire_vc(
+                        &mut self.vcs,
+                        &mut self.owned_per_channel,
+                        &self.topo,
+                        self.cfg.vcs_per_channel,
+                        msg,
+                        vc_idx,
+                        slot,
+                    );
+                    let id = msg.id;
+                    if let Some(t) = self.tracer.as_mut() {
+                        t.push(crate::TraceEvent::Acquired {
+                            cycle: self.cycle,
+                            id,
+                            channel: ChannelId(vc_idx / self.cfg.vcs_per_channel as u32),
+                            vc: (vc_idx as usize % self.cfg.vcs_per_channel) as u8,
+                        });
+                    }
+                    Some(vc_idx)
+                }
+                None => {
+                    if !msg.blocked {
+                        msg.blocked = true;
+                        msg.blocked_since = Some(self.cycle);
+                        self.blocked_ctr += 1;
+                        let id = msg.id;
+                        if let Some(t) = self.tracer.as_mut() {
+                            t.push(crate::TraceEvent::Blocked {
+                                cycle: self.cycle,
+                                id,
+                                at: here,
+                                candidates: self.cand_buf.iter().map(|c| c.channel).collect(),
+                            });
+                        }
+                    }
+                    None
+                }
+            }
+        };
+        match acquired {
+            Some(vc_idx) => {
+                // The new head may carry a flit this very cycle.
+                self.activate_channel(vc_idx as usize / self.cfg.vcs_per_channel);
+                true
+            }
+            None => {
+                self.alloc_state[s] = AllocState::Parked;
+                self.park_on_candidates(slot);
+                false
+            }
+        }
+    }
+
+    /// Activity transfer: only channels on the active list are examined,
+    /// and `occ_start` is patched from the dirty list instead of copied.
+    fn activity_transfer(&mut self, events: &mut StepEvents) {
+        // Lazy occ_start sync: occupancies change only during a transfer
+        // and every change is logged, so patching the dirty entries is
+        // exactly the dense stepper's full copy.
+        {
+            let Self {
+                occ_dirty,
+                occ_start,
+                vcs,
+                ..
+            } = self;
+            for &v in occ_dirty.iter() {
+                occ_start[v as usize] = vcs[v as usize].occupancy;
+            }
+            occ_dirty.clear();
+        }
+        let vcs_per = self.cfg.vcs_per_channel;
+        let depth = self.cfg.buffer_depth as u16;
+
+        // Entries appended during this pass (occupancy triggers) belong to
+        // the next cycle; the first `n` entries are this cycle's set.
+        let n = self.chan_list.len();
+        for k in 0..n {
+            let ch = self.chan_list[k] as usize;
+            self.chan_on[ch] = false;
+        }
+        for k in 0..n {
+            let ch = self.chan_list[k] as usize;
+            if self.owned_per_channel[ch] == 0 {
+                continue;
+            }
+            let base = ch * vcs_per;
+            let start = self.link_rr[ch] as usize;
+            for i in 0..vcs_per {
+                let off = (start + i) % vcs_per;
+                let v = base + off;
+                let Vc { owner, seq, .. } = self.vcs[v];
+                if owner == NO_OWNER || self.occ_start[v] >= depth {
+                    continue;
+                }
+                let (moved, prev, succ, injection_done) = {
+                    let msg = self.messages[owner as usize].as_mut().expect("owner live");
+                    let pos = (seq - msg.front_seq) as usize;
+                    if pos == 0 {
+                        // Tail-most owned VC: flits arrive from the source.
+                        if msg.uninjected > 0 {
+                            msg.uninjected -= 1;
+                            (true, None, msg.chain.get(1).copied(), msg.uninjected == 0)
+                        } else {
+                            (false, None, None, false)
+                        }
+                    } else {
+                        let prev = msg.chain[pos - 1] as usize;
+                        if self.occ_start[prev] >= 1 {
+                            (true, Some(prev), msg.chain.get(pos + 1).copied(), false)
+                        } else {
+                            (false, None, None, false)
+                        }
+                    }
+                };
+                if !moved {
+                    continue;
+                }
+                self.vcs[v].occupancy += 1;
+                self.occ_dirty.push(v as u32);
+                events.link_flits += 1;
+                self.link_rr[ch] = ((off + 1) % vcs_per) as u8;
+                // The served link stays active (round-robin fairness); the
+                // fed VC may now feed its chain successor; the drained
+                // upstream VC regained buffer space.
+                self.activate_channel(ch);
+                if let Some(nxt) = succ {
+                    self.activate_channel(nxt as usize / vcs_per);
+                }
+                if let Some(p) = prev {
+                    self.vcs[p].occupancy -= 1;
+                    self.occ_dirty.push(p as u32);
+                    self.activate_channel(p / vcs_per);
+                    if self.vcs[p].occupancy == 0 {
+                        // Tail release may now be possible.
+                        self.mark_release(owner);
+                    }
+                }
+                if injection_done {
+                    // The injection channel frees — but the dense release
+                    // phase scans the start-of-cycle active set, so a
+                    // message injected *this* cycle (len 1) is only
+                    // visited next cycle.
+                    let injected_now = self.messages[owner as usize]
+                        .as_ref()
+                        .expect("owner live")
+                        .injected_at
+                        == self.cycle;
+                    if !injected_now {
+                        self.mark_release(owner);
+                    } else if !self.release_flag[owner as usize] {
+                        self.release_flag[owner as usize] = true;
+                        self.release_deferred.push(owner);
+                    }
+                }
+                break;
+            }
+        }
+        self.chan_list.copy_within(n.., 0);
+        let rest = self.chan_list.len() - n;
+        self.chan_list.truncate(rest);
+
+        // Ejection and recovery drains: one flit per cycle per message.
+        for k in 0..self.drain_list.len() {
+            let slot = self.drain_list[k];
+            let msg = self.messages[slot as usize].as_mut().expect("drain slot");
+            debug_assert_ne!(msg.phase, MsgPhase::Routing);
+            let &head = msg
+                .chain
+                .back()
+                .expect("draining message still owns its head VC");
+            if self.occ_start[head as usize] < 1 {
+                continue;
+            }
+            self.vcs[head as usize].occupancy -= 1;
+            msg.delivered += 1;
+            let done = msg.delivered == msg.len;
+            let emptied = self.vcs[head as usize].occupancy == 0;
+            self.occ_dirty.push(head);
+            self.activate_channel(head as usize / vcs_per);
+            if emptied || done {
+                self.mark_release(slot);
+            }
+        }
+    }
+
+    /// Activity release: visit only the messages a transfer-phase trigger
+    /// marked, oldest first, running the dense per-message release logic
+    /// plus the wakes for every freed resource.
+    fn activity_release(&mut self, events: &mut StepEvents) {
+        if self.release_check.is_empty() {
+            return;
+        }
+        let mut check = std::mem::take(&mut self.release_check);
+        let messages = &self.messages;
+        check.sort_unstable_by_key(|&s| messages[s as usize].as_ref().expect("release slot").id);
+        for &slot in &check {
+            self.release_flag[slot as usize] = false;
+            self.release_one(slot, events);
+        }
+        check.clear();
+        self.release_check = check;
+    }
+
+    fn release_one(&mut self, slot: u32, events: &mut StepEvents) {
+        let s = slot as usize;
+        // The injection channel frees once the tail leaves the source.
+        {
+            let msg = self.messages[s].as_mut().expect("release slot");
+            if msg.uninjected == 0 && msg.holds_injection {
+                msg.holds_injection = false;
+                let node = msg.src.idx();
+                self.injecting_count[node] -= 1;
+                if self.inj_state[node] == InjState::Idle && !self.source_q[node].is_empty() {
+                    self.inj_state[node] = InjState::Ready;
+                    self.inj_ready.push(node as u32);
+                }
+            }
+        }
+        // Tail release: owned VCs drain from the front of the chain; each
+        // freed VC wakes its parked waiters.
+        loop {
+            let front = {
+                let msg = self.messages[s].as_ref().expect("release slot");
+                match msg.chain.front() {
+                    Some(&f) if msg.uninjected == 0 && self.vcs[f as usize].occupancy == 0 => f,
+                    _ => break,
+                }
+            };
+            self.vcs[front as usize].owner = NO_OWNER;
+            self.owned_per_channel[front as usize / self.cfg.vcs_per_channel] -= 1;
+            {
+                let msg = self.messages[s].as_mut().expect("release slot");
+                msg.chain.pop_front();
+                msg.front_seq += 1;
+            }
+            self.wake_resource(front);
+        }
+        let done = {
+            let msg = self.messages[s].as_ref().expect("release slot");
+            msg.delivered == msg.len
+        };
+        if !done {
+            return;
+        }
+        let (reception, recovered, id) = {
+            let msg = self.messages[s].as_ref().expect("release slot");
+            debug_assert!(msg.chain.is_empty());
+            debug_assert_eq!(msg.uninjected, 0);
+            let recovered = msg.phase == MsgPhase::Recovering;
+            events.delivered.push(DeliveredMsg {
+                id: msg.id,
+                src: msg.src,
+                dst: msg.dst,
+                latency: self.cycle + 1 - msg.born,
+                network_latency: self.cycle + 1 - msg.injected_at,
+                hops: msg.next_seq,
+                len: msg.len,
+                recovered,
+            });
+            let reception = (msg.phase == MsgPhase::Ejecting)
+                .then(|| msg.dst.idx() * self.reception_per_node + msg.reception_slot as usize);
+            (reception, recovered, msg.id)
+        };
+        self.total_delivered += 1;
+        if recovered {
+            self.total_recovered += 1;
+        }
+        if let Some(t) = self.tracer.as_mut() {
+            t.push(crate::TraceEvent::Delivered {
+                cycle: self.cycle,
+                id,
+                recovered,
+            });
+        }
+        let freed_node = reception.map(|r| {
+            debug_assert_eq!(self.reception[r], slot);
+            self.reception[r] = NO_OWNER;
+            r / self.reception_per_node
+        });
+        self.finish_slot(slot);
+        if let Some(node) = freed_node {
+            self.wake_resource((self.vcs.len() + node) as u32);
         }
     }
 
@@ -830,6 +1664,244 @@ impl Network {
             } else {
                 assert!(self.messages[vc.owner as usize].is_some());
             }
+        }
+        let blocked_scan = self
+            .active
+            .iter()
+            .filter(|&&s| self.messages[s as usize].as_ref().unwrap().blocked)
+            .count();
+        assert_eq!(self.blocked_ctr, blocked_scan, "blocked counter drifted");
+        if self.mode == StepMode::Activity {
+            self.check_activity_invariants();
+        }
+    }
+
+    /// Activity-engine consistency, including the no-missed-wake
+    /// guarantees: a parked waiter's watched resources are all busy, a
+    /// movable VC's channel is on the active list, and an idle injector
+    /// has nothing it could inject.
+    fn check_activity_invariants(&self) {
+        let vcs_per = self.cfg.vcs_per_channel;
+        // Wake lists and watch tables are bidirectionally consistent.
+        let mut total_watches = 0usize;
+        for (w, watches) in self.msg_watches.iter().enumerate() {
+            for (k, &(r, i)) in watches.iter().enumerate() {
+                let e = self.wake_lists[r as usize][i as usize];
+                assert_eq!(e.waiter, w as u32, "watch back-pointer broken");
+                assert_eq!(e.watch_pos, k as u32, "watch back-pointer broken");
+                total_watches += 1;
+            }
+        }
+        for (node, watches) in self.inj_watches.iter().enumerate() {
+            for (k, &(r, i)) in watches.iter().enumerate() {
+                let e = self.wake_lists[r as usize][i as usize];
+                assert_eq!(
+                    e.waiter,
+                    INJECTOR | node as u32,
+                    "watch back-pointer broken"
+                );
+                assert_eq!(e.watch_pos, k as u32, "watch back-pointer broken");
+                total_watches += 1;
+            }
+        }
+        let total_entries: usize = self.wake_lists.iter().map(|l| l.len()).sum();
+        assert_eq!(total_entries, total_watches, "stale wake-list entries");
+
+        // Every queued routing message appears exactly once across the
+        // allocation queue and the woken buffer.
+        let mut queued_seen = vec![0u32; self.messages.len()];
+        for &s in self.alloc_queue.iter().chain(self.woken.iter()) {
+            assert!(self.messages[s as usize].is_some(), "dead slot queued");
+            if self.alloc_state[s as usize] == AllocState::Queued {
+                queued_seen[s as usize] += 1;
+            }
+        }
+        for &s in &self.inj_ready {
+            assert_eq!(self.inj_state[s as usize], InjState::Ready);
+        }
+
+        let mut cand = Vec::new();
+        for &slot in &self.active {
+            let msg = self.messages[slot as usize].as_ref().unwrap();
+            let s = slot as usize;
+            if msg.phase != MsgPhase::Routing {
+                assert_eq!(self.alloc_state[s], AllocState::Inactive);
+                assert_ne!(
+                    self.drain_idx[s], NO_OWNER,
+                    "draining message not on drain list"
+                );
+                assert_eq!(self.drain_list[self.drain_idx[s] as usize], slot);
+                continue;
+            }
+            match self.alloc_state[s] {
+                AllocState::Queued => {
+                    assert_eq!(
+                        queued_seen[s], 1,
+                        "queued message {} lost or duplicated",
+                        msg.id
+                    );
+                    assert!(self.msg_watches[s].is_empty());
+                }
+                AllocState::Parked => {
+                    assert!(msg.blocked, "parked message must be blocked");
+                    let &head = msg.chain.back().unwrap();
+                    assert!(self.vcs[head as usize].occupancy >= 1);
+                    let here = self.topo.channel(ChannelId(head / vcs_per as u32)).dst;
+                    if here == msg.dst {
+                        // Waiting for a reception channel: all busy, and
+                        // exactly the reception group is watched.
+                        let base = here.idx() * self.reception_per_node;
+                        for r in 0..self.reception_per_node {
+                            assert_ne!(
+                                self.reception[base + r],
+                                NO_OWNER,
+                                "parked at destination with a free reception slot: missed wake"
+                            );
+                        }
+                        assert_eq!(self.msg_watches[s].len(), 1);
+                        assert_eq!(
+                            self.msg_watches[s][0].0,
+                            (self.vcs.len() + here.idx()) as u32,
+                            "destination wait must watch the reception group"
+                        );
+                    } else {
+                        compute_candidates(
+                            &self.topo,
+                            &*self.routing,
+                            vcs_per,
+                            &self.failed,
+                            &ctx_of(msg, here),
+                            &mut cand,
+                        );
+                        let mut n_cand_vcs = 0;
+                        for c in &cand {
+                            let base = c.channel.idx() * vcs_per;
+                            for v in c.vcs.iter() {
+                                assert_ne!(
+                                    self.vcs[base + v].owner,
+                                    NO_OWNER,
+                                    "parked message {} has a free candidate VC: missed wake",
+                                    msg.id
+                                );
+                                n_cand_vcs += 1;
+                            }
+                        }
+                        assert_eq!(
+                            self.msg_watches[s].len(),
+                            n_cand_vcs,
+                            "watch set does not match candidate set"
+                        );
+                    }
+                }
+                AllocState::Inactive => panic!("routing message {} inactive", msg.id),
+            }
+        }
+
+        // Injector scheduling: an idle node must have nothing injectable.
+        for node in 0..self.topo.num_nodes() {
+            let has_free_slot = (self.injecting_count[node] as usize) < self.injection_per_node;
+            match self.inj_state[node] {
+                InjState::Idle => {
+                    assert!(
+                        self.source_q[node].is_empty() || !has_free_slot,
+                        "idle injector {node} with work and a free channel: missed wake"
+                    );
+                    assert!(self.inj_watches[node].is_empty());
+                }
+                InjState::Ready => {
+                    assert_eq!(
+                        self.inj_ready
+                            .iter()
+                            .filter(|&&n| n as usize == node)
+                            .count(),
+                        1
+                    );
+                }
+                InjState::Parked => {
+                    let &Pending { dst, .. } = self.source_q[node]
+                        .front()
+                        .expect("parked injector has work");
+                    assert!(has_free_slot, "parked injector without a free channel");
+                    let src = NodeId(node as u32);
+                    compute_candidates(
+                        &self.topo,
+                        &*self.routing,
+                        vcs_per,
+                        &self.failed,
+                        &RoutingCtx::fresh(src, dst, src),
+                        &mut cand,
+                    );
+                    let mut n_cand_vcs = 0;
+                    for c in &cand {
+                        let base = c.channel.idx() * vcs_per;
+                        for v in c.vcs.iter() {
+                            assert_ne!(
+                                self.vcs[base + v].owner,
+                                NO_OWNER,
+                                "parked injector {node} has a free candidate VC: missed wake"
+                            );
+                            n_cand_vcs += 1;
+                        }
+                    }
+                    assert_eq!(self.inj_watches[node].len(), n_cand_vcs);
+                }
+            }
+        }
+
+        // Channel activity: any VC a flit could move into next cycle sits
+        // on an active channel.
+        let depth = self.cfg.buffer_depth as u16;
+        for (v, vc) in self.vcs.iter().enumerate() {
+            if vc.owner == NO_OWNER || vc.occupancy >= depth {
+                continue;
+            }
+            let msg = self.messages[vc.owner as usize].as_ref().unwrap();
+            let pos = (vc.seq - msg.front_seq) as usize;
+            let fed = if pos == 0 {
+                msg.uninjected > 0
+            } else {
+                self.vcs[msg.chain[pos - 1] as usize].occupancy >= 1
+            };
+            if fed {
+                assert!(
+                    self.chan_on[v / vcs_per],
+                    "movable VC {v} on a dormant channel: missed transfer"
+                );
+            }
+        }
+        let flagged = self.chan_on.iter().filter(|&&b| b).count();
+        assert_eq!(flagged, self.chan_list.len(), "chan_list/chan_on drifted");
+        for &ch in &self.chan_list {
+            assert!(self.chan_on[ch as usize]);
+        }
+
+        // Drain list back-map.
+        for (i, &slot) in self.drain_list.iter().enumerate() {
+            assert_eq!(self.drain_idx[slot as usize], i as u32);
+            assert_ne!(
+                self.messages[slot as usize].as_ref().unwrap().phase,
+                MsgPhase::Routing
+            );
+        }
+
+        // Release work queue fully drained between steps; only deferred
+        // visits (injection completed within the injection cycle) carry
+        // over, and the flags mark exactly those slots.
+        assert!(self.release_check.is_empty());
+        for (s, &f) in self.release_flag.iter().enumerate() {
+            assert_eq!(
+                f,
+                self.release_deferred.contains(&(s as u32)),
+                "release_flag[{s}] inconsistent with release_deferred"
+            );
+        }
+        for &slot in &self.release_deferred {
+            let msg = self.messages[slot as usize]
+                .as_ref()
+                .expect("deferred slot live");
+            assert_eq!(msg.uninjected, 0);
+            assert!(msg.holds_injection);
+            assert_eq!(msg.injected_at + 1, self.cycle);
         }
     }
 }

@@ -5,81 +5,11 @@
 //! incident's config could not be expected to re-form the same knot.
 
 use flexsim::{run, sweep, ForensicsConfig, RoutingSpec, RunConfig, RunResult};
-use icn_metrics::Histogram;
 
-fn hist_digest(h: &Histogram, out: &mut String) {
-    use std::fmt::Write;
-    let _ = write!(
-        out,
-        "[n={} sum={} min={} max={} p50={} p90={}]",
-        h.count(),
-        h.sum(),
-        h.min(),
-        h.max(),
-        h.quantile(0.5),
-        h.quantile(0.9)
-    );
-}
-
-/// A byte-exact rendering of every counter and distribution in a
-/// [`RunResult`]. Floating-point values are digested via `to_bits` so
-/// that even last-ulp divergence (e.g. from a different accumulation
-/// order) is caught.
+/// The byte-exact rendering of every counter and distribution in a
+/// [`RunResult`] — see [`RunResult::digest`].
 fn digest(r: &RunResult) -> String {
-    use std::fmt::Write;
-    let mut s = String::new();
-    let _ = write!(
-        s,
-        "{} cycles={} gen={} inj={} del={} rec={} flits={} links={} \
-         dead={} single={} multi={} depc={} dept={} capped={} cnd={} epochs={} victims={} ",
-        r.label,
-        r.cycles,
-        r.generated,
-        r.injected,
-        r.delivered,
-        r.recovered,
-        r.delivered_flits,
-        r.link_flits,
-        r.deadlocks,
-        r.single_cycle_deadlocks,
-        r.multi_cycle_deadlocks,
-        r.dependent_committed,
-        r.dependent_transient,
-        r.cycles_capped,
-        r.cyclic_nondeadlock_epochs,
-        r.counting_epochs,
-        r.victims_started,
-    );
-    for h in [
-        &r.latency,
-        &r.deadlock_set,
-        &r.resource_set,
-        &r.knot_density,
-        &r.resolution_latency,
-        &r.formation_latency,
-        &r.formation_spread,
-    ] {
-        hist_digest(h, &mut s);
-    }
-    for m in [&r.blocked, &r.in_network, &r.source_queued] {
-        let _ = write!(s, "(n={} mean={:016x})", m.count(), m.mean().to_bits());
-    }
-    for ts in [&r.cwg_cycles, &r.blocked_frac] {
-        for (c, v) in ts.points() {
-            let _ = write!(s, "@{c}:{:016x}", v.to_bits());
-        }
-    }
-    for i in &r.incidents {
-        let _ = write!(
-            s,
-            "i({},{},{},{},{})",
-            i.cycle, i.deadlock_set_size, i.resource_set_size, i.knot_cycle_density, i.dependents
-        );
-    }
-    for f in &r.forensic_incidents {
-        let _ = write!(s, "f({},{},{:016x})", f.seq, f.cycle, f.fingerprint);
-    }
-    s
+    r.digest()
 }
 
 fn points() -> Vec<RunConfig> {
