@@ -1,0 +1,255 @@
+//! Engine-throughput comparison: the activity-driven stepper
+//! ([`Network::step`]) against the dense reference stepper
+//! ([`Network::step_reference`]) on the three regimes the paper's sweeps
+//! spend their time in — low load (mostly idle), saturation (mostly
+//! busy), and post-deadlock (mostly blocked). For each config the two
+//! engines are first driven in lockstep over an identical schedule and
+//! must produce identical per-cycle events and final counters; then each
+//! is timed separately on its own instance. Results are printed as a
+//! table and written to `BENCH_engine.json`.
+//!
+//! Run with `cargo bench -p icn-bench --bench engine_throughput`. Exits
+//! non-zero if any digest diverges; throughput checks are reported as
+//! PASS/FAIL but do not fail the process (wall-clock noise).
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use icn_routing::{Dor, RoutingAlgorithm, Tfar};
+use icn_sim::{Network, SimConfig, StepEvents};
+use icn_topology::{KAryNCube, NodeId};
+use icn_traffic::{BernoulliInjector, Pattern};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+struct Case {
+    name: &'static str,
+    bidir: bool,
+    routing: fn() -> Box<dyn RoutingAlgorithm>,
+    vcs: usize,
+    load: f64,
+    /// Cycles to reach the regime's steady state before measuring.
+    warmup: u64,
+}
+
+const MSG_LEN: usize = 32;
+const VERIFY_CYCLES: u64 = 4_000;
+const MEASURE_CYCLES: u64 = 40_000;
+const REPS: usize = 3;
+
+fn cases() -> Vec<Case> {
+    vec![
+        Case {
+            name: "low_load",
+            bidir: true,
+            routing: || Box::new(Tfar),
+            vcs: 2,
+            load: 0.15,
+            warmup: 2_000,
+        },
+        Case {
+            name: "saturation",
+            bidir: true,
+            routing: || Box::new(Tfar),
+            vcs: 2,
+            load: 1.0,
+            warmup: 2_000,
+        },
+        // Unidirectional DOR with one VC wedges within ~1k cycles at
+        // capacity and stays wedged (no recovery here): the mostly-blocked
+        // regime the activity engine is built for.
+        Case {
+            name: "post_deadlock",
+            bidir: false,
+            routing: || Box::new(Dor),
+            vcs: 1,
+            load: 1.0,
+            warmup: 3_000,
+        },
+    ]
+}
+
+fn build(case: &Case) -> (Network, BernoulliInjector, StdRng) {
+    let topo = KAryNCube::torus(8, 2, case.bidir);
+    let injector = BernoulliInjector::for_load(&topo, case.load, MSG_LEN);
+    let net = Network::new(
+        topo,
+        (case.routing)(),
+        SimConfig {
+            vcs_per_channel: case.vcs,
+            buffer_depth: 2,
+            msg_len: MSG_LEN,
+        },
+    );
+    (net, injector, StdRng::seed_from_u64(7))
+}
+
+fn offer_traffic(
+    net: &mut Network,
+    topo: &KAryNCube,
+    injector: &BernoulliInjector,
+    rng: &mut StdRng,
+) {
+    for node in 0..topo.num_nodes() as u32 {
+        if injector.fires(rng) {
+            if let Some(dst) = Pattern::Uniform.dest(topo, NodeId(node), rng) {
+                net.enqueue(NodeId(node), dst);
+            }
+        }
+    }
+}
+
+/// Everything a run's events and final state boil down to; two engines
+/// with equal digests produced byte-identical schedules.
+fn digest(net: &Network, folded: &(u64, u64, u64)) -> String {
+    let (inj, flits, del) = folded;
+    let mut s = String::new();
+    let _ = write!(
+        s,
+        "inj={inj} flits={flits} del={del} totals={:?} blocked={} in_net={} queued={} ids={:?}",
+        net.totals(),
+        net.blocked_count(),
+        net.in_network(),
+        net.source_queued(),
+        net.active_ids(),
+    );
+    s
+}
+
+fn fold(acc: &mut (u64, u64, u64), ev: &StepEvents) {
+    acc.0 += ev.injected as u64;
+    acc.1 += ev.link_flits as u64;
+    acc.2 += ev.delivered.len() as u64;
+}
+
+/// Lockstep differential over the verify window: identical per-cycle
+/// events, identical digests.
+fn verify(case: &Case) -> bool {
+    let (mut a, injector, mut rng_a) = build(case);
+    let (mut b, _, mut rng_b) = build(case);
+    let topo = a.topology().clone();
+    let mut fa = (0, 0, 0);
+    let mut fb = (0, 0, 0);
+    for cycle in 0..VERIFY_CYCLES {
+        offer_traffic(&mut a, &topo, &injector, &mut rng_a);
+        offer_traffic(&mut b, &topo, &injector, &mut rng_b);
+        let ea = a.step();
+        let eb = b.step_reference();
+        if ea != eb {
+            eprintln!("{}: step events diverged at cycle {cycle}", case.name);
+            return false;
+        }
+        fold(&mut fa, &ea);
+        fold(&mut fb, &eb);
+    }
+    let da = digest(&a, &fa);
+    let db = digest(&b, &fb);
+    if da != db {
+        eprintln!(
+            "{}: digests diverged\n  activity: {da}\n  dense:    {db}",
+            case.name
+        );
+        return false;
+    }
+    true
+}
+
+/// Steady-state cycles per second for one engine; best of [`REPS`] runs.
+fn time_engine(case: &Case, dense: bool) -> f64 {
+    let mut best = 0.0f64;
+    for _ in 0..REPS {
+        let (mut net, injector, mut rng) = build(case);
+        let topo = net.topology().clone();
+        for _ in 0..case.warmup {
+            offer_traffic(&mut net, &topo, &injector, &mut rng);
+            if dense {
+                net.step_reference();
+            } else {
+                net.step();
+            }
+        }
+        let start = Instant::now();
+        for _ in 0..MEASURE_CYCLES {
+            offer_traffic(&mut net, &topo, &injector, &mut rng);
+            if dense {
+                net.step_reference();
+            } else {
+                net.step();
+            }
+        }
+        let cps = MEASURE_CYCLES as f64 / start.elapsed().as_secs_f64();
+        best = best.max(cps);
+    }
+    best
+}
+
+fn main() {
+    println!("== engine throughput: activity stepper vs dense reference ==");
+    println!(
+        "   8-ary 2-cube, {MSG_LEN}-flit messages; verify {VERIFY_CYCLES} cycles, \
+         measure {MEASURE_CYCLES} cycles x {REPS} reps\n"
+    );
+
+    let mut rows = Vec::new();
+    let mut all_match = true;
+    for case in cases() {
+        let matched = verify(&case);
+        all_match &= matched;
+        let dense = time_engine(&case, true);
+        let activity = time_engine(&case, false);
+        let speedup = activity / dense;
+        println!(
+            "{:>14}  dense {:>12.0} cyc/s   activity {:>12.0} cyc/s   speedup {:>5.2}x   digest {}",
+            case.name,
+            dense,
+            activity,
+            speedup,
+            if matched { "MATCH" } else { "MISMATCH" },
+        );
+        rows.push((case.name, dense, activity, speedup, matched));
+    }
+
+    let find = |name: &str| rows.iter().find(|r| r.0 == name).unwrap();
+    let post = find("post_deadlock");
+    let low = find("low_load");
+    println!();
+    println!(
+        "  [{}] post-deadlock speedup >= 2x (measured {:.2}x)",
+        if post.3 >= 2.0 { "PASS" } else { "FAIL" },
+        post.3
+    );
+    println!(
+        "  [{}] low-load regression <= 5% (activity/dense = {:.2})",
+        if low.3 >= 0.95 { "PASS" } else { "FAIL" },
+        low.3
+    );
+    println!(
+        "  [{}] identical digests vs dense reference on all configs",
+        if all_match { "PASS" } else { "FAIL" },
+    );
+
+    let mut json = String::from("{\n  \"bench\": \"engine_throughput\",\n");
+    let _ = write!(
+        json,
+        "  \"verify_cycles\": {VERIFY_CYCLES},\n  \"measure_cycles\": {MEASURE_CYCLES},\n  \"configs\": [\n"
+    );
+    for (i, (name, dense, activity, speedup, matched)) in rows.iter().enumerate() {
+        let _ = writeln!(
+            json,
+            "    {{\"name\": \"{name}\", \"dense_cycles_per_sec\": {dense:.0}, \
+             \"activity_cycles_per_sec\": {activity:.0}, \"speedup\": {speedup:.3}, \
+             \"digest_match\": {matched}}}{}",
+            if i + 1 < rows.len() { "," } else { "" }
+        );
+    }
+    json.push_str("  ]\n}\n");
+    match std::fs::write("BENCH_engine.json", &json) {
+        Ok(()) => println!("\nwrote BENCH_engine.json"),
+        Err(e) => eprintln!("\ncannot write BENCH_engine.json: {e}"),
+    }
+
+    if !all_match {
+        eprintln!("engine digest mismatch — the activity stepper is wrong");
+        std::process::exit(1);
+    }
+}
