@@ -3,6 +3,7 @@
 //! ```text
 //! repro [fig5] [fig6] [fig7] [fig8] [degree] [traffic] [all] [--small] [--csv]
 //! repro forensics [--store DIR] [--seed N] [--max N] [--cycles N] [--no-prefix]
+//! repro validate [--configs N] [--cwgs N] [--seed N] [--store DIR] [--no-explore]
 //! ```
 //!
 //! With no experiment named, runs `all`. `--small` switches to the
@@ -20,6 +21,16 @@
 //! plus shortest reproducing cycle-prefix), and persists JSON + DOT
 //! artifacts to the incident store. Exits non-zero if any incident fails
 //! to replay or minimize, which makes it a self-checking smoke command.
+//!
+//! `repro validate` runs the validation layer: the production detector
+//! is differentially checked against the independent naive oracle and
+//! the brute-force enumerator on randomized CWGs (`--cwgs`, default 512),
+//! on every detection epoch of `--configs` (default 16) seeded random
+//! live configurations (with full invariant auditing), on freshly
+//! captured forensics incidents, on every incident in `--store DIR` (if
+//! given), and — unless `--no-explore` — on every schedule of the
+//! exhaustive small-world explorer. Any disagreement exits non-zero and
+//! writes a minimized reproducer to `validate-divergence.json`.
 
 use flexsim::experiments::{self, Scale};
 use flexsim::forensics::{minimize, replay, timeline_table, IncidentStore};
@@ -182,10 +193,180 @@ fn forensics_main(args: &[String]) -> i32 {
     0
 }
 
+/// Writes the minimized divergence reproducer and reports it.
+fn emit_divergence(repro: &str) {
+    const PATH: &str = "validate-divergence.json";
+    match std::fs::write(PATH, repro) {
+        Ok(()) => eprintln!("minimized reproducer written to {PATH}"),
+        Err(e) => eprintln!("cannot write {PATH}: {e}"),
+    }
+}
+
+/// The `repro validate` subcommand. Returns the process exit code.
+fn validate_main(args: &[String]) -> i32 {
+    use flexsim::validate as v;
+
+    let parse_u64 = |flag: &str, default: u64| {
+        flag_value(args, flag).map_or(default, |val| {
+            val.parse().unwrap_or_else(|_| {
+                eprintln!("{flag} wants an integer, got `{val}`");
+                std::process::exit(2);
+            })
+        })
+    };
+    let num_cwgs = parse_u64("--cwgs", 512);
+    let num_configs = parse_u64("--configs", 16) as usize;
+    let base_seed = parse_u64("--seed", 0xdeadbeef);
+    let explore = !args.iter().any(|a| a == "--no-explore");
+    let started = Instant::now();
+    let mut ok = true;
+
+    // Stage 1: randomized CWG snapshots, two shapes (default and dense).
+    println!("== validate: randomized CWG differential ==");
+    let shapes = [
+        ("default", v::GenParams::default()),
+        (
+            "dense",
+            v::GenParams {
+                num_vertices: 24,
+                max_messages: 12,
+                max_chain: 2,
+                max_requests: 2,
+                blocked_prob: 0.95,
+                owned_bias: 0.95,
+            },
+        ),
+    ];
+    let mut checked = 0u64;
+    let mut with_knots = 0u64;
+    'cwgs: for (name, params) in &shapes {
+        for i in 0..num_cwgs {
+            let (n, msgs) = v::random_snapshot(base_seed ^ i, params);
+            let diffs = v::check_messages(n, &msgs);
+            checked += 1;
+            if v::oracle_analyze(n, &msgs).has_deadlock() {
+                with_knots += 1;
+            }
+            if !diffs.is_empty() {
+                eprintln!(
+                    "divergence on shape `{name}` seed {}: {diffs:?}",
+                    base_seed ^ i
+                );
+                emit_divergence(&v::divergence_repro_json(n, &msgs));
+                ok = false;
+                break 'cwgs;
+            }
+        }
+    }
+    println!("   {checked} snapshots checked, {with_knots} with knots — all agree");
+
+    // Stage 2: live campaign over seeded random configurations, each run
+    // under the full invariant-auditing observer.
+    println!("== validate: live campaign over {num_configs} random configs ==");
+    let campaign = v::campaign(num_configs, base_seed);
+    println!(
+        "   {} configs, {} epochs differentially checked, {} with knots",
+        campaign.configs, campaign.epochs_checked, campaign.deadlock_epochs
+    );
+    for (label, violations, repro) in &campaign.failures {
+        ok = false;
+        eprintln!("config `{label}` FAILED:");
+        for viol in violations {
+            eprintln!("   {viol}");
+        }
+        if let Some(r) = repro {
+            emit_divergence(r);
+        }
+    }
+
+    // Stage 3: fresh forensics incidents re-audited by the oracle.
+    println!("== validate: fresh forensics incidents ==");
+    let mut cfg = RunConfig::small_default();
+    cfg.topology = TopologySpec::torus(8, 2, false);
+    cfg.routing = RoutingSpec::Dor;
+    cfg.sim.vcs_per_channel = 1;
+    cfg.load = 1.0;
+    cfg.warmup = 400;
+    cfg.measure = 800;
+    cfg.forensics = Some(ForensicsConfig::default());
+    let res = run(&cfg);
+    println!("   {} incidents captured", res.forensic_incidents.len());
+    if res.forensic_incidents.is_empty() {
+        eprintln!("no incident captured from the known-deadlocking config");
+        ok = false;
+    }
+    for inc in &res.forensic_incidents {
+        let problems = v::check_incident(inc);
+        if !problems.is_empty() {
+            ok = false;
+            eprintln!("incident #{} @ cycle {} FAILED:", inc.seq, inc.cycle);
+            for p in &problems {
+                eprintln!("   {p}");
+            }
+        }
+    }
+
+    // Stage 4: stored incidents, when a store directory is given.
+    if let Some(dir) = flag_value(args, "--store") {
+        println!("== validate: incident store `{dir}` ==");
+        match v::check_incident_store(dir) {
+            Ok(failures) if failures.is_empty() => println!("   all stored incidents agree"),
+            Ok(failures) => {
+                ok = false;
+                for (file, problems) in failures {
+                    eprintln!("stored incident `{file}` FAILED: {problems:?}");
+                }
+            }
+            Err(e) => {
+                ok = false;
+                eprintln!("cannot read incident store `{dir}`: {e}");
+            }
+        }
+    }
+
+    // Stage 5: exhaustive small worlds.
+    if explore {
+        println!("== validate: exhaustive small-world explorer ==");
+        for cfg in [
+            v::ExploreConfig::uni_ring_3(),
+            v::ExploreConfig::cube_2x2_tfar(),
+        ] {
+            let report = v::explore(&cfg);
+            println!(
+                "   {}ary{} {:?}: {} schedules, {} cycle audits, {} deadlocked",
+                cfg.k,
+                cfg.n,
+                cfg.routing,
+                report.schedules,
+                report.cycles_checked,
+                report.deadlocked
+            );
+            for (schedule, d) in report.divergences.iter().take(5) {
+                ok = false;
+                eprintln!("   schedule {schedule}: {d}");
+            }
+        }
+    }
+
+    println!(
+        "validate: {} ({:.1?} elapsed)",
+        if ok { "PASS" } else { "FAIL" },
+        started.elapsed()
+    );
+    if ok {
+        0
+    } else {
+        1
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.first().map(String::as_str) == Some("forensics") {
         std::process::exit(forensics_main(&args[1..]));
+    }
+    if args.first().map(String::as_str) == Some("validate") {
+        std::process::exit(validate_main(&args[1..]));
     }
     let small = args.iter().any(|a| a == "--small");
     let csv = args.iter().any(|a| a == "--csv");

@@ -94,7 +94,7 @@ struct ProbeAtCycle {
 }
 
 impl RunObserver for ProbeAtCycle {
-    fn on_cycle(&mut self, net: &Network) -> ControlFlow<()> {
+    fn on_cycle(&mut self, net: &Network, _ev: &icn_sim::StepEvents) -> ControlFlow<()> {
         if net.cycle() < self.target {
             return ControlFlow::Continue(());
         }

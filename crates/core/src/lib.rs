@@ -48,10 +48,13 @@ mod result;
 mod runner;
 mod spec;
 mod sweep;
+pub mod validate;
 
 pub use forensics::ForensicsConfig;
 pub use result::{Incident, RunResult};
-pub use runner::{build_wait_graph, run, run_reference, run_with, EpochView, RunObserver};
+pub use runner::{
+    build_wait_graph, run, run_reference, run_reference_with, run_with, EpochView, RunObserver,
+};
 pub use spec::{RecoveryPolicy, RoutingSpec, TopologySpec};
 pub use sweep::{replicate, replication_summary, sweep, ReplicationSummary};
 

@@ -5,7 +5,7 @@ use std::ops::ControlFlow;
 use icn_cwg::{
     count_cycles, Analysis, CycleCount, DeadlockKind, DependentKind, DetectorScratch, WaitGraph,
 };
-use icn_sim::{Network, SnapshotArena, WaitSnapshot};
+use icn_sim::{Network, SnapshotArena, StepEvents, WaitSnapshot};
 use icn_topology::NodeId;
 use icn_traffic::BernoulliInjector;
 use rand::rngs::StdRng;
@@ -41,8 +41,10 @@ pub struct EpochView<'a> {
 /// truncated window.
 pub trait RunObserver {
     /// Called after every engine step (and trace drain), before any
-    /// detection work at this cycle.
-    fn on_cycle(&mut self, _net: &Network) -> ControlFlow<()> {
+    /// detection work at this cycle, with the step's events (deliveries,
+    /// injections, link activity) — the validation harness audits flit
+    /// conservation and routing minimality from these.
+    fn on_cycle(&mut self, _net: &Network, _ev: &StepEvents) -> ControlFlow<()> {
         ControlFlow::Continue(())
     }
 
@@ -123,6 +125,12 @@ pub fn run_reference(cfg: &RunConfig) -> RunResult {
 /// to a plain one up to the point it breaks.
 pub fn run_with(cfg: &RunConfig, obs: &mut dyn RunObserver) -> RunResult {
     run_impl(cfg, obs, Stepper::Activity)
+}
+
+/// [`run_reference`] with observer hooks — the torture harness audits
+/// both steppers through the same observer.
+pub fn run_reference_with(cfg: &RunConfig, obs: &mut dyn RunObserver) -> RunResult {
+    run_impl(cfg, obs, Stepper::Dense)
 }
 
 fn run_impl(cfg: &RunConfig, obs: &mut dyn RunObserver, stepper: Stepper) -> RunResult {
@@ -224,7 +232,7 @@ fn run_impl(cfg: &RunConfig, obs: &mut dyn RunObserver, stepper: Stepper) -> Run
             }
         }
 
-        if obs.on_cycle(&net).is_break() {
+        if obs.on_cycle(&net, &ev).is_break() {
             break 'run;
         }
 

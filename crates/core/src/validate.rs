@@ -1,0 +1,801 @@
+//! Run-coupled validation: invariant torture harness, live differential
+//! oracle checks, and forensics-incident auditing.
+//!
+//! The structure-only validation machinery (naive oracle, brute-force
+//! enumerator, random CWG generator, exhaustive small-world explorer)
+//! lives in [`icn_validate`] and is re-exported here. This module adds
+//! the pieces that need the runner:
+//!
+//! * [`ValidationObserver`] — a [`RunObserver`] that audits every cycle
+//!   and every detection epoch of a live run: flit conservation, monotone
+//!   counters, no duplicate deliveries, routing minimality, recovery
+//!   liveness, no deadlock-set recurrence under recovery, and a full
+//!   differential check of the production analysis (including fingerprint
+//!   -skipped epochs) against the naive oracle and the brute-force
+//!   enumerator.
+//! * [`torture`] / [`torture_regimes`] — long-horizon randomized runs on
+//!   **both** steppers with the observer attached, plus a digest
+//!   cross-check between them.
+//! * [`random_config`] / [`campaign`] — seeded random [`RunConfig`]s
+//!   spanning topologies, routings, recoveries, and detection cadences,
+//!   each run under full observation.
+//! * [`check_incident`] / [`check_incident_store`] — re-audits stored
+//!   forensics incidents: the recorded production analysis must match
+//!   what the oracle derives from the recorded CWG.
+//!
+//! Any oracle divergence yields a minimized reproducer
+//! ([`divergence_repro_json`]) in the same JSON shape as a forensics CWG
+//! snapshot, so it can be replayed through `WaitGraph::from_json`.
+
+use std::collections::{HashMap, HashSet};
+use std::io;
+use std::ops::ControlFlow;
+use std::path::Path;
+
+pub use icn_validate::{
+    arena_msgs, check_messages, explore, minimal_deadlock_sets, minimize_divergence,
+    oracle_analyze, random_snapshot, Divergence, ExploreConfig, ExploreReport, ExploreRouting,
+    GenParams, OracleAnalysis, OracleDependent, OracleKnot, OracleMsg, SplitMix64, BRUTE_FORCE_CAP,
+};
+
+use icn_cwg::{Analysis, DependentKind};
+use icn_sim::{MsgPhase, Network, StepEvents};
+use icn_topology::KAryNCube;
+use icn_traffic::{MsgLenDist, Pattern};
+
+use crate::forensics::{CwgMsg, CwgSnapshot, DeadlockIncident, IncidentStore};
+use crate::runner::{run_reference_with, run_with, EpochView, RunObserver};
+use crate::spec::{RecoveryPolicy, RoutingSpec, TopologySpec};
+use crate::RunConfig;
+
+/// Upper bound on retained violation messages (audits keep running, but
+/// a broken invariant usually fails every subsequent cycle too).
+const MAX_VIOLATIONS: usize = 32;
+
+/// Cycles a recovery victim may spend draining before the liveness audit
+/// flags it. Victims drain flit-by-flit and a recovery lane serves one
+/// flit per cycle per node, so this is generous for every test topology.
+const RECOVERY_DRAIN_BOUND: u64 = 20_000;
+
+/// Renders the production-vs-oracle divergence reproducer: the snapshot is
+/// greedily minimized and serialized in the forensics CWG JSON shape
+/// (parseable back through `WaitGraph::from_json`).
+pub fn divergence_repro_json(num_vertices: usize, msgs: &[OracleMsg]) -> String {
+    let minimal = minimize_divergence(num_vertices, msgs);
+    CwgSnapshot {
+        num_vertices,
+        messages: minimal
+            .iter()
+            .map(|m| CwgMsg {
+                id: m.id,
+                chain: m.chain.clone(),
+                requests: m.requests.clone(),
+            })
+            .collect(),
+    }
+    .to_json()
+    .to_string()
+}
+
+fn sorted_sets<T: Ord + Clone>(sets: impl IntoIterator<Item = Vec<T>>) -> Vec<Vec<T>> {
+    let mut out: Vec<Vec<T>> = sets
+        .into_iter()
+        .map(|mut s| {
+            s.sort();
+            s
+        })
+        .collect();
+    out.sort();
+    out
+}
+
+/// Compares one epoch's production [`Analysis`] (possibly the empty
+/// fingerprint-skip placeholder) against the naive oracle and, on small
+/// snapshots, the brute-force enumerator. Returns human-readable
+/// disagreements.
+pub fn diff_epoch_analysis(
+    skipped: bool,
+    analysis: &Analysis,
+    num_vertices: usize,
+    msgs: &[OracleMsg],
+) -> Vec<String> {
+    let oracle = oracle_analyze(num_vertices, msgs);
+    let mut out = Vec::new();
+
+    if skipped {
+        // The skip claims the epoch is knot-free by fingerprint match; the
+        // oracle re-derives that claim from scratch.
+        if oracle.has_deadlock() {
+            out.push(format!(
+                "fingerprint skip declared a clean epoch but the oracle finds knots: {:?}",
+                oracle.deadlock_sets()
+            ));
+        }
+        if analysis.num_blocked != oracle.num_blocked {
+            out.push(format!(
+                "num_blocked: production={} oracle={}",
+                analysis.num_blocked, oracle.num_blocked
+            ));
+        }
+        return out;
+    }
+
+    if analysis.has_deadlock() != oracle.has_deadlock() {
+        out.push(format!(
+            "has_deadlock: production={} oracle={}",
+            analysis.has_deadlock(),
+            oracle.has_deadlock()
+        ));
+    }
+    if analysis.num_blocked != oracle.num_blocked {
+        out.push(format!(
+            "num_blocked: production={} oracle={}",
+            analysis.num_blocked, oracle.num_blocked
+        ));
+    }
+    let prod_dsets = sorted_sets(analysis.deadlocks.iter().map(|d| d.deadlock_set.clone()));
+    if prod_dsets != oracle.deadlock_sets() {
+        out.push(format!(
+            "deadlock sets: production={prod_dsets:?} oracle={:?}",
+            oracle.deadlock_sets()
+        ));
+    }
+    let prod_knots = sorted_sets(analysis.deadlocks.iter().map(|d| d.knot.clone()));
+    let orc_knots = sorted_sets(oracle.knots.iter().map(|k| k.knot.clone()));
+    if prod_knots != orc_knots {
+        out.push(format!(
+            "knot vertex sets: production={prod_knots:?} oracle={orc_knots:?}"
+        ));
+    }
+    let prod_rsets = sorted_sets(analysis.deadlocks.iter().map(|d| d.resource_set.clone()));
+    let orc_rsets = sorted_sets(oracle.knots.iter().map(|k| k.resource_set.clone()));
+    if prod_rsets != orc_rsets {
+        out.push(format!(
+            "resource sets: production={prod_rsets:?} oracle={orc_rsets:?}"
+        ));
+    }
+    let prod_dep: Vec<(u64, OracleDependent)> = analysis
+        .dependent
+        .iter()
+        .map(|&(id, k)| {
+            (
+                id,
+                match k {
+                    DependentKind::Committed => OracleDependent::Committed,
+                    DependentKind::Transient => OracleDependent::Transient,
+                },
+            )
+        })
+        .collect();
+    if prod_dep != oracle.dependent {
+        out.push(format!(
+            "dependent census: production={prod_dep:?} oracle={:?}",
+            oracle.dependent
+        ));
+    }
+    if let Some(brute) = minimal_deadlock_sets(num_vertices, msgs, BRUTE_FORCE_CAP) {
+        if brute != oracle.deadlock_sets() {
+            out.push(format!(
+                "brute-force minimal closed sets: brute={brute:?} oracle={:?}",
+                oracle.deadlock_sets()
+            ));
+        }
+    }
+    out
+}
+
+/// A [`RunObserver`] auditing a live run against the §2 theory and the
+/// engine's own conservation laws. Attach with [`run_with`] (or
+/// [`run_reference_with`]); afterwards inspect [`violations`]
+/// (`ValidationObserver::violations`) — empty means every audited cycle
+/// and epoch passed.
+pub struct ValidationObserver {
+    topo: KAryNCube,
+    /// Routing is minimal: delivered hop counts must equal distance.
+    minimal_routing: bool,
+    /// Recovery is enabled: every knot is broken, so an exact deadlock
+    /// set can never recur (victims hold sink chains and never re-block;
+    /// message ids are unique per run).
+    recurrence_check: bool,
+    prev_totals: (u64, u64, u64, u64),
+    delivered_ids: HashSet<u64>,
+    seen_sets: HashSet<Vec<u64>>,
+    recovering_since: HashMap<u64, u64>,
+    /// Every audit failure, capped at [`MAX_VIOLATIONS`].
+    pub violations: Vec<String>,
+    /// First oracle divergence, minimized, as forensics-shaped JSON.
+    pub divergence_repro: Option<String>,
+    /// Cycles audited.
+    pub cycles: u64,
+    /// Detection epochs audited (every one is differentially checked).
+    pub epochs: u64,
+    /// Epochs at which the production detector reported a knot.
+    pub deadlock_epochs: u64,
+}
+
+impl ValidationObserver {
+    /// Observer for one run of `cfg`.
+    pub fn new(cfg: &RunConfig) -> Self {
+        ValidationObserver {
+            topo: cfg.topology.build(),
+            minimal_routing: !matches!(cfg.routing, RoutingSpec::Misroute { .. }),
+            recurrence_check: cfg.recovery != RecoveryPolicy::None,
+            prev_totals: (0, 0, 0, 0),
+            delivered_ids: HashSet::new(),
+            seen_sets: HashSet::new(),
+            recovering_since: HashMap::new(),
+            violations: Vec::new(),
+            divergence_repro: None,
+            cycles: 0,
+            epochs: 0,
+            deadlock_epochs: 0,
+        }
+    }
+
+    /// True when no audit failed.
+    pub fn ok(&self) -> bool {
+        self.violations.is_empty()
+    }
+
+    fn violate(&mut self, cycle: u64, msg: String) {
+        if self.violations.len() < MAX_VIOLATIONS {
+            self.violations.push(format!("cycle {cycle}: {msg}"));
+        }
+    }
+}
+
+impl RunObserver for ValidationObserver {
+    fn on_cycle(&mut self, net: &Network, ev: &StepEvents) -> ControlFlow<()> {
+        self.cycles += 1;
+        let cycle = net.cycle();
+
+        // Monotone non-negative lifetime counters.
+        let t = net.totals();
+        let p = self.prev_totals;
+        if t.0 < p.0 || t.1 < p.1 || t.2 < p.2 || t.3 < p.3 {
+            self.violate(
+                cycle,
+                format!("lifetime counters regressed: {p:?} -> {t:?}"),
+            );
+        }
+        self.prev_totals = t;
+
+        // Flit/message conservation: generated = injected + source-queued,
+        // injected = delivered + in-network, recovered within delivered.
+        let (generated, injected, delivered, recovered) = t;
+        if generated != injected + net.source_queued() as u64 {
+            self.violate(
+                cycle,
+                format!(
+                    "conservation: generated={generated} != injected={injected} \
+                     + source_queued={}",
+                    net.source_queued()
+                ),
+            );
+        }
+        if injected != delivered + net.in_network() as u64 {
+            self.violate(
+                cycle,
+                format!(
+                    "conservation: injected={injected} != delivered={delivered} \
+                     + in_network={}",
+                    net.in_network()
+                ),
+            );
+        }
+        if recovered > delivered {
+            self.violate(
+                cycle,
+                format!("recovered={recovered} exceeds delivered={delivered}"),
+            );
+        }
+
+        for d in &ev.delivered {
+            if !self.delivered_ids.insert(d.id) {
+                self.violate(cycle, format!("message {} delivered twice", d.id));
+            }
+            if d.latency < d.network_latency {
+                self.violate(
+                    cycle,
+                    format!(
+                        "message {}: latency {} below network latency {}",
+                        d.id, d.latency, d.network_latency
+                    ),
+                );
+            }
+            if d.recovered {
+                self.recovering_since.remove(&d.id);
+                continue;
+            }
+            // Normal deliveries: the header crossed at least distance
+            // channels, exactly distance under a minimal relation, and the
+            // message spent at least `len` cycles in the network (its
+            // flits serialize one per cycle through every resource).
+            let dist = self.topo.distance(d.src, d.dst);
+            if d.hops < dist {
+                self.violate(
+                    cycle,
+                    format!(
+                        "message {}: {} hops below distance {dist} ({:?} -> {:?})",
+                        d.id, d.hops, d.src, d.dst
+                    ),
+                );
+            }
+            if self.minimal_routing && d.hops != dist {
+                self.violate(
+                    cycle,
+                    format!(
+                        "minimality: message {} took {} hops, distance is {dist}",
+                        d.id, d.hops
+                    ),
+                );
+            }
+            if d.network_latency < d.len as u64 {
+                self.violate(
+                    cycle,
+                    format!(
+                        "message {}: network latency {} below length {}",
+                        d.id, d.network_latency, d.len
+                    ),
+                );
+            }
+        }
+        ControlFlow::Continue(())
+    }
+
+    fn on_epoch(&mut self, view: &EpochView<'_>) -> ControlFlow<()> {
+        self.epochs += 1;
+        let cycle = view.cycle;
+
+        // Engine self-consistency (ownership, occupancy, phase coherence).
+        view.net.check_invariants();
+
+        // Differential oracle check — including fingerprint-skipped
+        // epochs, where the production placeholder claims "no knots".
+        let msgs = arena_msgs(view.arena);
+        let diffs = diff_epoch_analysis(
+            view.skipped,
+            view.analysis,
+            view.arena.num_vertices(),
+            &msgs,
+        );
+        if !diffs.is_empty() {
+            if self.divergence_repro.is_none() {
+                self.divergence_repro =
+                    Some(divergence_repro_json(view.arena.num_vertices(), &msgs));
+            }
+            for d in diffs {
+                self.violate(cycle, format!("oracle divergence: {d}"));
+            }
+        }
+
+        if view.analysis.has_deadlock() {
+            self.deadlock_epochs += 1;
+            if self.recurrence_check {
+                for d in &view.analysis.deadlocks {
+                    let mut set = d.deadlock_set.clone();
+                    set.sort_unstable();
+                    if !self.seen_sets.insert(set.clone()) {
+                        self.violate(
+                            cycle,
+                            format!("deadlock set {set:?} recurred despite recovery"),
+                        );
+                    }
+                }
+            }
+        }
+
+        // Recovery liveness: victims drain flit-by-flit and must deliver;
+        // a victim stuck in the recovery lane past the drain bound means
+        // recovery wedged.
+        for id in view.net.active_ids() {
+            if let Some(info) = view.net.message_info(id) {
+                if info.phase == MsgPhase::Recovering {
+                    let since = *self.recovering_since.entry(id).or_insert(cycle);
+                    if cycle - since > RECOVERY_DRAIN_BOUND {
+                        self.violate(
+                            cycle,
+                            format!("recovery liveness: victim {id} draining since cycle {since}"),
+                        );
+                    }
+                }
+            }
+        }
+        ControlFlow::Continue(())
+    }
+}
+
+/// Outcome of one observed run.
+#[derive(Clone, Debug)]
+pub struct TortureOutcome {
+    /// Config label.
+    pub label: String,
+    /// Which stepper drove the run.
+    pub stepper: &'static str,
+    /// Cycles / epochs audited and epochs with detected knots.
+    pub cycles: u64,
+    /// Detection epochs audited.
+    pub epochs: u64,
+    /// Epochs at which the production detector reported a knot.
+    pub deadlock_epochs: u64,
+    /// Audit failures (empty = pass).
+    pub violations: Vec<String>,
+    /// Minimized reproducer of the first oracle divergence, if any.
+    pub divergence_repro: Option<String>,
+}
+
+impl TortureOutcome {
+    /// True when the run passed every audit.
+    pub fn ok(&self) -> bool {
+        self.violations.is_empty()
+    }
+}
+
+/// Runs `cfg` under full observation on **both** steppers and checks the
+/// two runs' results are byte-identical ([`crate::RunResult::digest`]).
+/// Returns one outcome per stepper; a digest mismatch is appended to both
+/// violation lists.
+pub fn torture(cfg: &RunConfig) -> Vec<TortureOutcome> {
+    let mut act = ValidationObserver::new(cfg);
+    let res_act = run_with(cfg, &mut act);
+    let mut dense = ValidationObserver::new(cfg);
+    let res_dense = run_reference_with(cfg, &mut dense);
+
+    let mut outcomes: Vec<TortureOutcome> = [("activity", act), ("dense", dense)]
+        .into_iter()
+        .map(|(stepper, obs)| TortureOutcome {
+            label: cfg.label(),
+            stepper,
+            cycles: obs.cycles,
+            epochs: obs.epochs,
+            deadlock_epochs: obs.deadlock_epochs,
+            violations: obs.violations,
+            divergence_repro: obs.divergence_repro,
+        })
+        .collect();
+    if res_act.digest() != res_dense.digest() {
+        for o in &mut outcomes {
+            o.violations
+                .push("stepper digest mismatch: activity != dense".to_string());
+        }
+    }
+    outcomes
+}
+
+/// The torture regimes: ≥ 8 qualitatively different operating points —
+/// deep saturation with recovery, oversaturated rings, deadlock-free
+/// avoidance baselines, non-minimal misrouting, no-recovery wedging,
+/// deep buffers (cut-through), and hybrid message lengths. `measure`
+/// scales the horizon; warmup stays short so the audit covers the
+/// transient too.
+pub fn torture_regimes(measure: u64) -> Vec<RunConfig> {
+    let base = RunConfig {
+        topology: TopologySpec::torus(4, 2, true),
+        warmup: 200,
+        measure,
+        detection_interval: 25,
+        ..RunConfig::paper_default()
+    };
+    let mut regimes = Vec::new();
+
+    // 1. Deep saturation on a unidirectional torus: DOR, 1 VC, the
+    // paper's canonical deadlock machine.
+    let mut r = base.clone();
+    r.topology = TopologySpec::torus(4, 2, false);
+    r.routing = RoutingSpec::Dor;
+    r.sim.vcs_per_channel = 1;
+    r.load = 1.0;
+    regimes.push(r);
+
+    // 2. TFAR at saturation with 2 VCs (knots form through adaptive
+    // request fans).
+    let mut r = base.clone();
+    r.routing = RoutingSpec::Tfar;
+    r.sim.vcs_per_channel = 2;
+    r.load = 1.1;
+    regimes.push(r);
+
+    // 3. Oversaturated unidirectional ring, youngest-victim recovery.
+    let mut r = base.clone();
+    r.topology = TopologySpec::torus(8, 1, false);
+    r.routing = RoutingSpec::Dor;
+    r.sim.vcs_per_channel = 2;
+    r.load = 1.2;
+    r.recovery = RecoveryPolicy::RemoveYoungest;
+    regimes.push(r);
+
+    // 4. Dateline avoidance at capacity: must stay knot-free throughout.
+    let mut r = base.clone();
+    r.routing = RoutingSpec::DatelineDor;
+    r.sim.vcs_per_channel = 2;
+    r.load = 1.0;
+    regimes.push(r);
+
+    // 5. West-first turn model on a mesh.
+    let mut r = base.clone();
+    r.topology = TopologySpec::mesh(4, 2);
+    r.routing = RoutingSpec::WestFirst;
+    r.sim.vcs_per_channel = 1;
+    r.load = 0.9;
+    regimes.push(r);
+
+    // 6. Duato's protocol at capacity (adaptive + escape VCs).
+    let mut r = base.clone();
+    r.routing = RoutingSpec::Duato;
+    r.sim.vcs_per_channel = 3;
+    r.load = 1.0;
+    regimes.push(r);
+
+    // 7. Non-minimal misrouting under pressure (hop-minimality audit
+    // relaxes to >= distance).
+    let mut r = base.clone();
+    r.routing = RoutingSpec::Misroute { budget: 2 };
+    r.sim.vcs_per_channel = 2;
+    r.load = 1.0;
+    regimes.push(r);
+
+    // 8. No recovery: the network wedges and stays wedged; detection,
+    // conservation, and the oracle keep auditing the frozen state.
+    let mut r = base.clone();
+    r.topology = TopologySpec::torus(4, 2, false);
+    r.routing = RoutingSpec::Tfar;
+    r.sim.vcs_per_channel = 1;
+    r.load = 1.1;
+    r.recovery = RecoveryPolicy::None;
+    regimes.push(r);
+
+    // 9. Deep buffers (virtual cut-through) at saturation: settled-chain
+    // snapshots shrink to the header neighbourhood.
+    let mut r = base.clone();
+    r.topology = TopologySpec::torus(4, 2, false);
+    r.routing = RoutingSpec::Dor;
+    r.sim.vcs_per_channel = 1;
+    r.sim.buffer_depth = 32;
+    r.load = 1.0;
+    regimes.push(r);
+
+    // 10. Hybrid message lengths with every-epoch cycle census.
+    let mut r = base.clone();
+    r.routing = RoutingSpec::Tfar;
+    r.sim.vcs_per_channel = 1;
+    r.len_dist = MsgLenDist::Bimodal {
+        short: 4,
+        long: 32,
+        long_frac: 0.3,
+    };
+    r.load = 1.0;
+    r.count_cycles_every = Some(2);
+    regimes.push(r);
+
+    regimes
+}
+
+/// Deterministically draws one randomized [`RunConfig`] from `seed`:
+/// topology, routing relation (with a VC count satisfying its minimum),
+/// buffers, lengths, load, pattern, detection cadence, fingerprint skip,
+/// and recovery policy all vary. Windows are short — the campaign's power
+/// is breadth.
+pub fn random_config(seed: u64) -> RunConfig {
+    let mut rng = SplitMix64::new(seed ^ 0x76a1_1da7_e000_0000);
+    let mut cfg = RunConfig::paper_default();
+
+    cfg.topology = match rng.gen_range(4) {
+        0 => TopologySpec::torus(4, 2, true),
+        1 => TopologySpec::torus(4, 2, false),
+        2 => TopologySpec::torus(8, 1, false),
+        _ => TopologySpec::mesh(4, 2),
+    };
+    cfg.routing = match rng.gen_range(6) {
+        0 => RoutingSpec::Dor,
+        1 => RoutingSpec::Tfar,
+        2 => RoutingSpec::DatelineDor,
+        3 => RoutingSpec::Duato,
+        4 => RoutingSpec::Misroute {
+            budget: 1 + rng.gen_range(3) as u8,
+        },
+        _ => RoutingSpec::WestFirst,
+    };
+    if cfg.routing == RoutingSpec::WestFirst {
+        // Turn models here are 2-D mesh relations.
+        cfg.topology = TopologySpec::mesh(4, 2);
+    }
+    let min_vcs = match cfg.routing {
+        RoutingSpec::DatelineDor => 2,
+        RoutingSpec::Duato => 3,
+        _ => 1,
+    };
+    cfg.sim.vcs_per_channel = min_vcs + rng.gen_range(2);
+    cfg.sim.buffer_depth = [2, 4, 8][rng.gen_range(3)];
+    cfg.sim.msg_len = [4, 8][rng.gen_range(2)];
+    cfg.len_dist = MsgLenDist::Fixed(cfg.sim.msg_len);
+    // Every drawn topology has a power-of-two node count, so permutation
+    // patterns are always admissible.
+    cfg.pattern = match rng.gen_range(4) {
+        0 => Pattern::Transpose,
+        1 => Pattern::BitReversal,
+        _ => Pattern::Uniform,
+    };
+    cfg.load = 0.3 + (rng.gen_range(11) as f64) * 0.1;
+    cfg.detection_interval = [10, 25, 50][rng.gen_range(3)];
+    cfg.fingerprint_skip = rng.gen_range(2) == 0;
+    cfg.recovery = match rng.gen_range(8) {
+        0 => RecoveryPolicy::None,
+        1..=2 => RecoveryPolicy::RemoveYoungest,
+        _ => RecoveryPolicy::RemoveOldest,
+    };
+    cfg.count_cycles_every = if rng.gen_range(4) == 0 { Some(3) } else { None };
+    cfg.warmup = 200;
+    cfg.measure = 800;
+    cfg.seed = rng.next_u64();
+    cfg
+}
+
+/// Outcome of a randomized live campaign ([`campaign`]).
+#[derive(Clone, Debug, Default)]
+pub struct CampaignOutcome {
+    /// Configs run.
+    pub configs: usize,
+    /// Detection epochs differentially checked against the oracle.
+    pub epochs_checked: u64,
+    /// Epochs at which the production detector reported a knot.
+    pub deadlock_epochs: u64,
+    /// Per-config failures: `(label, violations, minimized repro)`.
+    pub failures: Vec<(String, Vec<String>, Option<String>)>,
+}
+
+impl CampaignOutcome {
+    /// True when every config passed every audit.
+    pub fn ok(&self) -> bool {
+        self.failures.is_empty()
+    }
+}
+
+/// Runs `num_configs` seeded random configs (seeds `base_seed..`), each
+/// under a fresh [`ValidationObserver`] on the activity stepper.
+pub fn campaign(num_configs: usize, base_seed: u64) -> CampaignOutcome {
+    let mut out = CampaignOutcome::default();
+    for i in 0..num_configs {
+        let cfg = random_config(base_seed + i as u64);
+        let mut obs = ValidationObserver::new(&cfg);
+        run_with(&cfg, &mut obs);
+        out.configs += 1;
+        out.epochs_checked += obs.epochs;
+        out.deadlock_epochs += obs.deadlock_epochs;
+        if !obs.ok() {
+            out.failures
+                .push((cfg.label(), obs.violations, obs.divergence_repro));
+        }
+    }
+    out
+}
+
+/// Re-audits one stored forensics incident: the recorded production
+/// analysis must match what the oracle derives from the recorded CWG,
+/// and the three structure-level implementations must agree on it.
+pub fn check_incident(inc: &DeadlockIncident) -> Vec<String> {
+    let msgs: Vec<OracleMsg> = inc
+        .cwg
+        .messages
+        .iter()
+        .map(|m| OracleMsg {
+            id: m.id,
+            chain: m.chain.clone(),
+            requests: m.requests.clone(),
+        })
+        .collect();
+    let mut out = diff_epoch_analysis(false, &inc.analysis, inc.cwg.num_vertices, &msgs);
+    // Cross-check the structure-only harness too (fresh graph rebuild,
+    // slim detector path, brute force).
+    for d in check_messages(inc.cwg.num_vertices, &msgs) {
+        out.push(format!("rebuilt-graph divergence: {d}"));
+    }
+    // An incident records a detection: it must actually contain a knot.
+    if !inc.analysis.has_deadlock() {
+        out.push("incident stores no deadlock".to_string());
+    }
+    out
+}
+
+/// Audits every incident in a forensics store directory. Returns
+/// `(file name, problems)` pairs for incidents that failed, or an I/O
+/// error if the store is unreadable.
+pub fn check_incident_store(dir: impl AsRef<Path>) -> io::Result<Vec<(String, Vec<String>)>> {
+    let store = IncidentStore::open(dir)?;
+    let mut failures = Vec::new();
+    for entry in store.list()? {
+        let inc = store.load(&entry.file)?;
+        let problems = check_incident(&inc);
+        if !problems.is_empty() {
+            failures.push((entry.file, problems));
+        }
+    }
+    Ok(failures)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn observer_passes_a_clean_low_load_run() {
+        let mut cfg = RunConfig::small_default();
+        cfg.load = 0.2;
+        cfg.routing = RoutingSpec::Tfar;
+        cfg.sim.vcs_per_channel = 2;
+        cfg.warmup = 200;
+        cfg.measure = 800;
+        let mut obs = ValidationObserver::new(&cfg);
+        run_with(&cfg, &mut obs);
+        assert!(obs.ok(), "violations: {:?}", obs.violations);
+        assert!(obs.epochs > 0);
+        assert_eq!(obs.cycles, cfg.warmup + cfg.measure);
+    }
+
+    #[test]
+    fn observer_passes_a_deadlock_heavy_run() {
+        let mut cfg = RunConfig::small_default();
+        cfg.topology = TopologySpec::torus(4, 2, false);
+        cfg.routing = RoutingSpec::Dor;
+        cfg.sim.vcs_per_channel = 1;
+        cfg.load = 1.0;
+        cfg.warmup = 200;
+        cfg.measure = 1500;
+        cfg.detection_interval = 25;
+        let mut obs = ValidationObserver::new(&cfg);
+        run_with(&cfg, &mut obs);
+        assert!(obs.ok(), "violations: {:?}", obs.violations);
+        assert!(obs.deadlock_epochs > 0, "regime must actually deadlock");
+    }
+
+    #[test]
+    fn torture_regimes_cover_the_required_breadth() {
+        let regimes = torture_regimes(1_000);
+        assert!(regimes.len() >= 8);
+        // Deep saturation with recovery is present.
+        assert!(regimes
+            .iter()
+            .any(|r| r.load >= 1.0 && r.recovery != RecoveryPolicy::None));
+        // Every label is distinct (genuinely different regimes).
+        let labels: HashSet<String> = regimes.iter().map(|r| r.label()).collect();
+        assert_eq!(labels.len(), regimes.len());
+    }
+
+    #[test]
+    fn random_configs_are_deterministic_and_valid() {
+        for seed in 0..32 {
+            let a = random_config(seed);
+            let b = random_config(seed);
+            assert_eq!(a, b);
+            a.sim.validate();
+            let min = match a.routing {
+                RoutingSpec::DatelineDor => 2,
+                RoutingSpec::Duato => 3,
+                _ => 1,
+            };
+            assert!(a.sim.vcs_per_channel >= min);
+            if a.routing == RoutingSpec::WestFirst {
+                assert!(!a.topology.torus);
+            }
+        }
+    }
+
+    #[test]
+    fn divergence_repro_is_parseable_cwg_json() {
+        let msgs = vec![
+            OracleMsg {
+                id: 1,
+                chain: vec![0, 1],
+                requests: vec![2],
+            },
+            OracleMsg {
+                id: 2,
+                chain: vec![2, 3],
+                requests: vec![0],
+            },
+        ];
+        let json = divergence_repro_json(4, &msgs);
+        let parsed = icn_cwg::jsonio::parse(&json).expect("valid json");
+        let snap = CwgSnapshot::from_json(&parsed).expect("valid cwg snapshot");
+        assert_eq!(snap.num_vertices, 4);
+    }
+}

@@ -1,0 +1,46 @@
+//! Independent validation layer for the deadlock reproduction.
+//!
+//! The production detector (`icn-cwg`) is heavily optimized — arena
+//! snapshots, in-place rebuilds, CSR + Tarjan knot finding, fingerprint
+//! skips — which is exactly why it needs an adversarial correctness net
+//! that shares none of that machinery. This crate provides three
+//! independent lines of defense:
+//!
+//! * [`oracle`] — a deliberately naive knot finder (dense adjacency
+//!   matrix, fixed-point escape reduction, Warshall closure) plus a
+//!   brute-force minimal-closed-set enumerator: three implementations of
+//!   the paper's §2 definitions that must always agree.
+//! * [`diff`] — the differential harness comparing all of them on one
+//!   snapshot, with a greedy minimizer for any divergence.
+//! * [`gen`] — a seeded random CWG generator (own SplitMix64, no shared
+//!   randomness) biased to actually produce knots.
+//! * [`explore`] — exhaustive enumeration of every injection schedule on
+//!   tiny networks, auditing every cycle of every execution.
+//!
+//! The run-coupled pieces (torture harness over live simulations,
+//! forensics-incident checking, the `repro validate` CLI) live in
+//! `flexsim::validate`, which builds on this crate.
+
+pub mod diff;
+pub mod explore;
+pub mod gen;
+pub mod oracle;
+
+/// Converts a live snapshot arena into oracle messages.
+pub fn arena_msgs(arena: &icn_sim::SnapshotArena) -> Vec<oracle::OracleMsg> {
+    arena
+        .messages()
+        .map(|m| oracle::OracleMsg {
+            id: m.id,
+            chain: m.chain.to_vec(),
+            requests: m.requests.to_vec(),
+        })
+        .collect()
+}
+
+pub use diff::{check_messages, minimize_divergence, Divergence, BRUTE_FORCE_CAP};
+pub use explore::{explore, ExploreConfig, ExploreReport, ExploreRouting};
+pub use gen::{random_snapshot, GenParams, SplitMix64};
+pub use oracle::{
+    minimal_deadlock_sets, oracle_analyze, OracleAnalysis, OracleDependent, OracleKnot, OracleMsg,
+};

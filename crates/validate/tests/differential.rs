@@ -1,0 +1,50 @@
+//! Randomized differential test: production detector vs. naive oracle
+//! vs. brute force, over seeded random CWG snapshots.
+
+use icn_validate::{check_messages, minimize_divergence, random_snapshot, GenParams};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Every implementation agrees on every randomized snapshot; on a
+    /// divergence the minimizer produces a small reproducer for the
+    /// failure message.
+    #[test]
+    fn production_matches_oracle_on_random_cwgs(seed in any::<u64>()) {
+        let p = GenParams::default();
+        let (n, msgs) = random_snapshot(seed, &p);
+        let divergences = check_messages(n, &msgs);
+        if !divergences.is_empty() {
+            let minimal = minimize_divergence(n, &msgs);
+            prop_assert!(
+                false,
+                "seed {seed}: {divergences:?}\nminimal repro: {minimal:?}"
+            );
+        }
+    }
+
+    /// Denser, knottier shapes: short chains, many messages, heavy
+    /// owned-vertex bias, so multi-knot and dependent-heavy snapshots
+    /// are common.
+    #[test]
+    fn production_matches_oracle_on_dense_cwgs(seed in any::<u64>()) {
+        let p = GenParams {
+            num_vertices: 24,
+            max_messages: 12,
+            max_chain: 2,
+            max_requests: 2,
+            blocked_prob: 0.95,
+            owned_bias: 0.95,
+        };
+        let (n, msgs) = random_snapshot(seed, &p);
+        let divergences = check_messages(n, &msgs);
+        if !divergences.is_empty() {
+            let minimal = minimize_divergence(n, &msgs);
+            prop_assert!(
+                false,
+                "seed {seed}: {divergences:?}\nminimal repro: {minimal:?}"
+            );
+        }
+    }
+}

@@ -1,10 +1,191 @@
 //! End-to-end reproduction smoke tests: run scaled-down versions of every
-//! experiment in the paper's evaluation section and assert the robust
+//! experiment in the paper's evaluation section, assert the robust
 //! qualitative claims (the full-strength claims are checked at paper scale
-//! by the `repro` binary; see EXPERIMENTS.md).
+//! by the `repro` binary; see EXPERIMENTS.md), and pin Figures 5–8 to
+//! committed golden files.
+//!
+//! # Golden regeneration
+//!
+//! The figure goldens live in `tests/goldens/fig{5,6,7,8}.json`: one entry
+//! per simulation point with the run's byte-exact digest and its key
+//! metrics. Comparisons assert the digest exactly and every key metric
+//! within a ±5% band, so any intentional engine/detector change must
+//! regenerate them — deliberately, via
+//!
+//! ```text
+//! REPRO_BLESS=1 cargo test --test experiments_small
+//! ```
+//!
+//! and the resulting diff reviewed alongside the change that caused it.
 
 use flexsim::experiments::{self, Experiment, Scale, ShapeCheck};
 use flexsim::{sweep, RunConfig, RunResult};
+
+mod golden {
+    use flexsim::RunResult;
+    use icn_cwg::jsonio::{obj, parse, Json};
+
+    /// Relative tolerance band for key metrics.
+    pub const REL_TOL: f64 = 0.05;
+    /// Absolute floor so zero-valued goldens accept exact zeros only
+    /// modulo rounding noise.
+    pub const ABS_FLOOR: f64 = 1e-9;
+
+    /// One simulation point's pinned outcome.
+    #[derive(Clone, Debug)]
+    pub struct Entry {
+        pub label: String,
+        pub digest: String,
+        pub normalized_deadlocks: f64,
+        pub accepted_load: f64,
+        pub avg_latency: f64,
+        pub deadlocks: u64,
+        pub delivered: u64,
+    }
+
+    pub fn entry_of(r: &RunResult) -> Entry {
+        Entry {
+            label: r.label.clone(),
+            digest: r.digest(),
+            normalized_deadlocks: r.normalized_deadlocks(),
+            accepted_load: r.accepted_load(),
+            avg_latency: r.avg_latency(),
+            deadlocks: r.deadlocks,
+            delivered: r.delivered,
+        }
+    }
+
+    pub fn to_json(id: &str, entries: &[Entry]) -> String {
+        let rows: Vec<Json> = entries
+            .iter()
+            .map(|e| {
+                obj(vec![
+                    ("label", Json::Str(e.label.clone())),
+                    ("digest", Json::Str(e.digest.clone())),
+                    ("normalized_deadlocks", Json::F64(e.normalized_deadlocks)),
+                    ("accepted_load", Json::F64(e.accepted_load)),
+                    ("avg_latency", Json::F64(e.avg_latency)),
+                    ("deadlocks", Json::U64(e.deadlocks)),
+                    ("delivered", Json::U64(e.delivered)),
+                ])
+            })
+            .collect();
+        obj(vec![
+            ("experiment", Json::Str(id.to_string())),
+            ("entries", Json::Arr(rows)),
+        ])
+        .to_string()
+    }
+
+    pub fn from_json(text: &str) -> Vec<Entry> {
+        let v = parse(text).expect("golden file must be valid JSON");
+        let arr = v
+            .get("entries")
+            .and_then(Json::as_arr)
+            .expect("golden file lacks `entries`");
+        arr.iter()
+            .map(|e| {
+                let s = |k: &str| {
+                    e.get(k)
+                        .and_then(Json::as_str)
+                        .unwrap_or_else(|| panic!("golden entry lacks `{k}`"))
+                        .to_string()
+                };
+                let f = |k: &str| {
+                    e.get(k)
+                        .and_then(Json::as_f64)
+                        .unwrap_or_else(|| panic!("golden entry lacks `{k}`"))
+                };
+                let u = |k: &str| {
+                    e.get(k)
+                        .and_then(Json::as_u64)
+                        .unwrap_or_else(|| panic!("golden entry lacks `{k}`"))
+                };
+                Entry {
+                    label: s("label"),
+                    digest: s("digest"),
+                    normalized_deadlocks: f("normalized_deadlocks"),
+                    accepted_load: f("accepted_load"),
+                    avg_latency: f("avg_latency"),
+                    deadlocks: u("deadlocks"),
+                    delivered: u("delivered"),
+                }
+            })
+            .collect()
+    }
+
+    fn in_band(golden: f64, measured: f64) -> bool {
+        (measured - golden).abs() <= ABS_FLOOR + REL_TOL * golden.abs()
+    }
+
+    /// Compares measured results against a golden; returns every failure.
+    pub fn compare(golden: &[Entry], results: &[RunResult]) -> Vec<String> {
+        let mut out = Vec::new();
+        if golden.len() != results.len() {
+            out.push(format!(
+                "entry count: golden {} vs measured {}",
+                golden.len(),
+                results.len()
+            ));
+            return out;
+        }
+        for (g, r) in golden.iter().zip(results) {
+            let m = entry_of(r);
+            if g.label != m.label {
+                out.push(format!(
+                    "label: golden `{}` vs measured `{}`",
+                    g.label, m.label
+                ));
+                continue;
+            }
+            if g.digest != m.digest {
+                out.push(format!("{}: digest drifted", g.label));
+            }
+            for (name, gv, mv) in [
+                (
+                    "normalized_deadlocks",
+                    g.normalized_deadlocks,
+                    m.normalized_deadlocks,
+                ),
+                ("accepted_load", g.accepted_load, m.accepted_load),
+                ("avg_latency", g.avg_latency, m.avg_latency),
+                ("deadlocks", g.deadlocks as f64, m.deadlocks as f64),
+                ("delivered", g.delivered as f64, m.delivered as f64),
+            ] {
+                if !in_band(gv, mv) {
+                    out.push(format!(
+                        "{}: {name} out of band: golden {gv} measured {mv}",
+                        g.label
+                    ));
+                }
+            }
+        }
+        out
+    }
+
+    /// Asserts `results` against `tests/goldens/<id>.json`, or rewrites
+    /// that file when `REPRO_BLESS` is set.
+    pub fn check_or_bless(id: &str, results: &[RunResult]) {
+        let path = format!("{}/tests/goldens/{id}.json", env!("CARGO_MANIFEST_DIR"));
+        let entries: Vec<Entry> = results.iter().map(entry_of).collect();
+        if std::env::var_os("REPRO_BLESS").is_some() {
+            std::fs::create_dir_all(format!("{}/tests/goldens", env!("CARGO_MANIFEST_DIR")))
+                .expect("create goldens dir");
+            std::fs::write(&path, to_json(id, &entries)).expect("write golden");
+            eprintln!("blessed {path}");
+            return;
+        }
+        let text = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+            panic!("cannot read golden `{path}` ({e}); run REPRO_BLESS=1 to create it")
+        });
+        let failures = compare(&from_json(&text), results);
+        assert!(
+            failures.is_empty(),
+            "golden `{id}` mismatch (REPRO_BLESS=1 regenerates after intended changes):\n  {}",
+            failures.join("\n  ")
+        );
+    }
+}
 
 /// Shrinks an experiment so the whole suite stays test-suite fast:
 /// shorter windows and a subsampled load sweep.
@@ -48,6 +229,7 @@ fn fig5_directionality() {
     // Deadlocks actually occur in both networks at these loads.
     assert!(results.iter().all(|r| r.delivered > 0));
     assert!(results.iter().any(|r| r.deadlocks > 0));
+    golden::check_or_bless("fig5", &results);
 }
 
 #[test]
@@ -72,6 +254,7 @@ fn fig6_adaptivity() {
         .map(|(_, r)| r.multi_cycle_deadlocks)
         .sum();
     assert_eq!(dor_multi, 0);
+    golden::check_or_bless("fig6", &results);
 }
 
 #[test]
@@ -87,6 +270,7 @@ fn fig7_virtual_channels() {
             "TFAR1 and DOR1 both deadlock",
         ],
     );
+    golden::check_or_bless("fig7", &results);
 }
 
 #[test]
@@ -104,6 +288,52 @@ fn fig8_buffer_depth() {
             "per-in-network-message deadlock rate falls with depth",
         ],
     );
+    golden::check_or_bless("fig8", &results);
+}
+
+/// The golden comparison itself must catch drift: a digest change or an
+/// out-of-band key metric fails, an in-band wiggle passes.
+#[test]
+fn golden_comparison_detects_tampering() {
+    let mut cfg = RunConfig::small_default();
+    cfg.warmup = 50;
+    cfg.measure = 200;
+    cfg.load = 0.3;
+    let r = flexsim::run(&cfg);
+    let results = vec![r];
+    let pristine: Vec<golden::Entry> = results.iter().map(golden::entry_of).collect();
+    assert!(golden::compare(&pristine, &results).is_empty());
+
+    // Round trip through the JSON form stays clean.
+    let round = golden::from_json(&golden::to_json("tamper", &pristine));
+    assert!(golden::compare(&round, &results).is_empty());
+
+    // An out-of-band metric drift fails.
+    let mut bad = pristine.clone();
+    bad[0].avg_latency *= 1.0 + 2.0 * golden::REL_TOL;
+    assert!(golden::compare(&bad, &results)
+        .iter()
+        .any(|f| f.contains("avg_latency out of band")));
+
+    // An in-band wiggle on one metric passes the band but the digest
+    // pin still reports the exact-state change.
+    let mut wiggle = pristine.clone();
+    wiggle[0].accepted_load *= 1.0 + golden::REL_TOL / 2.0;
+    let failures = golden::compare(&wiggle, &results);
+    assert!(!failures.iter().any(|f| f.contains("out of band")));
+
+    // A digest change alone is reported.
+    let mut tampered = pristine.clone();
+    tampered[0].digest.push('x');
+    assert!(golden::compare(&tampered, &results)
+        .iter()
+        .any(|f| f.contains("digest drifted")));
+
+    // Entry-count and label mismatches are structural failures.
+    assert!(!golden::compare(&[], &results).is_empty());
+    let mut relabeled = pristine;
+    relabeled[0].label = "something else".to_string();
+    assert!(!golden::compare(&relabeled, &results).is_empty());
 }
 
 #[test]
