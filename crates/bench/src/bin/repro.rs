@@ -4,6 +4,7 @@
 //! repro [fig5] [fig6] [fig7] [fig8] [degree] [traffic] [all] [--small] [--csv]
 //! repro forensics [--store DIR] [--seed N] [--max N] [--cycles N] [--no-prefix]
 //! repro validate [--configs N] [--cwgs N] [--seed N] [--store DIR] [--no-explore]
+//! repro faults [--seed N] [--expect-stall]
 //! ```
 //!
 //! With no experiment named, runs `all`. `--small` switches to the
@@ -22,6 +23,17 @@
 //! artifacts to the incident store. Exits non-zero if any incident fails
 //! to replay or minimize, which makes it a self-checking smoke command.
 //!
+//! `repro faults` is the fault-injection smoke command: it builds a
+//! seeded random fault plan (transient link outages, a permanent kill, a
+//! router stall, an injector outage), runs it on the activity-driven
+//! stepper, the dense reference stepper, and a replay, and exits
+//! non-zero unless all three digests agree byte-for-byte and the run was
+//! classified [`flexsim::RunOutcome::Faulted`]. With `--expect-stall` it
+//! instead runs a deliberately wedged configuration (recovery disabled,
+//! saturated single-VC torus) under the progress watchdog and exits 2 —
+//! and only 2 — when the run ends as `Stalled` with a coherent stall
+//! report, so CI can assert the watchdog actually fires.
+//!
 //! `repro validate` runs the validation layer: the production detector
 //! is differentially checked against the independent naive oracle and
 //! the brute-force enumerator on randomized CWGs (`--cwgs`, default 512),
@@ -36,7 +48,10 @@ use flexsim::experiments::{self, Scale};
 use flexsim::forensics::{minimize, replay, timeline_table, IncidentStore};
 use flexsim::report::Table;
 use flexsim::sweep;
-use flexsim::{run, ForensicsConfig, RoutingSpec, RunConfig, TopologySpec};
+use flexsim::{
+    run, run_reference, ForensicsConfig, RecoveryPolicy, RoutingSpec, RunConfig, RunOutcome,
+    TopologySpec,
+};
 use icn_metrics::Histogram;
 use std::time::Instant;
 
@@ -360,10 +375,138 @@ fn validate_main(args: &[String]) -> i32 {
     }
 }
 
+/// The `repro faults` subcommand. Returns the process exit code:
+/// 0 on success, 1 on any determinism or classification failure, and —
+/// under `--expect-stall` — exactly 2 when the watchdog fired as
+/// expected.
+fn faults_main(args: &[String]) -> i32 {
+    let seed = flag_value(args, "--seed").map_or(0xfa17_5eed, |v| {
+        v.parse().unwrap_or_else(|_| {
+            eprintln!("--seed wants an integer, got `{v}`");
+            std::process::exit(2);
+        })
+    });
+
+    if args.iter().any(|a| a == "--expect-stall") {
+        // A saturated single-VC unidirectional torus under TFAR with
+        // recovery disabled wedges permanently once the first knot forms;
+        // the watchdog must cut it instead of burning the full horizon.
+        let mut cfg = RunConfig::small_default();
+        cfg.topology = TopologySpec::torus(4, 2, false);
+        cfg.routing = RoutingSpec::Tfar;
+        cfg.sim.vcs_per_channel = 1;
+        cfg.load = 1.1;
+        cfg.recovery = RecoveryPolicy::None;
+        cfg.warmup = 500;
+        cfg.measure = 100_000;
+        cfg.stall_threshold = Some(300);
+        cfg.seed = seed;
+
+        println!("== fault smoke: forced stall ==");
+        println!("   config: {} (recovery disabled)", cfg.label());
+        let started = Instant::now();
+        let res = run(&cfg);
+        println!(
+            "   outcome: {} ({:.1?} elapsed)",
+            res.outcome.name(),
+            started.elapsed()
+        );
+        if res.outcome != RunOutcome::Stalled {
+            eprintln!(
+                "expected the watchdog to fire, run ended {}",
+                res.outcome.name()
+            );
+            return 1;
+        }
+        let Some(st) = res.stall else {
+            eprintln!("Stalled outcome without a stall report");
+            return 1;
+        };
+        println!(
+            "   stall report: cut at cycle {} (last progress {}), \
+             {} messages in network, {} blocked, {} source-queued",
+            st.cycle, st.last_progress_cycle, st.in_network, st.blocked, st.source_queued
+        );
+        if st.cycle >= cfg.warmup + cfg.measure {
+            eprintln!("watchdog fired only at the horizon — it saved nothing");
+            return 1;
+        }
+        return 2;
+    }
+
+    // A seeded random fault plan on a small torus: transient outages, a
+    // permanent kill, a router stall, an injector outage. The run must be
+    // byte-identical on the activity stepper, the dense reference
+    // stepper, and a replay, and classify as `Faulted`.
+    let mut cfg = RunConfig::small_default();
+    cfg.topology = TopologySpec::torus(4, 2, true);
+    cfg.routing = RoutingSpec::Tfar;
+    cfg.sim.vcs_per_channel = 2;
+    cfg.load = 0.8;
+    cfg.warmup = 200;
+    cfg.measure = 1_800;
+    cfg.stall_threshold = Some(1_000);
+    cfg.seed = seed;
+    cfg.faults = flexsim::faults::random_plan(&cfg.topology, cfg.warmup + cfg.measure, seed);
+
+    println!("== fault smoke: injected run ==");
+    println!("   config: {}", cfg.label());
+    println!(
+        "   routing {} fault-aware (routes_around_faults={})",
+        cfg.routing.name(),
+        cfg.routing.build().routes_around_faults()
+    );
+    for e in &cfg.faults.events {
+        println!("   fault @ cycle {:>5}: {:?}", e.cycle, e.kind);
+    }
+
+    let started = Instant::now();
+    let act = run(&cfg);
+    let dense = run_reference(&cfg);
+    let replayed = run(&cfg);
+    println!(
+        "   outcome: {}  fault losses: {}  source rejections: {}  ({:.1?} elapsed)",
+        act.outcome.name(),
+        act.fault_losses,
+        act.fault_rejected,
+        started.elapsed()
+    );
+
+    let mut ok = true;
+    if act.digest() != dense.digest() {
+        eprintln!("DIGEST MISMATCH between activity and dense steppers");
+        eprintln!("   activity: {}", act.digest());
+        eprintln!("   dense:    {}", dense.digest());
+        ok = false;
+    }
+    if act.digest() != replayed.digest() {
+        eprintln!("DIGEST MISMATCH between run and replay");
+        ok = false;
+    }
+    if ok {
+        println!("   digests agree across activity stepper, dense stepper, replay");
+    }
+    if act.outcome != RunOutcome::Faulted {
+        eprintln!(
+            "expected a Faulted classification, got {} — the plan never bit",
+            act.outcome.name()
+        );
+        ok = false;
+    }
+    if ok {
+        0
+    } else {
+        1
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.first().map(String::as_str) == Some("forensics") {
         std::process::exit(forensics_main(&args[1..]));
+    }
+    if args.first().map(String::as_str) == Some("faults") {
+        std::process::exit(faults_main(&args[1..]));
     }
     if args.first().map(String::as_str) == Some("validate") {
         std::process::exit(validate_main(&args[1..]));

@@ -480,6 +480,11 @@ fn event_to_json(ev: &TraceEvent) -> Json {
             ("id", Json::U64(*id)),
             ("recovered", Json::Bool(*recovered)),
         ]),
+        TraceEvent::FaultLoss { cycle, id } => obj(vec![
+            ("t", Json::Str("fault-loss".into())),
+            ("cycle", Json::U64(*cycle)),
+            ("id", Json::U64(*id)),
+        ]),
     }
 }
 
@@ -511,6 +516,7 @@ fn event_from_json(v: &Json) -> Result<TraceEvent, ParseError> {
         },
         "eject-start" => TraceEvent::EjectStart { cycle, id },
         "recovery-start" => TraceEvent::RecoveryStart { cycle, id },
+        "fault-loss" => TraceEvent::FaultLoss { cycle, id },
         "delivered" => TraceEvent::Delivered {
             cycle,
             id,
@@ -686,6 +692,14 @@ pub(crate) fn config_to_json(cfg: &RunConfig) -> Json {
                 None => Json::Null,
             },
         ),
+        ("faults", crate::faults::plan_to_json(&cfg.faults)),
+        (
+            "stall_threshold",
+            match cfg.stall_threshold {
+                Some(t) => Json::U64(t),
+                None => Json::Null,
+            },
+        ),
     ])
 }
 
@@ -733,6 +747,14 @@ pub(crate) fn config_from_json(v: &Json) -> Result<RunConfig, ParseError> {
         recovery: recovery_from_name(get_str(v, "recovery")?)?,
         seed: get_u64(v, "seed")?,
         forensics,
+        faults: crate::faults::plan_from_json(get(v, "faults")?)?,
+        stall_threshold: match get(v, "stall_threshold")? {
+            Json::Null => None,
+            j => Some(
+                j.as_u64()
+                    .ok_or_else(|| bad("`stall_threshold` must be null or u64"))?,
+            ),
+        },
     })
 }
 
@@ -757,6 +779,8 @@ mod tests {
         cfg.load = 0.87;
         cfg.count_cycles_every = Some(7);
         cfg.forensics = Some(ForensicsConfig::default());
+        cfg.faults.link_outage(2, 50, 90).node_stall(120, 9, 40);
+        cfg.stall_threshold = Some(500);
         let text = config_to_json(&cfg).to_string();
         let back = config_from_json(&parse(&text).unwrap()).unwrap();
         assert_eq!(cfg, back);

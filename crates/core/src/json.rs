@@ -63,6 +63,16 @@ pub fn result_to_json(r: &RunResult) -> String {
     );
     field("victims_started", r.victims_started.to_string());
     field("resolution_latency_mean", num(r.resolution_latency.mean()));
+    field("outcome", format!("\"{}\"", r.outcome.name()));
+    field("fault_losses", r.fault_losses.to_string());
+    field("fault_rejected", r.fault_rejected.to_string());
+    field(
+        "stall_cycle",
+        match &r.stall {
+            Some(st) => st.cycle.to_string(),
+            None => "null".to_string(),
+        },
+    );
     o.push('}');
     o
 }

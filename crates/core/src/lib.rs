@@ -39,8 +39,10 @@
 
 pub mod ablations;
 pub mod chart;
+mod checkpoint;
 pub mod experiments;
 pub mod extensions;
+pub mod faults;
 pub mod forensics;
 pub mod json;
 pub mod report;
@@ -50,13 +52,18 @@ mod spec;
 mod sweep;
 pub mod validate;
 
+pub use checkpoint::{decode_result, encode_result};
+pub use faults::{FaultEvent, FaultKind, FaultPlan};
 pub use forensics::ForensicsConfig;
-pub use result::{Incident, RunResult};
+pub use result::{Incident, RunOutcome, RunResult, StallReport};
 pub use runner::{
     build_wait_graph, run, run_reference, run_reference_with, run_with, EpochView, RunObserver,
 };
 pub use spec::{RecoveryPolicy, RoutingSpec, TopologySpec};
-pub use sweep::{replicate, replication_summary, sweep, ReplicationSummary};
+pub use sweep::{
+    replicate, replication_summary, sweep, sweep_supervised, ReplicationSummary, SweepError,
+    SweepOptions,
+};
 
 use icn_traffic::{MsgLenDist, Pattern};
 
@@ -103,6 +110,16 @@ pub struct RunConfig {
     /// Tracing never perturbs the simulation, so a forensic run is
     /// cycle-identical to a plain one under the same seed.
     pub forensics: Option<ForensicsConfig>,
+    /// Scheduled fault injection (link outages, router stalls, injector
+    /// failures). An empty plan is byte-identical to no plan.
+    pub faults: FaultPlan,
+    /// Progress watchdog: when `Some(t)`, a run that makes no progress
+    /// (no injection, link movement, drain, delivery, recovery start, or
+    /// fault accounting) for `t` consecutive cycles ends early with
+    /// [`RunOutcome::Stalled`] and a [`StallReport`]. `None` disables the
+    /// watchdog — required for configs that deliberately wedge forever
+    /// (e.g. recovery disabled).
+    pub stall_threshold: Option<u64>,
 }
 
 impl RunConfig {
@@ -127,6 +144,8 @@ impl RunConfig {
             recovery: RecoveryPolicy::RemoveOldest,
             seed: 0x5ca1ab1e,
             forensics: None,
+            faults: FaultPlan::new(),
+            stall_threshold: None,
         }
     }
 
@@ -141,9 +160,11 @@ impl RunConfig {
         }
     }
 
-    /// Human-readable label for reports.
+    /// Human-readable label for reports. Fault-free configs keep the
+    /// historical format; a fault plan appends its event count so faulted
+    /// regimes are distinguishable in tables and sweeps.
     pub fn label(&self) -> String {
-        format!(
+        let mut s = format!(
             "{} {} vc={} buf={} load={:.2} {}",
             self.topology.label(),
             self.routing.name(),
@@ -151,6 +172,10 @@ impl RunConfig {
             self.sim.buffer_depth,
             self.load,
             self.pattern.name(),
-        )
+        );
+        if !self.faults.is_empty() {
+            s.push_str(&format!(" faults={}", self.faults.events.len()));
+        }
+        s
     }
 }

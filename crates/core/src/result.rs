@@ -2,6 +2,53 @@
 
 use icn_metrics::{Histogram, Mean, TimeSeries};
 
+/// How a run ended.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RunOutcome {
+    /// The network was empty (nothing in flight or source-queued) when the
+    /// cycle budget ran out.
+    Drained,
+    /// The cycle budget ran out with traffic still in flight — the normal
+    /// ending for a saturated steady-state measurement.
+    CyclesExhausted,
+    /// The progress watchdog fired: no delivery, injection, link movement,
+    /// drain, fault accounting, or recovery start for
+    /// [`crate::RunConfig::stall_threshold`] cycles. See
+    /// [`RunResult::stall`] for the forensic summary.
+    Stalled,
+    /// The run completed its budget but fault injection dropped or
+    /// rejected traffic along the way.
+    Faulted,
+}
+
+impl RunOutcome {
+    /// Stable lower-case name, used in digests, JSON, and reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            RunOutcome::Drained => "drained",
+            RunOutcome::CyclesExhausted => "cycles-exhausted",
+            RunOutcome::Stalled => "stalled",
+            RunOutcome::Faulted => "faulted",
+        }
+    }
+}
+
+/// Forensic summary attached to a [`RunOutcome::Stalled`] run: where the
+/// watchdog fired and what the network looked like at that moment.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct StallReport {
+    /// Cycle at which the watchdog fired.
+    pub cycle: u64,
+    /// Last cycle that showed any progress signal.
+    pub last_progress_cycle: u64,
+    /// Messages holding network resources when the run was cut.
+    pub in_network: usize,
+    /// Of those, how many were blocked.
+    pub blocked: usize,
+    /// Messages still waiting in source queues.
+    pub source_queued: usize,
+}
+
 /// Everything measured during one simulation point.
 ///
 /// Raw counters cover the measurement window only (after warm-up);
@@ -91,6 +138,18 @@ pub struct RunResult {
     ///
     /// [`ForensicsConfig::max_incidents`]: crate::ForensicsConfig::max_incidents
     pub forensic_incidents: Vec<crate::forensics::DeadlockIncident>,
+
+    /// How the run ended (drained, budget exhausted, watchdog stall,
+    /// or completed-with-faults).
+    pub outcome: RunOutcome,
+    /// In-network messages dropped by fault injection over the *whole*
+    /// run, warm-up included — a robustness metric, not a §3 statistic.
+    pub fault_losses: u64,
+    /// Source-queued messages rejected as unroutable under the active
+    /// fault set, whole run.
+    pub fault_rejected: u64,
+    /// Present only when the progress watchdog cut the run.
+    pub stall: Option<StallReport>,
 }
 
 /// A single detected deadlock, summarized.
@@ -152,6 +211,10 @@ impl RunResult {
             formation_latency: Histogram::new(),
             formation_spread: Histogram::new(),
             forensic_incidents: Vec::new(),
+            outcome: RunOutcome::CyclesExhausted,
+            fault_losses: 0,
+            fault_rejected: 0,
+            stall: None,
         }
     }
 
@@ -294,6 +357,22 @@ impl RunResult {
         }
         for f in &self.forensic_incidents {
             let _ = write!(s, "f({},{},{:016x})", f.seq, f.cycle, f.fingerprint);
+        }
+        // Robustness fields are appended last so a fault-free digest is a
+        // strict extension of the pre-fault format.
+        let _ = write!(
+            s,
+            " outcome={} flost={} frej={}",
+            self.outcome.name(),
+            self.fault_losses,
+            self.fault_rejected
+        );
+        if let Some(st) = &self.stall {
+            let _ = write!(
+                s,
+                " stall({},{},{},{},{})",
+                st.cycle, st.last_progress_cycle, st.in_network, st.blocked, st.source_queued
+            );
         }
         s
     }

@@ -12,7 +12,7 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 use crate::forensics::ForensicsState;
-use crate::result::RunResult;
+use crate::result::{RunOutcome, RunResult, StallReport};
 use crate::spec::RecoveryPolicy;
 use crate::RunConfig;
 
@@ -145,6 +145,9 @@ fn run_impl(cfg: &RunConfig, obs: &mut dyn RunObserver, stepper: Stepper) -> Run
     }
     cfg.len_dist.validate();
     let mut net = Network::new(topo.clone(), cfg.routing.build(), cfg.sim);
+    if !cfg.faults.is_empty() {
+        net.set_fault_plan(&cfg.faults);
+    }
     let mut rng = StdRng::seed_from_u64(cfg.seed);
     // Offered load normalizes by the *mean* message length so hybrid
     // workloads compare at equal flit pressure.
@@ -184,6 +187,11 @@ fn run_impl(cfg: &RunConfig, obs: &mut dyn RunObserver, stepper: Stepper) -> Run
     if let Some(f) = cfg.forensics {
         net.enable_trace(f.trace_capacity);
     }
+
+    // Progress watchdog state: the last cycle that showed any forward
+    // motion, and the stall report if the watchdog fires.
+    let mut last_progress: u64 = 0;
+    let mut stalled: Option<StallReport> = None;
 
     'run: for cycle in 0..total {
         let measuring = cycle >= cfg.warmup;
@@ -235,6 +243,15 @@ fn run_impl(cfg: &RunConfig, obs: &mut dyn RunObserver, stepper: Stepper) -> Run
         if obs.on_cycle(&net, &ev).is_break() {
             break 'run;
         }
+
+        // Progress signals from this engine step; recovery starts at a
+        // detection epoch below also count.
+        let mut progressed = ev.injected > 0
+            || ev.link_flits > 0
+            || ev.drained_flits > 0
+            || ev.fault_losses > 0
+            || ev.fault_rejected > 0
+            || !ev.delivered.is_empty();
 
         // Detection epoch.
         if net.cycle().is_multiple_of(cfg.detection_interval) {
@@ -355,6 +372,8 @@ fn run_impl(cfg: &RunConfig, obs: &mut dyn RunObserver, stepper: Stepper) -> Run
                 }
             }
 
+            progressed |= !epoch_victims.is_empty();
+
             // Forensic incident capture — after recovery so the outcome is
             // part of the record; the CWG comes from the immutable arena,
             // so it is the pre-recovery graph.
@@ -422,7 +441,38 @@ fn run_impl(cfg: &RunConfig, obs: &mut dyn RunObserver, stepper: Stepper) -> Run
                 res.blocked_frac.push(net.cycle(), frac);
             }
         }
+
+        // Progress watchdog. An idle network (nothing in flight or
+        // queued) is never a stall — it is simply waiting for traffic.
+        if let Some(threshold) = cfg.stall_threshold {
+            if progressed || (net.in_network() == 0 && net.source_queued() == 0) {
+                last_progress = net.cycle();
+            } else if net.cycle() - last_progress >= threshold {
+                stalled = Some(StallReport {
+                    cycle: net.cycle(),
+                    last_progress_cycle: last_progress,
+                    in_network: net.in_network(),
+                    blocked: net.blocked_count(),
+                    source_queued: net.source_queued(),
+                });
+                break 'run;
+            }
+        }
     }
+
+    let (fault_losses, fault_rejected) = net.fault_totals();
+    res.fault_losses = fault_losses;
+    res.fault_rejected = fault_rejected;
+    res.stall = stalled;
+    res.outcome = if stalled.is_some() {
+        RunOutcome::Stalled
+    } else if fault_losses + fault_rejected > 0 {
+        RunOutcome::Faulted
+    } else if net.in_network() == 0 && net.source_queued() == 0 {
+        RunOutcome::Drained
+    } else {
+        RunOutcome::CyclesExhausted
+    };
 
     res
 }
@@ -566,6 +616,93 @@ mod tests {
         assert_eq!(a.delivered, b.delivered);
         assert_eq!(a.deadlocks, b.deadlocks);
         assert_eq!(a.generated, b.generated);
+    }
+
+    /// A construct-a-livelock config: recovery disabled on a wedging
+    /// regime, so the network deadlocks and stays deadlocked forever. The
+    /// watchdog must cut the run with a coherent stall report instead of
+    /// burning the whole cycle budget on a frozen network.
+    #[test]
+    fn watchdog_cuts_a_wedged_run() {
+        let mut cfg = RunConfig::small_default();
+        cfg.topology = TopologySpec::torus(4, 2, false);
+        cfg.routing = RoutingSpec::Tfar;
+        cfg.sim.vcs_per_channel = 1;
+        cfg.load = 1.1;
+        cfg.recovery = crate::RecoveryPolicy::None;
+        cfg.warmup = 500;
+        cfg.measure = 100_000; // never reached: the watchdog fires first
+        cfg.stall_threshold = Some(300);
+        let r = quick(&cfg);
+        assert_eq!(r.outcome, crate::RunOutcome::Stalled);
+        let st = r.stall.expect("stalled run carries a report");
+        assert!(st.cycle >= st.last_progress_cycle + 300);
+        assert!(st.cycle < cfg.warmup + cfg.measure, "cut early");
+        assert!(st.in_network > 0, "a stall has traffic stuck in flight");
+        assert_eq!(st.blocked, st.in_network, "a total wedge blocks everyone");
+        // Both steppers agree byte-for-byte on the truncated run.
+        assert_eq!(r.digest(), run_reference(&cfg).digest());
+    }
+
+    /// The watchdog must NOT fire on a healthy recovering run: recovery
+    /// starts and drains count as progress even deep in saturation.
+    #[test]
+    fn watchdog_spares_a_recovering_run() {
+        let mut cfg = RunConfig::small_default();
+        cfg.topology = TopologySpec::torus(8, 2, false);
+        cfg.routing = RoutingSpec::Dor;
+        cfg.sim.vcs_per_channel = 1;
+        cfg.load = 1.0;
+        cfg.warmup = 200;
+        cfg.measure = 2_000;
+        cfg.stall_threshold = Some(300);
+        let r = quick(&cfg);
+        assert!(r.deadlocks > 0, "regime must deadlock for the test to bite");
+        assert_ne!(r.outcome, crate::RunOutcome::Stalled);
+        assert!(r.stall.is_none());
+    }
+
+    /// A fault plan classifies the run as Faulted, counts its losses, and
+    /// stays byte-identical across both steppers.
+    #[test]
+    fn fault_plan_run_is_deterministic_and_classified() {
+        let mut cfg = RunConfig::small_default();
+        cfg.routing = RoutingSpec::Tfar;
+        cfg.sim.vcs_per_channel = 2;
+        cfg.load = 0.6;
+        cfg.warmup = 300;
+        cfg.measure = 1_500;
+        cfg.faults.link_outage(3, 400, 700).link_kill(900, 17);
+        let a = quick(&cfg);
+        let b = run_reference(&cfg);
+        assert_eq!(a.digest(), b.digest(), "steppers diverged under faults");
+        assert_eq!(a.outcome, crate::RunOutcome::Faulted);
+        assert!(
+            a.fault_losses + a.fault_rejected > 0,
+            "a killed channel at 60% load must catch some traffic"
+        );
+    }
+
+    /// A drained run (finite traffic via zero load after warmup is not
+    /// expressible, so use a tiny load and a long window) reports Drained
+    /// when the network empties.
+    #[test]
+    fn outcome_reflects_emptiness() {
+        let mut cfg = RunConfig::small_default();
+        cfg.load = 0.05;
+        cfg.routing = RoutingSpec::Tfar;
+        cfg.sim.vcs_per_channel = 2;
+        cfg.warmup = 100;
+        cfg.measure = 500;
+        let r = quick(&cfg);
+        // At 5% load the network is essentially always near-empty; either
+        // ending is legal but it must be fault-free and unstalled.
+        assert!(matches!(
+            r.outcome,
+            crate::RunOutcome::Drained | crate::RunOutcome::CyclesExhausted
+        ));
+        assert_eq!(r.fault_losses, 0);
+        assert_eq!(r.stall, None);
     }
 
     #[test]

@@ -1,54 +1,275 @@
-//! Parallel execution of simulation sweeps.
+//! Parallel execution of simulation sweeps, with supervision.
+//!
+//! [`sweep_supervised`] is the hardened engine: worker panics are caught
+//! and retried with perturbed seeds (bounded backoff between attempts),
+//! a failing configuration degrades to a per-slot [`SweepError`] instead
+//! of aborting its siblings, and long campaigns can checkpoint finished
+//! results to disk so an interrupted sweep resumes where it stopped.
+//! [`sweep`] is the historical strict wrapper: same execution, but any
+//! failed slot panics *after* every sibling has completed.
 
+use crate::checkpoint::{decode_result, encode_result};
 use crate::{run, RunConfig, RunResult};
+use icn_cwg::jsonio::{obj, parse, Json};
+use std::io::Write as _;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::mpsc;
+use std::time::Duration;
+
+/// Why a sweep slot has no result.
+#[derive(Clone, Debug)]
+pub enum SweepError {
+    /// Every attempt at this configuration panicked.
+    Panicked {
+        /// Label of the failing configuration.
+        label: String,
+        /// Attempts made (first try plus retries).
+        attempts: u32,
+        /// Panic payload of the final attempt.
+        message: String,
+    },
+    /// The worker delivering this slot disappeared without reporting —
+    /// only possible if a thread died outside the panic guard.
+    Missing {
+        /// Label of the configuration that went unreported.
+        label: String,
+    },
+}
+
+impl std::fmt::Display for SweepError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SweepError::Panicked {
+                label,
+                attempts,
+                message,
+            } => write!(
+                f,
+                "`{label}` panicked on all {attempts} attempts: {message}"
+            ),
+            SweepError::Missing { label } => write!(f, "`{label}` was never reported"),
+        }
+    }
+}
+
+impl std::error::Error for SweepError {}
+
+/// Supervision knobs for [`sweep_supervised`].
+#[derive(Clone, Debug)]
+pub struct SweepOptions {
+    /// Extra attempts after a panicking first run (each with a perturbed
+    /// seed, in case the panic was load-order dependent).
+    pub retries: u32,
+    /// Sleep before the first retry; doubles per attempt.
+    pub backoff: Duration,
+    /// Upper bound on the per-attempt backoff.
+    pub max_backoff: Duration,
+    /// When `Some`, finished results are appended to this file as JSON
+    /// lines, and a rerun of the same sweep resumes from it: slots whose
+    /// recorded label matches the configuration are restored instead of
+    /// re-run. Checkpointed results are byte-exact (digest-identical to a
+    /// fresh run).
+    pub checkpoint: Option<PathBuf>,
+}
+
+impl Default for SweepOptions {
+    fn default() -> Self {
+        SweepOptions {
+            retries: 2,
+            backoff: Duration::from_millis(50),
+            max_backoff: Duration::from_secs(1),
+            checkpoint: None,
+        }
+    }
+}
+
+/// One worker attempt cycle: run under a panic guard, retrying with a
+/// perturbed seed and bounded backoff. Returns the result or the final
+/// panic message.
+fn run_guarded(cfg: &RunConfig, opts: &SweepOptions) -> Result<RunResult, SweepError> {
+    let attempts = opts.retries + 1;
+    let mut last_message = String::new();
+    for attempt in 0..attempts {
+        let mut c = cfg.clone();
+        if attempt > 0 {
+            // Same perturbation scheme as `replicate`: a reseed can clear
+            // panics tied to a particular traffic realization, while a
+            // deterministic bug fails every attempt and surfaces as Err.
+            c.seed = cfg
+                .seed
+                .wrapping_add((attempt as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15) | 1);
+            let exp = (attempt - 1).min(20);
+            std::thread::sleep(opts.backoff.saturating_mul(1 << exp).min(opts.max_backoff));
+        }
+        match catch_unwind(AssertUnwindSafe(|| run(&c))) {
+            Ok(r) => return Ok(r),
+            Err(payload) => {
+                last_message = if let Some(s) = payload.downcast_ref::<&str>() {
+                    (*s).to_string()
+                } else if let Some(s) = payload.downcast_ref::<String>() {
+                    s.clone()
+                } else {
+                    "non-string panic payload".to_string()
+                };
+            }
+        }
+    }
+    Err(SweepError::Panicked {
+        label: cfg.label(),
+        attempts,
+        message: last_message,
+    })
+}
+
+/// Restores completed slots from a checkpoint file. Lines that fail to
+/// parse (e.g. a torn final line from an interrupted writer), name an
+/// out-of-range index, or carry a label that no longer matches the
+/// configuration are skipped — they belong to a different sweep.
+fn restore_checkpoint(
+    path: &std::path::Path,
+    configs: &[RunConfig],
+    slots: &mut [Option<Result<RunResult, SweepError>>],
+) {
+    let Ok(text) = std::fs::read_to_string(path) else {
+        return;
+    };
+    for line in text.lines() {
+        let Ok(v) = parse(line) else { continue };
+        let Some(i) = v.get("index").and_then(Json::as_u64) else {
+            continue;
+        };
+        let i = i as usize;
+        if i >= configs.len() {
+            continue;
+        }
+        let label_matches = v.get("label").and_then(Json::as_str) == Some(&configs[i].label());
+        if !label_matches {
+            continue;
+        }
+        let Some(r) = v.get("result").and_then(|r| decode_result(r).ok()) else {
+            continue;
+        };
+        slots[i] = Some(Ok(r));
+    }
+}
+
+fn checkpoint_line(index: usize, label: &str, result: &RunResult) -> String {
+    obj(vec![
+        ("index", Json::U64(index as u64)),
+        ("label", Json::Str(label.to_string())),
+        ("result", encode_result(result)),
+    ])
+    .to_string()
+}
+
+/// Runs every configuration across OS threads under supervision and
+/// returns per-slot results in input order. A panicking configuration
+/// never takes its siblings down: its slot becomes `Err` after the
+/// retries are exhausted while every other run completes normally.
+pub fn sweep_supervised(
+    configs: &[RunConfig],
+    opts: &SweepOptions,
+) -> Vec<Result<RunResult, SweepError>> {
+    let mut slots: Vec<Option<Result<RunResult, SweepError>>> = Vec::new();
+    slots.resize_with(configs.len(), || None);
+    if configs.is_empty() {
+        return Vec::new();
+    }
+
+    if let Some(path) = &opts.checkpoint {
+        restore_checkpoint(path, configs, &mut slots);
+    }
+    let pending: Vec<usize> = (0..configs.len()).filter(|&i| slots[i].is_none()).collect();
+
+    if !pending.is_empty() {
+        let workers = std::thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(1)
+            .min(pending.len());
+
+        // The checkpoint writer is the receiving thread — a single
+        // appender, so interleaved half-lines cannot happen.
+        let mut ckpt = opts.checkpoint.as_ref().and_then(|path| {
+            std::fs::OpenOptions::new()
+                .create(true)
+                .append(true)
+                .open(path)
+                .ok()
+        });
+
+        let next = AtomicUsize::new(0);
+        let (tx, rx) = mpsc::channel::<(usize, Result<RunResult, SweepError>)>();
+        std::thread::scope(|scope| {
+            let next = &next;
+            let pending = &pending;
+            for _ in 0..workers {
+                let tx = tx.clone();
+                scope.spawn(move || loop {
+                    let n = next.fetch_add(1, Ordering::Relaxed);
+                    if n >= pending.len() {
+                        break;
+                    }
+                    let i = pending[n];
+                    // A dropped receiver just means nobody wants the
+                    // result any more; finish the remaining work quietly.
+                    if tx.send((i, run_guarded(&configs[i], opts))).is_err() {
+                        break;
+                    }
+                });
+            }
+            // The workers hold the remaining senders; once they all
+            // finish, the channel closes and this drain ends.
+            drop(tx);
+            for (i, r) in rx {
+                if let (Some(file), Ok(result)) = (ckpt.as_mut(), &r) {
+                    let _ = writeln!(file, "{}", checkpoint_line(i, &configs[i].label(), result));
+                }
+                slots[i] = Some(r);
+            }
+        });
+    }
+
+    slots
+        .into_iter()
+        .enumerate()
+        .map(|(i, slot)| {
+            slot.unwrap_or(Err(SweepError::Missing {
+                label: configs[i].label(),
+            }))
+        })
+        .collect()
+}
 
 /// Runs every configuration, fanning out across OS threads (one run is
 /// single-threaded and deterministic, so parallelism across points is
 /// safe), and returns results in input order.
 ///
-/// Workers deliver index-stamped results over a channel instead of
-/// contending on a shared lock, so a burst of short runs finishing together
-/// never serializes behind a slow one holding a mutex.
+/// This is the strict interface: a configuration that still fails after
+/// the default retries panics here — but only after every sibling has
+/// completed, so no finished work is discarded mid-flight. Callers that
+/// want per-slot errors instead use [`sweep_supervised`].
 pub fn sweep(configs: &[RunConfig]) -> Vec<RunResult> {
-    if configs.is_empty() {
-        return Vec::new();
-    }
-    let workers = std::thread::available_parallelism()
-        .map(|p| p.get())
-        .unwrap_or(1)
-        .min(configs.len());
-
-    let next = AtomicUsize::new(0);
-    let (tx, rx) = mpsc::channel::<(usize, RunResult)>();
-
-    let mut slots: Vec<Option<RunResult>> = vec![None; configs.len()];
-    std::thread::scope(|scope| {
-        let next = &next;
-        for _ in 0..workers {
-            let tx = tx.clone();
-            scope.spawn(move || loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= configs.len() {
-                    break;
-                }
-                let r = run(&configs[i]);
-                tx.send((i, r)).expect("sweep receiver alive");
-            });
-        }
-        // The workers hold the remaining senders; once they all finish the
-        // channel closes and this drain ends.
-        drop(tx);
-        for (i, r) in rx {
-            slots[i] = Some(r);
-        }
-    });
-
-    slots
+    let mut failures: Vec<String> = Vec::new();
+    let results: Vec<RunResult> = sweep_supervised(configs, &SweepOptions::default())
         .into_iter()
-        .map(|r| r.expect("every slot filled"))
-        .collect()
+        .filter_map(|r| match r {
+            Ok(r) => Some(r),
+            Err(e) => {
+                failures.push(e.to_string());
+                None
+            }
+        })
+        .collect();
+    assert!(
+        failures.is_empty(),
+        "sweep failed for {} of {} configurations:\n  {}",
+        failures.len(),
+        configs.len(),
+        failures.join("\n  ")
+    );
+    results
 }
 
 /// Runs one configuration under `n` distinct seeds (in parallel) and
@@ -105,18 +326,19 @@ mod tests {
     use super::*;
     use crate::spec::RoutingSpec;
 
+    fn quick_cfg(load: f64) -> RunConfig {
+        let mut c = RunConfig::small_default();
+        c.warmup = 200;
+        c.measure = 800;
+        c.load = load;
+        c.routing = RoutingSpec::Tfar;
+        c.sim.vcs_per_channel = 2;
+        c
+    }
+
     #[test]
     fn sweep_preserves_order_and_matches_serial() {
-        let mut configs = Vec::new();
-        for load in [0.2, 0.6] {
-            let mut c = RunConfig::small_default();
-            c.warmup = 200;
-            c.measure = 800;
-            c.load = load;
-            c.routing = RoutingSpec::Tfar;
-            c.sim.vcs_per_channel = 2;
-            configs.push(c);
-        }
+        let configs = vec![quick_cfg(0.2), quick_cfg(0.6)];
         let par = sweep(&configs);
         assert_eq!(par.len(), 2);
         assert!(par[0].offered_load < par[1].offered_load);
@@ -130,6 +352,90 @@ mod tests {
     #[test]
     fn empty_sweep() {
         assert!(sweep(&[]).is_empty());
+    }
+
+    /// A deliberately panicking configuration (zero VCs fails
+    /// `SimConfig::validate` on every attempt) must degrade to a
+    /// per-slot error while its siblings complete normally.
+    #[test]
+    fn panicking_worker_degrades_to_error() {
+        let mut poison = quick_cfg(0.2);
+        poison.sim.vcs_per_channel = 0;
+        let configs = vec![quick_cfg(0.2), poison, quick_cfg(0.3)];
+        let opts = SweepOptions {
+            retries: 1,
+            backoff: Duration::from_millis(1),
+            ..SweepOptions::default()
+        };
+        let results = sweep_supervised(&configs, &opts);
+        assert_eq!(results.len(), 3);
+        assert!(results[0].is_ok(), "sibling before the poison must finish");
+        assert!(results[2].is_ok(), "sibling after the poison must finish");
+        match &results[1] {
+            Err(SweepError::Panicked {
+                attempts, message, ..
+            }) => {
+                assert_eq!(*attempts, 2);
+                assert!(
+                    message.contains("vcs_per_channel"),
+                    "panic message should surface: {message}"
+                );
+            }
+            other => panic!("expected Panicked, got {other:?}"),
+        }
+        // The healthy siblings are byte-identical to solo runs.
+        assert_eq!(
+            results[0].as_ref().unwrap().digest(),
+            run(&configs[0]).digest()
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "sweep failed for 1 of 1")]
+    fn strict_sweep_panics_after_completion() {
+        let mut poison = quick_cfg(0.2);
+        poison.sim.vcs_per_channel = 0;
+        let _ = sweep(&[poison]);
+    }
+
+    /// Interrupt-and-resume: a checkpoint written by one invocation is
+    /// picked up by the next, which re-runs only the missing slots and
+    /// reproduces the uninterrupted sweep byte-for-byte.
+    #[test]
+    fn checkpoint_resume_is_digest_exact() {
+        let configs = vec![quick_cfg(0.2), quick_cfg(0.4)];
+        let dir = std::env::temp_dir().join(format!(
+            "icn-sweep-ckpt-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("sweep.jsonl");
+        let _ = std::fs::remove_file(&path);
+
+        // First pass: only the first config, checkpointed.
+        let opts = SweepOptions {
+            checkpoint: Some(path.clone()),
+            ..SweepOptions::default()
+        };
+        let first = sweep_supervised(&configs[..1], &opts);
+        assert!(first[0].is_ok());
+
+        // Resumed pass over the full sweep: slot 0 must come from disk.
+        let resumed = sweep_supervised(&configs, &opts);
+        let fresh = sweep(&configs);
+        for (r, f) in resumed.iter().zip(fresh.iter()) {
+            assert_eq!(r.as_ref().unwrap().digest(), f.digest());
+        }
+
+        // The checkpoint now covers both slots; a third pass restores
+        // everything without running anything (workers see no pending
+        // slots).
+        let restored = sweep_supervised(&configs, &opts);
+        for (r, f) in restored.iter().zip(fresh.iter()) {
+            assert_eq!(r.as_ref().unwrap().digest(), f.digest());
+        }
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

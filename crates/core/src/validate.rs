@@ -260,25 +260,29 @@ impl RunObserver for ValidationObserver {
         }
         self.prev_totals = t;
 
-        // Flit/message conservation: generated = injected + source-queued,
-        // injected = delivered + in-network, recovered within delivered.
+        // Flit/message conservation, modulo counted fault accounting:
+        // generated = injected + source-queued + fault-rejected,
+        // injected = delivered + in-network + fault-lost, recovered
+        // within delivered. With no fault plan both fault terms are zero
+        // and the classic laws hold exactly.
         let (generated, injected, delivered, recovered) = t;
-        if generated != injected + net.source_queued() as u64 {
+        let (fault_losses, fault_rejected) = net.fault_totals();
+        if generated != injected + net.source_queued() as u64 + fault_rejected {
             self.violate(
                 cycle,
                 format!(
                     "conservation: generated={generated} != injected={injected} \
-                     + source_queued={}",
+                     + source_queued={} + fault_rejected={fault_rejected}",
                     net.source_queued()
                 ),
             );
         }
-        if injected != delivered + net.in_network() as u64 {
+        if injected != delivered + net.in_network() as u64 + fault_losses {
             self.violate(
                 cycle,
                 format!(
                     "conservation: injected={injected} != delivered={delivered} \
-                     + in_network={}",
+                     + in_network={} + fault_losses={fault_losses}",
                     net.in_network()
                 ),
             );
@@ -565,6 +569,35 @@ pub fn torture_regimes(measure: u64) -> Vec<RunConfig> {
     };
     r.load = 1.0;
     r.count_cycles_every = Some(2);
+    regimes.push(r);
+
+    // 11. Transient link flaps under saturation: several outage windows
+    // land mid-run while TFAR routes around them; conservation must
+    // balance modulo counted fault losses, and recovery must stay live
+    // on the knots the disruption induces.
+    let mut r = base.clone();
+    r.routing = RoutingSpec::Tfar;
+    r.sim.vcs_per_channel = 2;
+    r.load = 1.1;
+    let span = 200 + measure;
+    r.faults
+        .link_outage(0, span / 8, span / 4)
+        .link_outage(5, span / 3, span / 2)
+        .link_outage(11, span / 2, (span * 3) / 4);
+    regimes.push(r);
+
+    // 12. Permanent link kill with TFAR reroute: one channel dies early
+    // and stays dead; surviving traffic reroutes adaptively, traffic
+    // caught on the channel is dropped as counted fault loss, and a
+    // router stall adds a frozen-node episode on top.
+    let mut r = base;
+    r.routing = RoutingSpec::Tfar;
+    r.sim.vcs_per_channel = 2;
+    r.load = 1.0;
+    r.faults
+        .link_kill(250, 7)
+        .node_stall(400, 3, 60)
+        .injector_down(500, 9, 80);
     regimes.push(r);
 
     regimes

@@ -94,6 +94,37 @@ impl Histogram {
         self.max
     }
 
+    /// Serializes the full internal state as `count, sum, min, max`
+    /// followed by the 65 bucket counts (`min` raw, i.e. `u64::MAX` when
+    /// empty) — the lossless counterpart of [`Histogram::decode`], used
+    /// by sweep checkpoints.
+    pub fn encode(&self) -> Vec<u64> {
+        let mut out = Vec::with_capacity(4 + self.buckets.len());
+        out.push(self.count);
+        out.push(self.sum);
+        out.push(self.min);
+        out.push(self.max);
+        out.extend_from_slice(&self.buckets);
+        out
+    }
+
+    /// Rebuilds a histogram from [`Histogram::encode`] output; `None` on
+    /// a wrong-length slice.
+    pub fn decode(words: &[u64]) -> Option<Histogram> {
+        if words.len() != 4 + 65 {
+            return None;
+        }
+        let mut buckets = [0u64; 65];
+        buckets.copy_from_slice(&words[4..]);
+        Some(Histogram {
+            count: words[0],
+            sum: words[1],
+            min: words[2],
+            max: words[3],
+            buckets,
+        })
+    }
+
     /// Merges another histogram into this one.
     pub fn merge(&mut self, other: &Histogram) {
         self.count += other.count;

@@ -26,6 +26,16 @@ impl TimeSeries {
         &self.points
     }
 
+    /// Rebuilds a series from raw samples (the inverse of
+    /// [`TimeSeries::points`]). Panics if cycles are not non-decreasing —
+    /// the same contract [`TimeSeries::push`] enforces.
+    pub fn from_points(points: Vec<(u64, f64)>) -> TimeSeries {
+        for w in points.windows(2) {
+            assert!(w[1].0 >= w[0].0, "samples must be time-ordered");
+        }
+        TimeSeries { points }
+    }
+
     /// Number of samples.
     pub fn len(&self) -> usize {
         self.points.len()

@@ -50,6 +50,21 @@ impl Mean {
     pub fn std_dev(&self) -> f64 {
         self.variance().sqrt()
     }
+
+    /// Serializes the accumulator state: `n`, then the running mean and
+    /// M2 as `f64` bit patterns. Lossless counterpart of [`Mean::decode`].
+    pub fn encode(&self) -> [u64; 3] {
+        [self.n, self.mean.to_bits(), self.m2.to_bits()]
+    }
+
+    /// Rebuilds an accumulator from [`Mean::encode`] output.
+    pub fn decode(words: [u64; 3]) -> Mean {
+        Mean {
+            n: words[0],
+            mean: f64::from_bits(words[1]),
+            m2: f64::from_bits(words[2]),
+        }
+    }
 }
 
 #[cfg(test)]

@@ -65,6 +65,16 @@ pub trait RoutingAlgorithm: Send + Sync {
         1
     }
 
+    /// Whether the relation can be expected to route around a link outage.
+    /// Adaptive relations offer several physical channels per hop, so a
+    /// fault-filtered candidate set usually stays non-empty when one link
+    /// dies; single-path relations (DOR, dateline DOR) become unroutable
+    /// on a severed dimension and the engine drops the affected traffic
+    /// as counted fault losses instead.
+    fn routes_around_faults(&self) -> bool {
+        self.is_adaptive()
+    }
+
     /// Appends candidates for the message described by `ctx`, in preference
     /// order. An empty result with `ctx.current != ctx.dst` means the
     /// relation is not connected for this pair (a bug for all algorithms

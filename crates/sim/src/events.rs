@@ -31,4 +31,14 @@ pub struct StepEvents {
     pub link_flits: u32,
     /// Messages that started injection (acquired their first VC).
     pub injected: u32,
+    /// Flits ejected this cycle (normal reception or recovery lane).
+    /// Non-zero drains count as progress for stall watchdogs even when no
+    /// link moved.
+    pub drained_flits: u32,
+    /// In-network messages dropped this cycle by fault injection (link
+    /// down, or unroutable after an outage).
+    pub fault_losses: u32,
+    /// Source-queued messages rejected this cycle because their first hop
+    /// was unroutable under the active fault set.
+    pub fault_rejected: u32,
 }

@@ -53,6 +53,7 @@
 
 mod config;
 mod events;
+pub mod faults;
 mod message;
 mod network;
 mod snapshot;
@@ -60,6 +61,7 @@ mod trace;
 
 pub use config::SimConfig;
 pub use events::{DeliveredMsg, StepEvents};
+pub use faults::{FaultEvent, FaultKind, FaultPlan};
 pub use message::{MessageId, MessageInfo, MsgPhase};
 pub use network::Network;
 pub use snapshot::{ArenaMsg, SnapshotArena, SnapshotMsg, WaitSnapshot};

@@ -7,6 +7,7 @@ use icn_topology::{ChannelId, KAryNCube, NodeId};
 
 use crate::config::SimConfig;
 use crate::events::{DeliveredMsg, StepEvents};
+use crate::faults::{FaultEvent, FaultKind, FaultPlan};
 use crate::message::{Message, MessageId, MessageInfo, MsgPhase};
 
 /// Sentinel for "no owning message" in per-resource tables.
@@ -89,8 +90,10 @@ enum StepMode {
 ///   messages.
 /// * `Parked` — blocked with every watched resource busy; skipped until a
 ///   wake fires. A parked message with an empty watch set has an empty
-///   (fault-filtered) candidate set, which can never grow back: it is
-///   stranded exactly as the dense stepper would re-discover each cycle.
+///   (fault-filtered) candidate set: without a fault plan that set can
+///   never grow back, and with one the engine has recorded the message as
+///   stranded — it is dropped (a counted fault loss) at the start of the
+///   next cycle, or rewoken if a `LinkUp` restores routability first.
 /// * `Inactive` — not routing (ejecting or recovering; drains instead).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 enum AllocState {
@@ -135,6 +138,10 @@ enum InjectOutcome {
     /// Every candidate VC for the queue front is owned; the candidates are
     /// left in `cand_buf` so the activity engine can park on them.
     NoFreeVc,
+    /// The queue front's fault-filtered candidate set is empty — its first
+    /// hop is unroutable under the active fault set — so it was popped and
+    /// counted as rejected. Only possible with a fault plan installed.
+    Rejected,
 }
 
 /// The simulated network: topology + routing relation + all dynamic state.
@@ -175,6 +182,27 @@ pub struct Network {
     source_q: Vec<VecDeque<Pending>>,
     /// Failed physical channels (never offered to headers).
     pub(crate) failed: Vec<bool>,
+
+    /// Installed fault schedule in canonical order; `fault_cursor` marks
+    /// the first not-yet-applied event.
+    fault_events: Vec<FaultEvent>,
+    fault_cursor: usize,
+    /// True when a fault plan is installed: gates every per-cycle fault
+    /// check, so fault-free instances pay a single branch.
+    fault_mode: bool,
+    /// Per-node stall horizon: the node is frozen while
+    /// `cycle < stall_until[node]`.
+    stall_until: Vec<u64>,
+    /// Per-node injector-outage horizon (injection only).
+    inj_down_until: Vec<u64>,
+    /// Messages discovered unroutable (empty fault-filtered candidate set
+    /// away from their destination) during allocation; resolved — dropped,
+    /// or re-spared after a `LinkUp` — at the start of the next cycle,
+    /// identically in both steppers.
+    stranded: Vec<(u32, MessageId)>,
+    /// Lifetime fault counters: in-network losses and source rejections.
+    total_fault_losses: u64,
+    total_fault_rejected: u64,
 
     /// Message slab + free list.
     pub(crate) messages: Vec<Option<Message>>,
@@ -309,6 +337,14 @@ impl Network {
             injecting_count: vec![0; n_nodes],
             source_q: vec![VecDeque::new(); n_nodes],
             failed: vec![false; topo.num_channels()],
+            fault_events: Vec::new(),
+            fault_cursor: 0,
+            fault_mode: false,
+            stall_until: vec![0; n_nodes],
+            inj_down_until: vec![0; n_nodes],
+            stranded: Vec::new(),
+            total_fault_losses: 0,
+            total_fault_rejected: 0,
             messages: Vec::new(),
             free_slots: Vec::new(),
             active: Vec::new(),
@@ -448,6 +484,253 @@ impl Network {
         self.failed[ch.idx()] = true;
     }
 
+    // ------------------------------------------------------------------
+    // Fault injection
+    // ------------------------------------------------------------------
+
+    /// Installs a fault schedule. Must be called before the first step;
+    /// the plan is validated against this network's shape and applied in
+    /// canonical order as cycles reach its events — identically by both
+    /// steppers, so faulted runs stay byte-identical across engines.
+    pub fn set_fault_plan(&mut self, plan: &FaultPlan) {
+        assert_eq!(self.cycle, 0, "install the fault plan before stepping");
+        plan.validate(self.topo.num_channels(), self.topo.num_nodes());
+        self.fault_events = plan.normalized();
+        self.fault_cursor = 0;
+        self.fault_mode = !self.fault_events.is_empty();
+    }
+
+    /// Lifetime `(fault losses, source rejections)`: in-network messages
+    /// dropped by faults, and queued messages rejected as unroutable.
+    pub fn fault_totals(&self) -> (u64, u64) {
+        (self.total_fault_losses, self.total_fault_rejected)
+    }
+
+    /// Applies every fault event due this cycle, then resolves messages
+    /// recorded as stranded last cycle. Runs at the very start of a cycle
+    /// in both steppers, before any phase, so drops and wakes are visible
+    /// to the whole cycle identically.
+    fn apply_due_faults(&mut self, events: &mut StepEvents) {
+        if !self.fault_mode {
+            return;
+        }
+        while let Some(&e) = self.fault_events.get(self.fault_cursor) {
+            if e.cycle > self.cycle {
+                break;
+            }
+            self.fault_cursor += 1;
+            match e.kind {
+                FaultKind::LinkDown { channel } => self.apply_link_down(channel as usize, events),
+                FaultKind::LinkUp { channel } => self.apply_link_up(channel as usize),
+                FaultKind::NodeStall { node, cycles } => {
+                    let until = self.cycle + cycles;
+                    let s = &mut self.stall_until[node as usize];
+                    *s = (*s).max(until);
+                }
+                FaultKind::InjectorDown { node, cycles } => {
+                    let until = self.cycle + cycles;
+                    let s = &mut self.inj_down_until[node as usize];
+                    *s = (*s).max(until);
+                }
+            }
+        }
+        self.resolve_stranded(events);
+    }
+
+    /// Channel goes down: it leaves every candidate set (the shared
+    /// `compute_candidates` filter) and every message holding one of its
+    /// VCs is dropped, oldest first.
+    fn apply_link_down(&mut self, ch: usize, events: &mut StepEvents) {
+        if self.failed[ch] {
+            return;
+        }
+        self.failed[ch] = true;
+        let vcs_per = self.vcs_per();
+        let base = ch * vcs_per;
+        let mut victims: Vec<u32> = (base..base + vcs_per)
+            .filter_map(|v| {
+                let o = self.vcs[v].owner;
+                (o != NO_OWNER).then_some(o)
+            })
+            .collect();
+        victims
+            .sort_unstable_by_key(|&s| self.messages[s as usize].as_ref().expect("owner live").id);
+        victims.dedup();
+        for slot in victims {
+            self.drop_message(slot, events);
+        }
+    }
+
+    /// Channel comes back up. Its VCs are already free (their owners were
+    /// dropped when it went down, and a failed channel cannot be
+    /// acquired), so only the activity engine needs wakes: anything that
+    /// may now route over the channel gets one conservative re-attempt (a
+    /// spurious wake is harmless — the attempt just re-parks).
+    fn apply_link_up(&mut self, ch: usize) {
+        if !self.failed[ch] {
+            return;
+        }
+        self.failed[ch] = false;
+        if self.mode == StepMode::Dense {
+            return;
+        }
+        let vcs_per = self.vcs_per();
+        let src = self.topo.channel(ChannelId(ch as u32)).src;
+        // Parked routing messages whose header sits at the channel's
+        // source: their frozen candidate set may have grown back.
+        let mut woke: Vec<u32> = Vec::new();
+        for &slot in &self.active {
+            if self.alloc_state[slot as usize] != AllocState::Parked {
+                continue;
+            }
+            let msg = self.messages[slot as usize].as_ref().expect("active slot");
+            let &head = msg.chain.back().expect("routing message owns its head VC");
+            if self.topo.channel(ChannelId(head / vcs_per as u32)).dst == src {
+                woke.push(slot);
+            }
+        }
+        for slot in woke {
+            self.unpark(slot);
+            self.alloc_state[slot as usize] = AllocState::Queued;
+            self.woken.push(slot);
+        }
+        let n = src.idx();
+        if self.inj_state[n] == InjState::Parked {
+            self.unpark(INJECTOR | n as u32);
+            self.inj_state[n] = InjState::Ready;
+            self.inj_ready.push(n as u32);
+        }
+    }
+
+    /// Resolves last cycle's stranded discoveries: a message whose
+    /// fault-filtered candidate set is still empty is dropped (a counted
+    /// fault loss); one revived by a `LinkUp` goes back to work.
+    fn resolve_stranded(&mut self, events: &mut StepEvents) {
+        if self.stranded.is_empty() {
+            return;
+        }
+        let mut stranded = std::mem::take(&mut self.stranded);
+        for &(slot, id) in &stranded {
+            // The slot may be gone (dropped with its channel) or pulled
+            // into recovery; both supersede the stranding.
+            let here = match self.messages.get(slot as usize).and_then(|m| m.as_ref()) {
+                Some(msg) if msg.id == id && msg.phase == MsgPhase::Routing => {
+                    let &head = msg.chain.back().expect("routing message owns its head VC");
+                    self.topo
+                        .channel(ChannelId(head / self.vcs_per() as u32))
+                        .dst
+                }
+                _ => continue,
+            };
+            let ctx = {
+                let msg = self.messages[slot as usize].as_ref().expect("slot live");
+                ctx_of(msg, here)
+            };
+            let mut cand = std::mem::take(&mut self.cand_buf);
+            compute_candidates(
+                &self.topo,
+                &*self.routing,
+                self.vcs_per(),
+                &self.failed,
+                &ctx,
+                &mut cand,
+            );
+            let routable = !cand.is_empty();
+            self.cand_buf = cand;
+            if routable {
+                if self.mode != StepMode::Dense
+                    && self.alloc_state[slot as usize] == AllocState::Parked
+                {
+                    self.unpark(slot);
+                    self.alloc_state[slot as usize] = AllocState::Queued;
+                    self.woken.push(slot);
+                }
+                continue;
+            }
+            self.drop_message(slot, events);
+        }
+        stranded.clear();
+        self.stranded = stranded;
+    }
+
+    /// Removes an active message hit by a fault: every held resource is
+    /// freed (with wakes in activity mode), stale scheduler entries are
+    /// purged, and the loss is counted and traced. Nothing is delivered.
+    fn drop_message(&mut self, slot: u32, events: &mut StepEvents) {
+        let s = slot as usize;
+        if self.mode != StepMode::Dense {
+            self.unpark(slot);
+            // The slot may be recycled by an injection later this very
+            // cycle: no runnable or release entry may survive pointing at
+            // it.
+            self.alloc_queue.retain(|&x| x != slot);
+            self.woken.retain(|&x| x != slot);
+        }
+        if self.release_flag[s] {
+            self.release_flag[s] = false;
+            self.release_check.retain(|&x| x != slot);
+            self.release_deferred.retain(|&x| x != slot);
+        }
+        let (id, src, chain, reception, held_injection, was_blocked) = {
+            let msg = self.messages[s].as_mut().expect("dropped slot live");
+            let chain: Vec<u32> = msg.chain.iter().copied().collect();
+            msg.chain.clear();
+            let reception = (msg.phase == MsgPhase::Ejecting)
+                .then(|| msg.dst.idx() * self.reception_per_node + msg.reception_slot as usize);
+            let held = msg.holds_injection;
+            msg.holds_injection = false;
+            let blocked = msg.blocked;
+            msg.blocked = false;
+            msg.blocked_since = None;
+            (msg.id, msg.src, chain, reception, held, blocked)
+        };
+        if was_blocked {
+            self.blocked_ctr -= 1;
+        }
+        if held_injection {
+            let node = src.idx();
+            self.injecting_count[node] -= 1;
+            if self.mode != StepMode::Dense
+                && self.inj_state[node] == InjState::Idle
+                && !self.source_q[node].is_empty()
+            {
+                self.inj_state[node] = InjState::Ready;
+                self.inj_ready.push(node as u32);
+            }
+        }
+        let vcs_per = self.vcs_per();
+        for &v in &chain {
+            let vc = &mut self.vcs[v as usize];
+            debug_assert_eq!(vc.owner, slot);
+            vc.owner = NO_OWNER;
+            vc.occupancy = 0;
+            self.owned_per_channel[v as usize / vcs_per] -= 1;
+            if self.mode != StepMode::Dense {
+                self.occ_dirty.push(v);
+                self.wake_resource(v);
+            }
+        }
+        let freed_node = reception.map(|r| {
+            debug_assert_eq!(self.reception[r], slot);
+            self.reception[r] = NO_OWNER;
+            r / self.reception_per_node
+        });
+        if let Some(t) = self.tracer.as_mut() {
+            t.push(crate::TraceEvent::FaultLoss {
+                cycle: self.cycle,
+                id,
+            });
+        }
+        events.fault_losses += 1;
+        self.total_fault_losses += 1;
+        self.finish_slot(slot);
+        if self.mode != StepMode::Dense {
+            if let Some(node) = freed_node {
+                self.wake_resource((self.vcs.len() + node) as u32);
+            }
+        }
+    }
+
     /// Switches a blocked message onto the recovery lane (synthesized Disha
     /// recovery): its flits drain one per cycle from wherever the header
     /// sits, releasing VCs as the tail passes, and it counts as delivered
@@ -556,6 +839,7 @@ impl Network {
         );
         self.mode = StepMode::Activity;
         let mut events = StepEvents::default();
+        self.apply_due_faults(&mut events);
         // Visits deferred from last cycle (injection completed in the
         // injection cycle) come due now; their release flags stay set so
         // this cycle's transfer triggers cannot double-add them.
@@ -583,6 +867,7 @@ impl Network {
         );
         self.mode = StepMode::Dense;
         let mut events = StepEvents::default();
+        self.apply_due_faults(&mut events);
         self.rebuild_step_order();
         self.reference_injections(&mut events);
         self.reference_next_hops();
@@ -600,10 +885,19 @@ impl Network {
     /// claims the node's single injection channel).
     fn reference_injections(&mut self, events: &mut StepEvents) {
         for node in 0..self.topo.num_nodes() {
+            if self.fault_mode
+                && (self.cycle < self.stall_until[node] || self.cycle < self.inj_down_until[node])
+            {
+                // Router stall or injector outage: nothing enters here.
+                continue;
+            }
             // One acquisition attempt per free injection channel per cycle.
             while (self.injecting_count[node] as usize) < self.injection_per_node {
-                if self.try_inject_one(node, events) != InjectOutcome::Injected {
-                    break;
+                match self.try_inject_one(node, events) {
+                    // A rejected front frees no resource and pops the
+                    // queue, so the next front gets its attempt.
+                    InjectOutcome::Injected | InjectOutcome::Rejected => {}
+                    InjectOutcome::EmptyQueue | InjectOutcome::NoFreeVc => break,
                 }
             }
         }
@@ -625,6 +919,14 @@ impl Network {
             &RoutingCtx::fresh(src, dst, src),
             &mut self.cand_buf,
         );
+        if self.fault_mode && self.cand_buf.is_empty() {
+            // First hop unroutable under the active fault set: reject at
+            // the source (counted; the message never enters the network).
+            self.source_q[node].pop_front();
+            self.total_fault_rejected += 1;
+            events.fault_rejected += 1;
+            return InjectOutcome::Rejected;
+        }
         let Some(vc_idx) = first_free_vc(&self.vcs, self.cfg.vcs_per_channel, &self.cand_buf)
         else {
             return InjectOutcome::NoFreeVc;
@@ -734,6 +1036,10 @@ impl Network {
                 .topo
                 .channel(ChannelId(head_vc / self.cfg.vcs_per_channel as u32))
                 .dst;
+            if self.fault_mode && self.cycle < self.stall_until[here.idx()] {
+                // Frozen router: no allocation is performed at this node.
+                continue;
+            }
 
             if here == msg.dst {
                 let base = here.idx() * self.reception_per_node;
@@ -817,6 +1123,12 @@ impl Network {
                             });
                         }
                     }
+                    if self.fault_mode && self.cand_buf.is_empty() {
+                        // Unroutable under the active fault set: resolved
+                        // (dropped, or spared by a LinkUp) at the start of
+                        // the next cycle, identically in both steppers.
+                        self.stranded.push((slot, msg.id));
+                    }
                 }
             }
         }
@@ -839,6 +1151,12 @@ impl Network {
         // Link transfers: at most one flit per physical channel per cycle.
         for ch in 0..self.topo.num_channels() {
             if self.owned_per_channel[ch] == 0 {
+                continue;
+            }
+            if self.fault_mode
+                && self.cycle < self.stall_until[self.topo.channel(ChannelId(ch as u32)).src.idx()]
+            {
+                // The sending router is frozen: no flit moves on its links.
                 continue;
             }
             let base = ch * vcs_per;
@@ -889,9 +1207,17 @@ impl Network {
                 .chain
                 .back()
                 .expect("draining message still owns its head VC");
+            if self.fault_mode {
+                let drain_node = self.topo.channel(ChannelId(head / vcs_per as u32)).dst;
+                if self.cycle < self.stall_until[drain_node.idx()] {
+                    // The draining router is frozen.
+                    continue;
+                }
+            }
             if self.occ_start[head as usize] >= 1 {
                 self.vcs[head as usize].occupancy -= 1;
                 msg.delivered += 1;
+                events.drained_flits += 1;
             }
         }
     }
@@ -1108,9 +1434,9 @@ impl Network {
 
     /// Parks `waiter` on every VC in the current candidate buffer (all are
     /// owned, or the attempt would have succeeded). An empty buffer parks
-    /// with no watches: a fixed routing context's fault-filtered candidate
-    /// set can only shrink, so such a waiter can never become acquirable —
-    /// exactly what the dense stepper re-discovers every cycle.
+    /// with no watches: without transient faults such a waiter can never
+    /// become acquirable; with them, stranded messages are resolved at the
+    /// next cycle start and `LinkUp` wakes cover everything else.
     fn park_on_candidates(&mut self, waiter: u32) {
         let cand_buf = std::mem::take(&mut self.cand_buf);
         let vcs_per = self.cfg.vcs_per_channel;
@@ -1164,12 +1490,25 @@ impl Network {
         }
         let mut ready = std::mem::take(&mut self.inj_ready);
         ready.sort_unstable();
+        let mut deferred: Vec<u32> = Vec::new();
         for &node in &ready {
             debug_assert_eq!(self.inj_state[node as usize], InjState::Ready);
+            if self.fault_mode
+                && (self.cycle < self.stall_until[node as usize]
+                    || self.cycle < self.inj_down_until[node as usize])
+            {
+                // Suppressed (stall / injector outage): stay ready and
+                // re-attempt next cycle. Collected locally and appended
+                // after the take/restore below — a push straight onto
+                // `inj_ready` would be overwritten by the restore.
+                deferred.push(node);
+                continue;
+            }
             self.attempt_injector(node, events);
         }
         ready.clear();
         self.inj_ready = ready;
+        self.inj_ready.extend_from_slice(&deferred);
     }
 
     /// Drains one node's injection opportunities and records why it
@@ -1182,7 +1521,7 @@ impl Network {
                 return;
             }
             match self.try_inject_one(n, events) {
-                InjectOutcome::Injected => {}
+                InjectOutcome::Injected | InjectOutcome::Rejected => {}
                 InjectOutcome::EmptyQueue => {
                     self.inj_state[n] = InjState::Idle;
                     return;
@@ -1242,6 +1581,11 @@ impl Network {
             .topo
             .channel(ChannelId(head_vc / self.cfg.vcs_per_channel as u32))
             .dst;
+        if self.fault_mode && self.cycle < self.stall_until[here.idx()] {
+            // Frozen router: stay runnable and re-attempt every cycle of
+            // the stall, exactly as the dense stepper skips this message.
+            return true;
+        }
 
         if here == dst {
             let base = here.idx() * self.reception_per_node;
@@ -1355,6 +1699,12 @@ impl Network {
             None => {
                 self.alloc_state[s] = AllocState::Parked;
                 self.park_on_candidates(slot);
+                if self.fault_mode && self.cand_buf.is_empty() {
+                    // Unroutable under the active fault set (parked with no
+                    // watches): resolved at the start of the next cycle.
+                    let id = self.messages[s].as_ref().expect("queued slot").id;
+                    self.stranded.push((slot, id));
+                }
                 false
             }
         }
@@ -1391,6 +1741,14 @@ impl Network {
         for k in 0..n {
             let ch = self.chan_list[k] as usize;
             if self.owned_per_channel[ch] == 0 {
+                continue;
+            }
+            if self.fault_mode
+                && self.cycle < self.stall_until[self.topo.channel(ChannelId(ch as u32)).src.idx()]
+            {
+                // Frozen sender: nothing moves, but pending movement must
+                // survive the stall — keep the channel on the active list.
+                self.activate_channel(ch);
                 continue;
             }
             let base = ch * vcs_per;
@@ -1478,11 +1836,19 @@ impl Network {
                 .chain
                 .back()
                 .expect("draining message still owns its head VC");
+            if self.fault_mode {
+                let drain_node = self.topo.channel(ChannelId(head / vcs_per as u32)).dst;
+                if self.cycle < self.stall_until[drain_node.idx()] {
+                    // The draining router is frozen.
+                    continue;
+                }
+            }
             if self.occ_start[head as usize] < 1 {
                 continue;
             }
             self.vcs[head as usize].occupancy -= 1;
             msg.delivered += 1;
+            events.drained_flits += 1;
             let done = msg.delivered == msg.len;
             let emptied = self.vcs[head as usize].occupancy == 0;
             self.occ_dirty.push(head);

@@ -51,6 +51,10 @@ pub enum TraceEvent {
         id: MessageId,
         recovered: bool,
     },
+    /// Message dropped by fault injection (its channel went down, or an
+    /// outage left it unroutable); counted as a fault loss, not a
+    /// delivery.
+    FaultLoss { cycle: u64, id: MessageId },
 }
 
 impl TraceEvent {
@@ -62,7 +66,8 @@ impl TraceEvent {
             | TraceEvent::Blocked { id, .. }
             | TraceEvent::EjectStart { id, .. }
             | TraceEvent::RecoveryStart { id, .. }
-            | TraceEvent::Delivered { id, .. } => id,
+            | TraceEvent::Delivered { id, .. }
+            | TraceEvent::FaultLoss { id, .. } => id,
         }
     }
 
@@ -74,7 +79,8 @@ impl TraceEvent {
             | TraceEvent::Blocked { cycle, .. }
             | TraceEvent::EjectStart { cycle, .. }
             | TraceEvent::RecoveryStart { cycle, .. }
-            | TraceEvent::Delivered { cycle, .. } => cycle,
+            | TraceEvent::Delivered { cycle, .. }
+            | TraceEvent::FaultLoss { cycle, .. } => cycle,
         }
     }
 }

@@ -520,6 +520,7 @@ fn trace_records_message_lifecycle() {
             TraceEvent::EjectStart { .. } => "ej",
             TraceEvent::RecoveryStart { .. } => "rec",
             TraceEvent::Delivered { .. } => "del",
+            TraceEvent::FaultLoss { .. } => "flost",
         })
         .collect();
     // 3 hops: injection + first acquire, two more acquires, ejection,
