@@ -253,7 +253,17 @@ pub struct Network {
     /// Slot → index in [`Self::drain_list`], or [`NO_OWNER`].
     drain_idx: Vec<u32>,
     /// VCs whose occupancy changed since `occ_start` was last synced.
+    /// Deduplicated: each VC appears at most once per sync window, enforced
+    /// by the generation stamps in [`Self::occ_mark`].
     occ_dirty: Vec<u32>,
+    /// Per-VC generation stamp: a VC is pushed onto [`Self::occ_dirty`]
+    /// only when its stamp trails [`Self::occ_gen`], so repeated occupancy
+    /// changes within one cycle (a VC that both receives a flit and feeds
+    /// its downstream neighbour) accumulate a single dirty mark.
+    occ_mark: Vec<u64>,
+    /// Current dirty-mark generation; bumped every time `occ_dirty` is
+    /// drained into `occ_start`.
+    occ_gen: u64,
     /// Slots the release phase must visit this cycle (unordered; sorted).
     release_check: Vec<u32>,
     /// Slots whose release visit is deferred to the next cycle: the dense
@@ -367,6 +377,8 @@ impl Network {
             drain_list: Vec::new(),
             drain_idx: Vec::new(),
             occ_dirty: Vec::new(),
+            occ_mark: vec![0; n_vcs],
+            occ_gen: 1,
             release_check: Vec::new(),
             release_deferred: Vec::new(),
             release_flag: vec![],
@@ -706,7 +718,7 @@ impl Network {
             vc.occupancy = 0;
             self.owned_per_channel[v as usize / vcs_per] -= 1;
             if self.mode != StepMode::Dense {
-                self.occ_dirty.push(v);
+                self.mark_occ_dirty(v);
                 self.wake_resource(v);
             }
         }
@@ -1333,6 +1345,18 @@ impl Network {
     //   (`uninjected` hitting zero, an occupancy hitting zero, the last
     //   flit draining), so only those messages need visiting, in id order.
 
+    /// Records that VC `v`'s occupancy diverged from `occ_start`
+    /// (idempotent within one sync window: the generation stamp suppresses
+    /// duplicate marks when a VC changes occupancy more than once per
+    /// cycle).
+    #[inline]
+    fn mark_occ_dirty(&mut self, v: u32) {
+        if self.occ_mark[v as usize] != self.occ_gen {
+            self.occ_mark[v as usize] = self.occ_gen;
+            self.occ_dirty.push(v);
+        }
+    }
+
     /// Adds `ch` to the active-channel set (idempotent).
     #[inline]
     fn activate_channel(&mut self, ch: usize) {
@@ -1728,6 +1752,8 @@ impl Network {
             }
             occ_dirty.clear();
         }
+        // New sync window: stale stamps may be re-marked from here on.
+        self.occ_gen += 1;
         let vcs_per = self.cfg.vcs_per_channel;
         let depth = self.cfg.buffer_depth as u16;
 
@@ -1784,7 +1810,7 @@ impl Network {
                     continue;
                 }
                 self.vcs[v].occupancy += 1;
-                self.occ_dirty.push(v as u32);
+                self.mark_occ_dirty(v as u32);
                 events.link_flits += 1;
                 self.link_rr[ch] = ((off + 1) % vcs_per) as u8;
                 // The served link stays active (round-robin fairness); the
@@ -1796,7 +1822,7 @@ impl Network {
                 }
                 if let Some(p) = prev {
                     self.vcs[p].occupancy -= 1;
-                    self.occ_dirty.push(p as u32);
+                    self.mark_occ_dirty(p as u32);
                     self.activate_channel(p / vcs_per);
                     if self.vcs[p].occupancy == 0 {
                         // Tail release may now be possible.
@@ -1851,7 +1877,7 @@ impl Network {
             events.drained_flits += 1;
             let done = msg.delivered == msg.len;
             let emptied = self.vcs[head as usize].occupancy == 0;
-            self.occ_dirty.push(head);
+            self.mark_occ_dirty(head);
             self.activate_channel(head as usize / vcs_per);
             if emptied || done {
                 self.mark_release(slot);
@@ -2239,6 +2265,29 @@ impl Network {
         assert_eq!(flagged, self.chan_list.len(), "chan_list/chan_on drifted");
         for &ch in &self.chan_list {
             assert!(self.chan_on[ch as usize]);
+        }
+
+        // Dirty-mark discipline: each VC at most once per window (the
+        // generation stamps), and every occupancy that diverged from the
+        // `occ_start` snapshot carries a mark (no missed patch).
+        {
+            let mut seen = vec![false; self.vcs.len()];
+            for &v in &self.occ_dirty {
+                assert!(!seen[v as usize], "duplicate occ_dirty mark for VC {v}");
+                seen[v as usize] = true;
+                assert_eq!(
+                    self.occ_mark[v as usize], self.occ_gen,
+                    "dirty VC {v} not stamped with the current generation"
+                );
+            }
+            for (v, vc) in self.vcs.iter().enumerate() {
+                if !seen[v] {
+                    assert_eq!(
+                        self.occ_start[v], vc.occupancy,
+                        "VC {v} occupancy diverged from occ_start without a dirty mark"
+                    );
+                }
+            }
         }
 
         // Drain list back-map.
