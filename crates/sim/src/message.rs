@@ -37,8 +37,6 @@ pub(crate) struct Message {
     pub front_seq: u32,
     /// Next acquisition sequence number (total acquisitions so far).
     pub next_seq: u32,
-    /// Flits still waiting at the source.
-    pub uninjected: u32,
     /// Flits ejected (reception or recovery lane).
     pub delivered: u32,
     pub phase: MsgPhase,
@@ -61,8 +59,10 @@ pub(crate) struct Message {
 
 impl Message {
     /// Flit-conservation check: source + in-network + delivered = length.
-    pub fn flits_in_network(&self) -> u32 {
-        self.len - self.uninjected - self.delivered
+    /// `uninjected` lives in the network's hot-state vectors (it is read
+    /// every transfer cycle), so the caller passes it in.
+    pub fn flits_in_network(&self, uninjected: u32) -> u32 {
+        self.len - uninjected - self.delivered
     }
 }
 
@@ -85,7 +85,7 @@ pub struct MessageInfo {
 }
 
 impl MessageInfo {
-    pub(crate) fn of(m: &Message) -> Self {
+    pub(crate) fn of(m: &Message, uninjected: u32) -> Self {
         MessageInfo {
             id: m.id,
             src: m.src,
@@ -96,7 +96,7 @@ impl MessageInfo {
             blocked: m.blocked,
             chain_len: m.chain.len(),
             hops: m.next_seq,
-            uninjected: m.uninjected,
+            uninjected,
             delivered: m.delivered,
         }
     }

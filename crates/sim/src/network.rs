@@ -13,16 +13,9 @@ use crate::message::{Message, MessageId, MessageInfo, MsgPhase};
 /// Sentinel for "no owning message" in per-resource tables.
 pub(crate) const NO_OWNER: u32 = u32::MAX;
 
-/// One virtual channel's dynamic state.
-#[derive(Clone, Copy, Debug)]
-pub(crate) struct Vc {
-    /// Slot of the owning message, or [`NO_OWNER`].
-    pub owner: u32,
-    /// Flits currently in this VC's edge buffer.
-    pub occupancy: u16,
-    /// Acquisition sequence number within the owner's chain.
-    pub seq: u32,
-}
+/// [`Network::vc_feed`] sentinel: this VC is its owner's chain front, so
+/// its flits arrive straight from the source queue (`msg_uninjected`).
+const FROM_SOURCE: u32 = u32::MAX - 1;
 
 /// A message waiting in a source queue (not yet holding any resource).
 #[derive(Clone, Copy, Debug)]
@@ -163,8 +156,31 @@ pub struct Network {
     pub(crate) cfg: SimConfig,
     pub(crate) cycle: u64,
 
-    /// `channel * vcs_per_channel + vc`.
-    pub(crate) vcs: Vec<Vc>,
+    /// Per-VC dynamic state, struct-of-arrays at `channel *
+    /// vcs_per_channel + vc`: the transfer phase walks these vectors
+    /// sequentially every cycle, so each field lives in its own dense
+    /// array instead of an array-of-structs record.
+    ///
+    /// Owner slot, or [`NO_OWNER`].
+    pub(crate) vc_owner: Vec<u32>,
+    /// Flits currently buffered.
+    pub(crate) vc_occ: Vec<u16>,
+    /// Acquisition sequence number within the owner's chain.
+    vc_seq: Vec<u32>,
+    /// Upstream feeder: the chain predecessor supplying this VC's flits,
+    /// [`FROM_SOURCE`] for the chain front, or [`NO_OWNER`] when free.
+    /// Mirrors the owner's chain so the transfer phase never indexes the
+    /// message slab.
+    vc_feed: Vec<u32>,
+    /// Downstream successor (the VC this one feeds), or [`NO_OWNER`].
+    vc_next: Vec<u32>,
+    /// Flits still waiting at the source, per message slot (hot: read by
+    /// every chain-front transfer decision).
+    msg_uninjected: Vec<u32>,
+    /// Message id per slot (valid while the slot is live): sorts and
+    /// id-ordered tie-breaks read this dense vector instead of chasing
+    /// `messages[slot]`.
+    pub(crate) slot_id: Vec<u64>,
     /// Owned-VC count per physical channel (lets the transfer phase skip
     /// idle links).
     owned_per_channel: Vec<u16>,
@@ -331,14 +347,13 @@ impl Network {
         let n_vcs = topo.num_channels() * cfg.vcs_per_channel;
         let n_nodes = topo.num_nodes();
         Network {
-            vcs: vec![
-                Vc {
-                    owner: NO_OWNER,
-                    occupancy: 0,
-                    seq: 0,
-                };
-                n_vcs
-            ],
+            vc_owner: vec![NO_OWNER; n_vcs],
+            vc_occ: vec![0; n_vcs],
+            vc_seq: vec![0; n_vcs],
+            vc_feed: vec![NO_OWNER; n_vcs],
+            vc_next: vec![NO_OWNER; n_vcs],
+            msg_uninjected: Vec::new(),
+            slot_id: Vec::new(),
             owned_per_channel: vec![0; topo.num_channels()],
             link_rr: vec![0; topo.num_channels()],
             reception_per_node: 1,
@@ -423,6 +438,12 @@ impl Network {
         self.cfg.vcs_per_channel
     }
 
+    /// Total VC count (also the base of the reception wake resources).
+    #[inline]
+    fn num_vcs(&self) -> usize {
+        self.vc_owner.len()
+    }
+
     /// Queues a message for injection at `src` with the configured default
     /// length. It holds no resource until its header acquires a first VC
     /// during a later [`step`](Self::step).
@@ -489,7 +510,7 @@ impl Network {
         let base = ch.idx() * self.vcs_per();
         for v in 0..self.vcs_per() {
             assert!(
-                self.vcs[base + v].owner == NO_OWNER,
+                self.vc_owner[base + v] == NO_OWNER,
                 "cannot fail a channel in use"
             );
         }
@@ -561,12 +582,11 @@ impl Network {
         let base = ch * vcs_per;
         let mut victims: Vec<u32> = (base..base + vcs_per)
             .filter_map(|v| {
-                let o = self.vcs[v].owner;
+                let o = self.vc_owner[v];
                 (o != NO_OWNER).then_some(o)
             })
             .collect();
-        victims
-            .sort_unstable_by_key(|&s| self.messages[s as usize].as_ref().expect("owner live").id);
+        victims.sort_unstable_by_key(|&s| self.slot_id[s as usize]);
         victims.dedup();
         for slot in victims {
             self.drop_message(slot, events);
@@ -712,10 +732,11 @@ impl Network {
         }
         let vcs_per = self.vcs_per();
         for &v in &chain {
-            let vc = &mut self.vcs[v as usize];
-            debug_assert_eq!(vc.owner, slot);
-            vc.owner = NO_OWNER;
-            vc.occupancy = 0;
+            debug_assert_eq!(self.vc_owner[v as usize], slot);
+            self.vc_owner[v as usize] = NO_OWNER;
+            self.vc_occ[v as usize] = 0;
+            self.vc_feed[v as usize] = NO_OWNER;
+            self.vc_next[v as usize] = NO_OWNER;
             self.owned_per_channel[v as usize / vcs_per] -= 1;
             if self.mode != StepMode::Dense {
                 self.mark_occ_dirty(v);
@@ -738,7 +759,7 @@ impl Network {
         self.finish_slot(slot);
         if self.mode != StepMode::Dense {
             if let Some(node) = freed_node {
-                self.wake_resource((self.vcs.len() + node) as u32);
+                self.wake_resource((self.num_vcs() + node) as u32);
             }
         }
     }
@@ -823,7 +844,9 @@ impl Network {
     /// Read-only view of an active message.
     pub fn message_info(&self, id: MessageId) -> Option<MessageInfo> {
         let slot = self.id_map.get(id)?;
-        self.messages[slot as usize].as_ref().map(MessageInfo::of)
+        self.messages[slot as usize]
+            .as_ref()
+            .map(|m| MessageInfo::of(m, self.msg_uninjected[slot as usize]))
     }
 
     /// Rebuilds the per-step age-order view of `active` (oldest id first).
@@ -833,9 +856,9 @@ impl Network {
     fn rebuild_step_order(&mut self) {
         self.step_order.clear();
         self.step_order.extend_from_slice(&self.active);
-        let messages = &self.messages;
+        let slot_id = &self.slot_id;
         self.step_order
-            .sort_unstable_by_key(|&s| messages[s as usize].as_ref().expect("active slot").id);
+            .sort_unstable_by_key(|&s| slot_id[s as usize]);
     }
 
     /// Simulates one cycle with the activity-driven engine: only ready
@@ -939,7 +962,7 @@ impl Network {
             events.fault_rejected += 1;
             return InjectOutcome::Rejected;
         }
-        let Some(vc_idx) = first_free_vc(&self.vcs, self.cfg.vcs_per_channel, &self.cand_buf)
+        let Some(vc_idx) = first_free_vc(&self.vc_owner, self.cfg.vcs_per_channel, &self.cand_buf)
         else {
             return InjectOutcome::NoFreeVc;
         };
@@ -965,7 +988,6 @@ impl Network {
                 chain: VecDeque::new(),
                 front_seq: 0,
                 next_seq: 0,
-                uninjected: len,
                 delivered: 0,
                 phase: MsgPhase::Routing,
                 blocked: false,
@@ -977,8 +999,13 @@ impl Network {
                 reception_slot: 0,
             };
             acquire_vc(
-                &mut self.vcs,
-                &mut self.owned_per_channel,
+                VcState {
+                    owner: &mut self.vc_owner,
+                    seq: &mut self.vc_seq,
+                    feed: &mut self.vc_feed,
+                    next: &mut self.vc_next,
+                    owned_per_channel: &mut self.owned_per_channel,
+                },
                 &self.topo,
                 self.cfg.vcs_per_channel,
                 &mut msg,
@@ -1010,7 +1037,11 @@ impl Network {
                 self.drain_idx.resize(n, NO_OWNER);
                 self.release_flag.resize(n, false);
                 self.msg_watches.resize_with(n, Vec::new);
+                self.msg_uninjected.resize(n, 0);
+                self.slot_id.resize(n, 0);
             }
+            self.msg_uninjected[slot as usize] = len;
+            self.slot_id[slot as usize] = id;
             self.active_idx[slot as usize] = self.active.len() as u32;
             self.active.push(slot);
             self.total_injected += 1;
@@ -1038,7 +1069,7 @@ impl Network {
                 continue;
             }
             let &head_vc = msg.chain.back().expect("routing message owns its head VC");
-            if self.vcs[head_vc as usize].occupancy == 0 {
+            if self.vc_occ[head_vc as usize] == 0 {
                 // Header flit still in flight towards this buffer.
                 debug_assert!(!msg.blocked, "blocked header always has a buffered flit");
                 msg.blocked = false;
@@ -1098,14 +1129,19 @@ impl Network {
                 &ctx_of(msg, here),
                 &mut self.cand_buf,
             );
-            match first_free_vc(&self.vcs, self.cfg.vcs_per_channel, &self.cand_buf) {
+            match first_free_vc(&self.vc_owner, self.cfg.vcs_per_channel, &self.cand_buf) {
                 Some(vc_idx) => {
                     if msg.blocked {
                         self.blocked_ctr -= 1;
                     }
                     acquire_vc(
-                        &mut self.vcs,
-                        &mut self.owned_per_channel,
+                        VcState {
+                            owner: &mut self.vc_owner,
+                            seq: &mut self.vc_seq,
+                            feed: &mut self.vc_feed,
+                            next: &mut self.vc_next,
+                            owned_per_channel: &mut self.owned_per_channel,
+                        },
                         &self.topo,
                         self.cfg.vcs_per_channel,
                         msg,
@@ -1154,9 +1190,7 @@ impl Network {
         // Snapshot start-of-cycle occupancies: every decision below reads
         // these, so a flit advances at most one hop per cycle and buffer
         // space freed this cycle is only visible next cycle.
-        for (o, vc) in self.occ_start.iter_mut().zip(self.vcs.iter()) {
-            *o = vc.occupancy;
-        }
+        self.occ_start.copy_from_slice(&self.vc_occ);
         let vcs_per = self.cfg.vcs_per_channel;
         let depth = self.cfg.buffer_depth as u16;
 
@@ -1176,15 +1210,16 @@ impl Network {
             for i in 0..vcs_per {
                 let off = (start + i) % vcs_per;
                 let v = base + off;
-                let Vc { owner, seq, .. } = self.vcs[v];
+                let owner = self.vc_owner[v];
                 if owner == NO_OWNER || self.occ_start[v] >= depth {
                     continue;
                 }
-                let msg = self.messages[owner as usize].as_mut().expect("owner live");
+                let seq = self.vc_seq[v];
+                let msg = self.messages[owner as usize].as_ref().expect("owner live");
                 let moved = if seq == msg.front_seq {
                     // Tail-most owned VC: flits arrive from the source.
-                    if msg.uninjected > 0 {
-                        msg.uninjected -= 1;
+                    if self.msg_uninjected[owner as usize] > 0 {
+                        self.msg_uninjected[owner as usize] -= 1;
                         true
                     } else {
                         false
@@ -1193,14 +1228,14 @@ impl Network {
                     let pos = (seq - msg.front_seq) as usize;
                     let prev = msg.chain[pos - 1] as usize;
                     if self.occ_start[prev] >= 1 {
-                        self.vcs[prev].occupancy -= 1;
+                        self.vc_occ[prev] -= 1;
                         true
                     } else {
                         false
                     }
                 };
                 if moved {
-                    self.vcs[v].occupancy += 1;
+                    self.vc_occ[v] += 1;
                     events.link_flits += 1;
                     self.link_rr[ch] = ((off + 1) % vcs_per) as u8;
                     break;
@@ -1227,7 +1262,7 @@ impl Network {
                 }
             }
             if self.occ_start[head as usize] >= 1 {
-                self.vcs[head as usize].occupancy -= 1;
+                self.vc_occ[head as usize] -= 1;
                 msg.delivered += 1;
                 events.drained_flits += 1;
             }
@@ -1271,18 +1306,25 @@ impl Network {
             let msg = self.messages[slot as usize].as_mut().expect("active slot");
 
             // The injection channel frees once the tail leaves the source.
-            if msg.uninjected == 0 && msg.holds_injection {
+            if self.msg_uninjected[slot as usize] == 0 && msg.holds_injection {
                 msg.holds_injection = false;
                 self.injecting_count[msg.src.idx()] -= 1;
             }
 
             // Tail release: owned VCs drain from the front of the chain.
             while let Some(&front) = msg.chain.front() {
-                if self.vcs[front as usize].occupancy == 0 && msg.uninjected == 0 {
-                    self.vcs[front as usize].owner = NO_OWNER;
+                if self.vc_occ[front as usize] == 0 && self.msg_uninjected[slot as usize] == 0 {
+                    self.vc_owner[front as usize] = NO_OWNER;
+                    self.vc_feed[front as usize] = NO_OWNER;
+                    self.vc_next[front as usize] = NO_OWNER;
                     self.owned_per_channel[front as usize / self.cfg.vcs_per_channel] -= 1;
                     msg.chain.pop_front();
                     msg.front_seq += 1;
+                    if let Some(&nf) = msg.chain.front() {
+                        // The new front is now fed straight from the source
+                        // (which is drained: releases need uninjected == 0).
+                        self.vc_feed[nf as usize] = FROM_SOURCE;
+                    }
                 } else {
                     break;
                 }
@@ -1290,7 +1332,7 @@ impl Network {
 
             if msg.delivered == msg.len {
                 debug_assert!(msg.chain.is_empty());
-                debug_assert_eq!(msg.uninjected, 0);
+                debug_assert_eq!(self.msg_uninjected[slot as usize], 0);
                 if msg.phase == MsgPhase::Ejecting {
                     let r = msg.dst.idx() * self.reception_per_node + msg.reception_slot as usize;
                     debug_assert_eq!(self.reception[r], slot);
@@ -1467,7 +1509,7 @@ impl Network {
         for c in &cand_buf {
             let base = c.channel.idx() * vcs_per;
             for v in c.vcs.iter() {
-                debug_assert_ne!(self.vcs[base + v].owner, NO_OWNER);
+                debug_assert_ne!(self.vc_owner[base + v], NO_OWNER);
                 self.watch(waiter, (base + v) as u32);
             }
         }
@@ -1482,12 +1524,12 @@ impl Network {
         }
         let Self {
             woken,
-            messages,
+            slot_id,
             alloc_queue,
             alloc_scratch,
             ..
         } = self;
-        let id_of = |s: u32| messages[s as usize].as_ref().expect("woken slot live").id;
+        let id_of = |s: u32| slot_id[s as usize];
         woken.sort_unstable_by_key(|&s| id_of(s));
         alloc_scratch.clear();
         let (mut a, mut w) = (0usize, 0usize);
@@ -1593,7 +1635,7 @@ impl Network {
                 msg.dst,
             )
         };
-        if self.vcs[head_vc as usize].occupancy == 0 {
+        if self.vc_occ[head_vc as usize] == 0 {
             // Header flit still in flight towards this buffer; re-attempt
             // next cycle (cheap: this branch).
             let msg = self.messages[s].as_mut().expect("queued slot");
@@ -1654,7 +1696,7 @@ impl Network {
                     }
                 }
                 self.alloc_state[s] = AllocState::Parked;
-                let resource = (self.vcs.len() + here.idx()) as u32;
+                let resource = (self.num_vcs() + here.idx()) as u32;
                 self.watch(slot, resource);
             }
             return false;
@@ -1670,14 +1712,19 @@ impl Network {
                 &ctx_of(msg, here),
                 &mut self.cand_buf,
             );
-            match first_free_vc(&self.vcs, self.cfg.vcs_per_channel, &self.cand_buf) {
+            match first_free_vc(&self.vc_owner, self.cfg.vcs_per_channel, &self.cand_buf) {
                 Some(vc_idx) => {
                     if msg.blocked {
                         self.blocked_ctr -= 1;
                     }
                     acquire_vc(
-                        &mut self.vcs,
-                        &mut self.owned_per_channel,
+                        VcState {
+                            owner: &mut self.vc_owner,
+                            seq: &mut self.vc_seq,
+                            feed: &mut self.vc_feed,
+                            next: &mut self.vc_next,
+                            owned_per_channel: &mut self.owned_per_channel,
+                        },
                         &self.topo,
                         self.cfg.vcs_per_channel,
                         msg,
@@ -1744,11 +1791,11 @@ impl Network {
             let Self {
                 occ_dirty,
                 occ_start,
-                vcs,
+                vc_occ,
                 ..
             } = self;
             for &v in occ_dirty.iter() {
-                occ_start[v as usize] = vcs[v as usize].occupancy;
+                occ_start[v as usize] = vc_occ[v as usize];
             }
             occ_dirty.clear();
         }
@@ -1782,34 +1829,33 @@ impl Network {
             for i in 0..vcs_per {
                 let off = (start + i) % vcs_per;
                 let v = base + off;
-                let Vc { owner, seq, .. } = self.vcs[v];
+                let owner = self.vc_owner[v];
                 if owner == NO_OWNER || self.occ_start[v] >= depth {
                     continue;
                 }
-                let (moved, prev, succ, injection_done) = {
-                    let msg = self.messages[owner as usize].as_mut().expect("owner live");
-                    let pos = (seq - msg.front_seq) as usize;
-                    if pos == 0 {
-                        // Tail-most owned VC: flits arrive from the source.
-                        if msg.uninjected > 0 {
-                            msg.uninjected -= 1;
-                            (true, None, msg.chain.get(1).copied(), msg.uninjected == 0)
-                        } else {
-                            (false, None, None, false)
-                        }
+                // The feed cache mirrors the owner's chain, so the movement
+                // decision touches only the dense per-VC vectors — never
+                // the message slab (the dense stepper still walks chains,
+                // which keeps the differential tests validating the cache).
+                let feed = self.vc_feed[v];
+                let (moved, prev, injection_done) = if feed == FROM_SOURCE {
+                    // Chain front: flits arrive from the source.
+                    let u = &mut self.msg_uninjected[owner as usize];
+                    if *u > 0 {
+                        *u -= 1;
+                        (true, None, *u == 0)
                     } else {
-                        let prev = msg.chain[pos - 1] as usize;
-                        if self.occ_start[prev] >= 1 {
-                            (true, Some(prev), msg.chain.get(pos + 1).copied(), false)
-                        } else {
-                            (false, None, None, false)
-                        }
+                        (false, None, false)
                     }
+                } else if self.occ_start[feed as usize] >= 1 {
+                    (true, Some(feed as usize), false)
+                } else {
+                    (false, None, false)
                 };
                 if !moved {
                     continue;
                 }
-                self.vcs[v].occupancy += 1;
+                self.vc_occ[v] += 1;
                 self.mark_occ_dirty(v as u32);
                 events.link_flits += 1;
                 self.link_rr[ch] = ((off + 1) % vcs_per) as u8;
@@ -1817,14 +1863,15 @@ impl Network {
                 // fed VC may now feed its chain successor; the drained
                 // upstream VC regained buffer space.
                 self.activate_channel(ch);
-                if let Some(nxt) = succ {
-                    self.activate_channel(nxt as usize / vcs_per);
+                let succ = self.vc_next[v];
+                if succ != NO_OWNER {
+                    self.activate_channel(succ as usize / vcs_per);
                 }
                 if let Some(p) = prev {
-                    self.vcs[p].occupancy -= 1;
+                    self.vc_occ[p] -= 1;
                     self.mark_occ_dirty(p as u32);
                     self.activate_channel(p / vcs_per);
-                    if self.vcs[p].occupancy == 0 {
+                    if self.vc_occ[p] == 0 {
                         // Tail release may now be possible.
                         self.mark_release(owner);
                     }
@@ -1872,11 +1919,11 @@ impl Network {
             if self.occ_start[head as usize] < 1 {
                 continue;
             }
-            self.vcs[head as usize].occupancy -= 1;
+            self.vc_occ[head as usize] -= 1;
             msg.delivered += 1;
             events.drained_flits += 1;
             let done = msg.delivered == msg.len;
-            let emptied = self.vcs[head as usize].occupancy == 0;
+            let emptied = self.vc_occ[head as usize] == 0;
             self.mark_occ_dirty(head);
             self.activate_channel(head as usize / vcs_per);
             if emptied || done {
@@ -1893,8 +1940,8 @@ impl Network {
             return;
         }
         let mut check = std::mem::take(&mut self.release_check);
-        let messages = &self.messages;
-        check.sort_unstable_by_key(|&s| messages[s as usize].as_ref().expect("release slot").id);
+        let slot_id = &self.slot_id;
+        check.sort_unstable_by_key(|&s| slot_id[s as usize]);
         for &slot in &check {
             self.release_flag[slot as usize] = false;
             self.release_one(slot, events);
@@ -1908,7 +1955,7 @@ impl Network {
         // The injection channel frees once the tail leaves the source.
         {
             let msg = self.messages[s].as_mut().expect("release slot");
-            if msg.uninjected == 0 && msg.holds_injection {
+            if self.msg_uninjected[s] == 0 && msg.holds_injection {
                 msg.holds_injection = false;
                 let node = msg.src.idx();
                 self.injecting_count[node] -= 1;
@@ -1924,16 +1971,23 @@ impl Network {
             let front = {
                 let msg = self.messages[s].as_ref().expect("release slot");
                 match msg.chain.front() {
-                    Some(&f) if msg.uninjected == 0 && self.vcs[f as usize].occupancy == 0 => f,
+                    Some(&f) if self.msg_uninjected[s] == 0 && self.vc_occ[f as usize] == 0 => f,
                     _ => break,
                 }
             };
-            self.vcs[front as usize].owner = NO_OWNER;
+            self.vc_owner[front as usize] = NO_OWNER;
+            self.vc_feed[front as usize] = NO_OWNER;
+            self.vc_next[front as usize] = NO_OWNER;
             self.owned_per_channel[front as usize / self.cfg.vcs_per_channel] -= 1;
             {
                 let msg = self.messages[s].as_mut().expect("release slot");
                 msg.chain.pop_front();
                 msg.front_seq += 1;
+                if let Some(&nf) = msg.chain.front() {
+                    // The new front is fed straight from the (drained)
+                    // source.
+                    self.vc_feed[nf as usize] = FROM_SOURCE;
+                }
             }
             self.wake_resource(front);
         }
@@ -1947,7 +2001,7 @@ impl Network {
         let (reception, recovered, id) = {
             let msg = self.messages[s].as_ref().expect("release slot");
             debug_assert!(msg.chain.is_empty());
-            debug_assert_eq!(msg.uninjected, 0);
+            debug_assert_eq!(self.msg_uninjected[s], 0);
             let recovered = msg.phase == MsgPhase::Recovering;
             events.delivered.push(DeliveredMsg {
                 id: msg.id,
@@ -1981,7 +2035,7 @@ impl Network {
         });
         self.finish_slot(slot);
         if let Some(node) = freed_node {
-            self.wake_resource((self.vcs.len() + node) as u32);
+            self.wake_resource((self.num_vcs() + node) as u32);
         }
     }
 
@@ -2015,23 +2069,33 @@ impl Network {
         }
         for &slot in &self.active {
             let msg = self.messages[slot as usize].as_ref().expect("active slot");
+            assert_eq!(self.slot_id[slot as usize], msg.id, "slot_id out of sync");
             let in_chain: u32 = msg
                 .chain
                 .iter()
-                .map(|&v| self.vcs[v as usize].occupancy as u32)
+                .map(|&v| self.vc_occ[v as usize] as u32)
                 .sum();
             assert_eq!(
                 in_chain,
-                msg.flits_in_network(),
+                msg.flits_in_network(self.msg_uninjected[slot as usize]),
                 "flit conservation violated for message {}",
                 msg.id
             );
             for (p, &v) in msg.chain.iter().enumerate() {
-                let vc = &self.vcs[v as usize];
-                assert_eq!(vc.owner, slot, "chain VC not owned by its message");
-                assert_eq!(vc.seq, msg.front_seq + p as u32, "seq mismatch");
-                assert!(vc.occupancy as usize <= self.cfg.buffer_depth);
-                owned_seen[v as usize / vcs_per] += 1;
+                let v = v as usize;
+                assert_eq!(self.vc_owner[v], slot, "chain VC not owned by its message");
+                assert_eq!(self.vc_seq[v], msg.front_seq + p as u32, "seq mismatch");
+                assert!(self.vc_occ[v] as usize <= self.cfg.buffer_depth);
+                // The feed/next chain-link caches mirror the chain exactly.
+                let feed = if p == 0 {
+                    FROM_SOURCE
+                } else {
+                    msg.chain[p - 1]
+                };
+                assert_eq!(self.vc_feed[v], feed, "vc_feed diverged from chain");
+                let next = msg.chain.get(p + 1).copied().unwrap_or(NO_OWNER);
+                assert_eq!(self.vc_next[v], next, "vc_next diverged from chain");
+                owned_seen[v / vcs_per] += 1;
             }
             // Chain follows physically adjacent channels.
             for w in msg.chain.make_contiguous_ref().windows(2) {
@@ -2050,11 +2114,13 @@ impl Network {
                 "owned count mismatch on channel {ch}"
             );
         }
-        for (v, vc) in self.vcs.iter().enumerate() {
-            if vc.owner == NO_OWNER {
-                assert_eq!(vc.occupancy, 0, "free VC {v} holds flits");
+        for (v, &owner) in self.vc_owner.iter().enumerate() {
+            if owner == NO_OWNER {
+                assert_eq!(self.vc_occ[v], 0, "free VC {v} holds flits");
+                assert_eq!(self.vc_feed[v], NO_OWNER, "free VC {v} keeps a feed");
+                assert_eq!(self.vc_next[v], NO_OWNER, "free VC {v} keeps a next");
             } else {
-                assert!(self.messages[vc.owner as usize].is_some());
+                assert!(self.messages[owner as usize].is_some());
             }
         }
         let blocked_scan = self
@@ -2137,7 +2203,7 @@ impl Network {
                 AllocState::Parked => {
                     assert!(msg.blocked, "parked message must be blocked");
                     let &head = msg.chain.back().unwrap();
-                    assert!(self.vcs[head as usize].occupancy >= 1);
+                    assert!(self.vc_occ[head as usize] >= 1);
                     let here = self.topo.channel(ChannelId(head / vcs_per as u32)).dst;
                     if here == msg.dst {
                         // Waiting for a reception channel: all busy, and
@@ -2153,7 +2219,7 @@ impl Network {
                         assert_eq!(self.msg_watches[s].len(), 1);
                         assert_eq!(
                             self.msg_watches[s][0].0,
-                            (self.vcs.len() + here.idx()) as u32,
+                            (self.num_vcs() + here.idx()) as u32,
                             "destination wait must watch the reception group"
                         );
                     } else {
@@ -2170,7 +2236,7 @@ impl Network {
                             let base = c.channel.idx() * vcs_per;
                             for v in c.vcs.iter() {
                                 assert_ne!(
-                                    self.vcs[base + v].owner,
+                                    self.vc_owner[base + v],
                                     NO_OWNER,
                                     "parked message {} has a free candidate VC: missed wake",
                                     msg.id
@@ -2228,7 +2294,7 @@ impl Network {
                         let base = c.channel.idx() * vcs_per;
                         for v in c.vcs.iter() {
                             assert_ne!(
-                                self.vcs[base + v].owner,
+                                self.vc_owner[base + v],
                                 NO_OWNER,
                                 "parked injector {node} has a free candidate VC: missed wake"
                             );
@@ -2243,16 +2309,15 @@ impl Network {
         // Channel activity: any VC a flit could move into next cycle sits
         // on an active channel.
         let depth = self.cfg.buffer_depth as u16;
-        for (v, vc) in self.vcs.iter().enumerate() {
-            if vc.owner == NO_OWNER || vc.occupancy >= depth {
+        for (v, &owner) in self.vc_owner.iter().enumerate() {
+            if owner == NO_OWNER || self.vc_occ[v] >= depth {
                 continue;
             }
-            let msg = self.messages[vc.owner as usize].as_ref().unwrap();
-            let pos = (vc.seq - msg.front_seq) as usize;
-            let fed = if pos == 0 {
-                msg.uninjected > 0
+            let feed = self.vc_feed[v];
+            let fed = if feed == FROM_SOURCE {
+                self.msg_uninjected[owner as usize] > 0
             } else {
-                self.vcs[msg.chain[pos - 1] as usize].occupancy >= 1
+                self.vc_occ[feed as usize] >= 1
             };
             if fed {
                 assert!(
@@ -2271,7 +2336,7 @@ impl Network {
         // generation stamps), and every occupancy that diverged from the
         // `occ_start` snapshot carries a mark (no missed patch).
         {
-            let mut seen = vec![false; self.vcs.len()];
+            let mut seen = vec![false; self.num_vcs()];
             for &v in &self.occ_dirty {
                 assert!(!seen[v as usize], "duplicate occ_dirty mark for VC {v}");
                 seen[v as usize] = true;
@@ -2280,10 +2345,10 @@ impl Network {
                     "dirty VC {v} not stamped with the current generation"
                 );
             }
-            for (v, vc) in self.vcs.iter().enumerate() {
+            for (v, &occ) in self.vc_occ.iter().enumerate() {
                 if !seen[v] {
                     assert_eq!(
-                        self.occ_start[v], vc.occupancy,
+                        self.occ_start[v], occ,
                         "VC {v} occupancy diverged from occ_start without a dirty mark"
                     );
                 }
@@ -2314,7 +2379,7 @@ impl Network {
             let msg = self.messages[slot as usize]
                 .as_ref()
                 .expect("deferred slot live");
-            assert_eq!(msg.uninjected, 0);
+            assert_eq!(self.msg_uninjected[slot as usize], 0);
             assert!(msg.holds_injection);
             assert_eq!(msg.injected_at + 1, self.cycle);
         }
@@ -2324,11 +2389,11 @@ impl Network {
 /// First free VC across the candidate list, respecting candidate order
 /// (the routing relation's preference order) and, within a channel,
 /// ascending VC index.
-fn first_free_vc(vcs: &[Vc], vcs_per: usize, cands: &[Candidate]) -> Option<u32> {
+fn first_free_vc(vc_owner: &[u32], vcs_per: usize, cands: &[Candidate]) -> Option<u32> {
     for cand in cands {
         let base = cand.channel.idx() * vcs_per;
         for v in cand.vcs.iter() {
-            if vcs[base + v].owner == NO_OWNER {
+            if vc_owner[base + v] == NO_OWNER {
                 return Some((base + v) as u32);
             }
         }
@@ -2336,21 +2401,42 @@ fn first_free_vc(vcs: &[Vc], vcs_per: usize, cands: &[Candidate]) -> Option<u32>
     None
 }
 
-/// Grants `vc_idx` to `msg` and updates selection-policy / dateline state.
+/// Mutable borrow bundle over the per-VC hot-state vectors, split out of
+/// `Network` so `acquire_vc` can run while a message is borrowed from the
+/// slab.
+struct VcState<'a> {
+    owner: &'a mut [u32],
+    seq: &'a mut [u32],
+    feed: &'a mut [u32],
+    next: &'a mut [u32],
+    owned_per_channel: &'a mut [u16],
+}
+
+/// Grants `vc_idx` to `msg` and updates selection-policy / dateline state,
+/// including the feed/next chain-link caches.
 fn acquire_vc(
-    vcs: &mut [Vc],
-    owned_per_channel: &mut [u16],
+    vc: VcState<'_>,
     topo: &KAryNCube,
     vcs_per: usize,
     msg: &mut Message,
     vc_idx: u32,
     slot: u32,
 ) {
-    let vc = &mut vcs[vc_idx as usize];
-    debug_assert_eq!(vc.owner, NO_OWNER);
-    debug_assert_eq!(vc.occupancy, 0);
-    vc.owner = slot;
-    vc.seq = msg.next_seq;
+    let i = vc_idx as usize;
+    debug_assert_eq!(vc.owner[i], NO_OWNER);
+    vc.owner[i] = slot;
+    vc.seq[i] = msg.next_seq;
+    // Link the new head into the feed chain: it is fed by the old head,
+    // or straight from the source when it starts the chain.
+    match msg.chain.back() {
+        Some(&h) => {
+            vc.feed[i] = h;
+            vc.next[h as usize] = vc_idx;
+        }
+        None => vc.feed[i] = FROM_SOURCE,
+    }
+    vc.next[i] = NO_OWNER;
+    let owned_per_channel = vc.owned_per_channel;
     msg.chain.push_back(vc_idx);
     msg.next_seq += 1;
     let ch = ChannelId(vc_idx / vcs_per as u32);

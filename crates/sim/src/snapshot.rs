@@ -219,8 +219,7 @@ impl Network {
         let mut order_buf = std::mem::take(&mut arena.order_buf);
         order_buf.clear();
         order_buf.extend_from_slice(&self.active);
-        order_buf
-            .sort_unstable_by_key(|&s| self.messages[s as usize].as_ref().expect("active slot").id);
+        order_buf.sort_unstable_by_key(|&s| self.slot_id[s as usize]);
 
         for &slot in &order_buf {
             let msg = self.messages[slot as usize].as_ref().expect("active slot");
@@ -329,6 +328,6 @@ impl Network {
     /// Whether any VC of `ch` is currently owned (test helper).
     pub fn channel_busy(&self, ch: ChannelId) -> bool {
         let base = ch.idx() * self.vcs_per();
-        (0..self.vcs_per()).any(|v| self.vcs[base + v].owner != NO_OWNER)
+        (0..self.vcs_per()).any(|v| self.vc_owner[base + v] != NO_OWNER)
     }
 }
