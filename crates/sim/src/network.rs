@@ -258,28 +258,33 @@ pub struct Network {
     msg_watches: Vec<Vec<(u32, u32)>>,
     /// Per-node watch table for parked injectors.
     inj_watches: Vec<Vec<(u32, u32)>>,
-    /// Channels to examine in the transfer phase (membership in
-    /// [`Self::chan_on`]). Entries appended during a transfer apply to the
-    /// next cycle; entries appended during allocation to the same cycle.
-    chan_list: Vec<u32>,
-    /// Channel membership flags for [`Self::chan_list`].
-    chan_on: Vec<bool>,
+    /// Active-channel bitset: bit `ch % 64` of word `ch / 64` marks a
+    /// channel the transfer phase must examine. Activations during
+    /// allocation land in the set scanned the same cycle; the transfer
+    /// phase swaps the set into [`Self::chan_scan`] first, so activations
+    /// raised while it walks (occupancy triggers) accumulate here for the
+    /// next cycle.
+    chan_words: Vec<u64>,
+    /// Indices of nonzero words in [`Self::chan_words`] (each pushed once,
+    /// on the word's 0 → nonzero transition), so sparse cycles walk only
+    /// the touched words.
+    chan_word_list: Vec<u32>,
+    /// Scratch the transfer phase drains: all-zero between cycles.
+    chan_scan: Vec<u64>,
+    /// Word-index scratch paired with [`Self::chan_scan`].
+    chan_scan_list: Vec<u32>,
     /// Ejecting / recovering slots, each draining one flit per cycle.
     drain_list: Vec<u32>,
     /// Slot → index in [`Self::drain_list`], or [`NO_OWNER`].
     drain_idx: Vec<u32>,
-    /// VCs whose occupancy changed since `occ_start` was last synced.
-    /// Deduplicated: each VC appears at most once per sync window, enforced
-    /// by the generation stamps in [`Self::occ_mark`].
-    occ_dirty: Vec<u32>,
-    /// Per-VC generation stamp: a VC is pushed onto [`Self::occ_dirty`]
-    /// only when its stamp trails [`Self::occ_gen`], so repeated occupancy
-    /// changes within one cycle (a VC that both receives a flit and feeds
-    /// its downstream neighbour) accumulate a single dirty mark.
-    occ_mark: Vec<u64>,
-    /// Current dirty-mark generation; bumped every time `occ_dirty` is
-    /// drained into `occ_start`.
-    occ_gen: u64,
+    /// Dirty-occupancy bitset: bit `v % 64` of word `v / 64` marks a VC
+    /// whose occupancy diverged from `occ_start` since the last sync.
+    /// Bit-idempotent, so a VC that changes occupancy several times in one
+    /// cycle carries exactly one mark.
+    occ_dirty_words: Vec<u64>,
+    /// Indices of nonzero words in [`Self::occ_dirty_words`] (pushed on
+    /// each word's 0 → nonzero transition).
+    occ_dirty_list: Vec<u32>,
     /// Slots the release phase must visit this cycle (unordered; sorted).
     release_check: Vec<u32>,
     /// Slots whose release visit is deferred to the next cycle: the dense
@@ -387,13 +392,14 @@ impl Network {
             wake_lists: vec![Vec::new(); n_vcs + n_nodes],
             msg_watches: Vec::new(),
             inj_watches: vec![Vec::new(); n_nodes],
-            chan_list: Vec::new(),
-            chan_on: vec![false; topo.num_channels()],
+            chan_words: vec![0; topo.num_channels().div_ceil(64)],
+            chan_word_list: Vec::new(),
+            chan_scan: vec![0; topo.num_channels().div_ceil(64)],
+            chan_scan_list: Vec::new(),
             drain_list: Vec::new(),
             drain_idx: Vec::new(),
-            occ_dirty: Vec::new(),
-            occ_mark: vec![0; n_vcs],
-            occ_gen: 1,
+            occ_dirty_words: vec![0; n_vcs.div_ceil(64)],
+            occ_dirty_list: Vec::new(),
             release_check: Vec::new(),
             release_deferred: Vec::new(),
             release_flag: vec![],
@@ -1388,24 +1394,27 @@ impl Network {
     //   flit draining), so only those messages need visiting, in id order.
 
     /// Records that VC `v`'s occupancy diverged from `occ_start`
-    /// (idempotent within one sync window: the generation stamp suppresses
-    /// duplicate marks when a VC changes occupancy more than once per
-    /// cycle).
+    /// (idempotent: setting an already-set bit is a no-op, so a VC whose
+    /// occupancy changes several times per cycle is patched once).
     #[inline]
     fn mark_occ_dirty(&mut self, v: u32) {
-        if self.occ_mark[v as usize] != self.occ_gen {
-            self.occ_mark[v as usize] = self.occ_gen;
-            self.occ_dirty.push(v);
+        let w = (v >> 6) as usize;
+        let word = &mut self.occ_dirty_words[w];
+        if *word == 0 {
+            self.occ_dirty_list.push(w as u32);
         }
+        *word |= 1 << (v & 63);
     }
 
     /// Adds `ch` to the active-channel set (idempotent).
     #[inline]
     fn activate_channel(&mut self, ch: usize) {
-        if !self.chan_on[ch] {
-            self.chan_on[ch] = true;
-            self.chan_list.push(ch as u32);
+        let w = ch >> 6;
+        let word = &mut self.chan_words[w];
+        if *word == 0 {
+            self.chan_word_list.push(w as u32);
         }
+        *word |= 1 << (ch & 63);
     }
 
     /// Schedules `slot` for this cycle's release phase (idempotent).
@@ -1785,120 +1794,134 @@ impl Network {
     /// and `occ_start` is patched from the dirty list instead of copied.
     fn activity_transfer(&mut self, events: &mut StepEvents) {
         // Lazy occ_start sync: occupancies change only during a transfer
-        // and every change is logged, so patching the dirty entries is
+        // and every change is logged, so patching the dirty words is
         // exactly the dense stepper's full copy.
         {
             let Self {
-                occ_dirty,
+                occ_dirty_words,
+                occ_dirty_list,
                 occ_start,
                 vc_occ,
                 ..
             } = self;
-            for &v in occ_dirty.iter() {
-                occ_start[v as usize] = vc_occ[v as usize];
+            for &w in occ_dirty_list.iter() {
+                let mut word = occ_dirty_words[w as usize];
+                occ_dirty_words[w as usize] = 0;
+                let base = (w as usize) << 6;
+                while word != 0 {
+                    let v = base + word.trailing_zeros() as usize;
+                    occ_start[v] = vc_occ[v];
+                    word &= word - 1;
+                }
             }
-            occ_dirty.clear();
+            occ_dirty_list.clear();
         }
-        // New sync window: stale stamps may be re-marked from here on.
-        self.occ_gen += 1;
         let vcs_per = self.cfg.vcs_per_channel;
         let depth = self.cfg.buffer_depth as u16;
 
-        // Entries appended during this pass (occupancy triggers) belong to
-        // the next cycle; the first `n` entries are this cycle's set.
-        let n = self.chan_list.len();
-        for k in 0..n {
-            let ch = self.chan_list[k] as usize;
-            self.chan_on[ch] = false;
-        }
-        for k in 0..n {
-            let ch = self.chan_list[k] as usize;
-            if self.owned_per_channel[ch] == 0 {
-                continue;
-            }
-            if self.fault_mode
-                && self.cycle < self.stall_until[self.topo.channel(ChannelId(ch as u32)).src.idx()]
-            {
-                // Frozen sender: nothing moves, but pending movement must
-                // survive the stall — keep the channel on the active list.
-                self.activate_channel(ch);
-                continue;
-            }
-            let base = ch * vcs_per;
-            let start = self.link_rr[ch] as usize;
-            for i in 0..vcs_per {
-                let off = (start + i) % vcs_per;
-                let v = base + off;
-                let owner = self.vc_owner[v];
-                if owner == NO_OWNER || self.occ_start[v] >= depth {
+        // Swap the accumulated active set into the scan side: activations
+        // made while walking (occupancy triggers) land in the now-empty
+        // accumulating set and belong to the next cycle, while the walk
+        // consumes exactly this cycle's set. The walk zeroes each word it
+        // visits, so the scan side hands back an all-zero set for the next
+        // swap.
+        std::mem::swap(&mut self.chan_words, &mut self.chan_scan);
+        std::mem::swap(&mut self.chan_word_list, &mut self.chan_scan_list);
+        self.chan_scan_list.sort_unstable();
+        for k in 0..self.chan_scan_list.len() {
+            let w = self.chan_scan_list[k] as usize;
+            let mut word = self.chan_scan[w];
+            self.chan_scan[w] = 0;
+            let wbase = w << 6;
+            while word != 0 {
+                let ch = wbase + word.trailing_zeros() as usize;
+                word &= word - 1;
+                if self.owned_per_channel[ch] == 0 {
                     continue;
                 }
-                // The feed cache mirrors the owner's chain, so the movement
-                // decision touches only the dense per-VC vectors — never
-                // the message slab (the dense stepper still walks chains,
-                // which keeps the differential tests validating the cache).
-                let feed = self.vc_feed[v];
-                let (moved, prev, injection_done) = if feed == FROM_SOURCE {
-                    // Chain front: flits arrive from the source.
-                    let u = &mut self.msg_uninjected[owner as usize];
-                    if *u > 0 {
-                        *u -= 1;
-                        (true, None, *u == 0)
+                if self.fault_mode
+                    && self.cycle
+                        < self.stall_until[self.topo.channel(ChannelId(ch as u32)).src.idx()]
+                {
+                    // Frozen sender: nothing moves, but pending movement must
+                    // survive the stall — keep the channel on the active list.
+                    self.activate_channel(ch);
+                    continue;
+                }
+                let base = ch * vcs_per;
+                let start = self.link_rr[ch] as usize;
+                for i in 0..vcs_per {
+                    let off = (start + i) % vcs_per;
+                    let v = base + off;
+                    let owner = self.vc_owner[v];
+                    if owner == NO_OWNER || self.occ_start[v] >= depth {
+                        continue;
+                    }
+                    // The feed cache mirrors the owner's chain, so the movement
+                    // decision touches only the dense per-VC vectors — never
+                    // the message slab (the dense stepper still walks chains,
+                    // which keeps the differential tests validating the cache).
+                    let feed = self.vc_feed[v];
+                    let (moved, prev, injection_done) = if feed == FROM_SOURCE {
+                        // Chain front: flits arrive from the source.
+                        let u = &mut self.msg_uninjected[owner as usize];
+                        if *u > 0 {
+                            *u -= 1;
+                            (true, None, *u == 0)
+                        } else {
+                            (false, None, false)
+                        }
+                    } else if self.occ_start[feed as usize] >= 1 {
+                        (true, Some(feed as usize), false)
                     } else {
                         (false, None, false)
+                    };
+                    if !moved {
+                        continue;
                     }
-                } else if self.occ_start[feed as usize] >= 1 {
-                    (true, Some(feed as usize), false)
-                } else {
-                    (false, None, false)
-                };
-                if !moved {
-                    continue;
-                }
-                self.vc_occ[v] += 1;
-                self.mark_occ_dirty(v as u32);
-                events.link_flits += 1;
-                self.link_rr[ch] = ((off + 1) % vcs_per) as u8;
-                // The served link stays active (round-robin fairness); the
-                // fed VC may now feed its chain successor; the drained
-                // upstream VC regained buffer space.
-                self.activate_channel(ch);
-                let succ = self.vc_next[v];
-                if succ != NO_OWNER {
-                    self.activate_channel(succ as usize / vcs_per);
-                }
-                if let Some(p) = prev {
-                    self.vc_occ[p] -= 1;
-                    self.mark_occ_dirty(p as u32);
-                    self.activate_channel(p / vcs_per);
-                    if self.vc_occ[p] == 0 {
-                        // Tail release may now be possible.
-                        self.mark_release(owner);
+                    self.vc_occ[v] += 1;
+                    self.mark_occ_dirty(v as u32);
+                    events.link_flits += 1;
+                    self.link_rr[ch] = ((off + 1) % vcs_per) as u8;
+                    // The served link stays active (round-robin fairness); the
+                    // fed VC may now feed its chain successor; the drained
+                    // upstream VC regained buffer space.
+                    self.activate_channel(ch);
+                    let succ = self.vc_next[v];
+                    if succ != NO_OWNER {
+                        self.activate_channel(succ as usize / vcs_per);
                     }
-                }
-                if injection_done {
-                    // The injection channel frees — but the dense release
-                    // phase scans the start-of-cycle active set, so a
-                    // message injected *this* cycle (len 1) is only
-                    // visited next cycle.
-                    let injected_now = self.messages[owner as usize]
-                        .as_ref()
-                        .expect("owner live")
-                        .injected_at
-                        == self.cycle;
-                    if !injected_now {
-                        self.mark_release(owner);
-                    } else if !self.release_flag[owner as usize] {
-                        self.release_flag[owner as usize] = true;
-                        self.release_deferred.push(owner);
+                    if let Some(p) = prev {
+                        self.vc_occ[p] -= 1;
+                        self.mark_occ_dirty(p as u32);
+                        self.activate_channel(p / vcs_per);
+                        if self.vc_occ[p] == 0 {
+                            // Tail release may now be possible.
+                            self.mark_release(owner);
+                        }
                     }
+                    if injection_done {
+                        // The injection channel frees — but the dense release
+                        // phase scans the start-of-cycle active set, so a
+                        // message injected *this* cycle (len 1) is only
+                        // visited next cycle.
+                        let injected_now = self.messages[owner as usize]
+                            .as_ref()
+                            .expect("owner live")
+                            .injected_at
+                            == self.cycle;
+                        if !injected_now {
+                            self.mark_release(owner);
+                        } else if !self.release_flag[owner as usize] {
+                            self.release_flag[owner as usize] = true;
+                            self.release_deferred.push(owner);
+                        }
+                    }
+                    break;
                 }
-                break;
             }
         }
-        self.chan_list.copy_within(n.., 0);
-        let rest = self.chan_list.len() - n;
-        self.chan_list.truncate(rest);
+        self.chan_scan_list.clear();
 
         // Ejection and recovery drains: one flit per cycle per message.
         for k in 0..self.drain_list.len() {
@@ -2320,33 +2343,57 @@ impl Network {
                 self.vc_occ[feed as usize] >= 1
             };
             if fed {
+                let ch = v / vcs_per;
                 assert!(
-                    self.chan_on[v / vcs_per],
+                    self.chan_words[ch >> 6] >> (ch & 63) & 1 == 1,
                     "movable VC {v} on a dormant channel: missed transfer"
                 );
             }
         }
-        let flagged = self.chan_on.iter().filter(|&&b| b).count();
-        assert_eq!(flagged, self.chan_list.len(), "chan_list/chan_on drifted");
-        for &ch in &self.chan_list {
-            assert!(self.chan_on[ch as usize]);
+        // Word-list discipline: the touched-word list names each nonzero
+        // word exactly once and every nonzero word is listed; the scan side
+        // is idle between steps.
+        {
+            let mut listed = vec![false; self.chan_words.len()];
+            for &w in &self.chan_word_list {
+                assert!(!listed[w as usize], "duplicate chan_word_list entry {w}");
+                listed[w as usize] = true;
+                assert_ne!(
+                    self.chan_words[w as usize], 0,
+                    "listed channel word {w} is zero"
+                );
+            }
+            for (w, &word) in self.chan_words.iter().enumerate() {
+                assert!(
+                    word == 0 || listed[w],
+                    "nonzero channel word {w} missing from chan_word_list"
+                );
+            }
+            assert!(self.chan_scan.iter().all(|&w| w == 0));
+            assert!(self.chan_scan_list.is_empty());
         }
 
-        // Dirty-mark discipline: each VC at most once per window (the
-        // generation stamps), and every occupancy that diverged from the
+        // Dirty-mark discipline: the dirty words cover exactly the listed
+        // word indices, and every occupancy that diverged from the
         // `occ_start` snapshot carries a mark (no missed patch).
         {
-            let mut seen = vec![false; self.num_vcs()];
-            for &v in &self.occ_dirty {
-                assert!(!seen[v as usize], "duplicate occ_dirty mark for VC {v}");
-                seen[v as usize] = true;
-                assert_eq!(
-                    self.occ_mark[v as usize], self.occ_gen,
-                    "dirty VC {v} not stamped with the current generation"
+            let mut listed = vec![false; self.occ_dirty_words.len()];
+            for &w in &self.occ_dirty_list {
+                assert!(!listed[w as usize], "duplicate occ_dirty_list entry {w}");
+                listed[w as usize] = true;
+                assert_ne!(
+                    self.occ_dirty_words[w as usize], 0,
+                    "listed dirty word {w} is zero"
+                );
+            }
+            for (w, &word) in self.occ_dirty_words.iter().enumerate() {
+                assert!(
+                    word == 0 || listed[w],
+                    "nonzero dirty word {w} missing from occ_dirty_list"
                 );
             }
             for (v, &occ) in self.vc_occ.iter().enumerate() {
-                if !seen[v] {
+                if self.occ_dirty_words[v >> 6] >> (v & 63) & 1 == 0 {
                     assert_eq!(
                         self.occ_start[v], occ,
                         "VC {v} occupancy diverged from occ_start without a dirty mark"
