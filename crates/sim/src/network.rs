@@ -285,6 +285,9 @@ pub struct Network {
     /// Indices of nonzero words in [`Self::occ_dirty_words`] (pushed on
     /// each word's 0 → nonzero transition).
     occ_dirty_list: Vec<u32>,
+    /// Transfer decide-pass output buffers, one per decide partition
+    /// (always at least one; drained by the apply pass each cycle).
+    xfer_bufs: Vec<MoveBuf>,
     /// Slots the release phase must visit this cycle (unordered; sorted).
     release_check: Vec<u32>,
     /// Slots whose release visit is deferred to the next cycle: the dense
@@ -337,6 +340,107 @@ pub(crate) fn compute_candidates(
     buf.clear();
     routing.candidates(topo, vcs_per, ctx, buf);
     buf.retain(|c| !failed[c.channel.idx()]);
+}
+
+/// One decided flit movement, produced by the pure transfer-decision pass
+/// and executed by the canonical apply pass: VC `v` (owned by message slot
+/// `owner`) gains a flit that comes from VC `prev`, or from the source
+/// queue when `prev == FROM_SOURCE`.
+#[derive(Clone, Copy, Debug)]
+struct Move {
+    v: u32,
+    owner: u32,
+    prev: u32,
+}
+
+/// Output buffer of one transfer-decision pass: the decided moves in
+/// ascending channel order, plus the channels whose sender was frozen (a
+/// fault stall) and must stay on the active list. One buffer per decide
+/// partition; the apply pass drains them in partition order, which keeps
+/// the overall apply sequence ascending in channel id regardless of how
+/// many partitions decided.
+#[derive(Debug, Default)]
+struct MoveBuf {
+    moves: Vec<Move>,
+    stalled: Vec<u32>,
+}
+
+/// Read-only view of everything the transfer-decision pass consumes. All
+/// inputs are start-of-cycle state (`occ_start` is the occupancy snapshot;
+/// `link_rr`, `msg_uninjected`, ownership and feed caches are unmodified
+/// during deciding), so decisions are independent per channel: deciding a
+/// channel set in any partitioning yields the same moves, which is what
+/// makes the opt-in parallel decide digest-identical to the serial one.
+struct TransferCtx<'a> {
+    topo: &'a KAryNCube,
+    occ_start: &'a [u16],
+    vc_owner: &'a [u32],
+    vc_feed: &'a [u32],
+    msg_uninjected: &'a [u32],
+    owned_per_channel: &'a [u16],
+    link_rr: &'a [u8],
+    stall_until: &'a [u64],
+    chan_scan: &'a [u64],
+    fault_mode: bool,
+    cycle: u64,
+    vcs_per: usize,
+    depth: u16,
+}
+
+/// Pure transfer-decision pass over `list` (sorted indices of nonzero
+/// words in `ctx.chan_scan`): for each active channel, pick the one VC
+/// that carries a flit this cycle (round-robin tie-break, start-of-cycle
+/// occupancies) and record the move. Mutates nothing but `out`.
+fn decide_transfers(ctx: &TransferCtx<'_>, list: &[u32], out: &mut MoveBuf) {
+    for &w in list {
+        let mut word = ctx.chan_scan[w as usize];
+        let wbase = (w as usize) << 6;
+        while word != 0 {
+            let ch = wbase + word.trailing_zeros() as usize;
+            word &= word - 1;
+            if ctx.owned_per_channel[ch] == 0 {
+                continue;
+            }
+            if ctx.fault_mode
+                && ctx.cycle < ctx.stall_until[ctx.topo.channel(ChannelId(ch as u32)).src.idx()]
+            {
+                // Frozen sender: nothing moves, but pending movement must
+                // survive the stall — keep the channel on the active list.
+                out.stalled.push(ch as u32);
+                continue;
+            }
+            let base = ch * ctx.vcs_per;
+            let start = ctx.link_rr[ch] as usize;
+            for i in 0..ctx.vcs_per {
+                let off = (start + i) % ctx.vcs_per;
+                let v = base + off;
+                let owner = ctx.vc_owner[v];
+                if owner == NO_OWNER || ctx.occ_start[v] >= ctx.depth {
+                    continue;
+                }
+                // The feed cache mirrors the owner's chain, so the movement
+                // decision touches only the dense per-VC vectors — never
+                // the message slab (the dense stepper still walks chains,
+                // which keeps the differential tests validating the cache).
+                let feed = ctx.vc_feed[v];
+                let moved = if feed == FROM_SOURCE {
+                    // Chain front: flits arrive from the source.
+                    ctx.msg_uninjected[owner as usize] > 0
+                } else {
+                    ctx.occ_start[feed as usize] >= 1
+                };
+                if !moved {
+                    continue;
+                }
+                out.moves.push(Move {
+                    v: v as u32,
+                    owner,
+                    prev: feed,
+                });
+                break;
+            }
+        }
+    }
 }
 
 impl Network {
@@ -400,6 +504,7 @@ impl Network {
             drain_idx: Vec::new(),
             occ_dirty_words: vec![0; n_vcs.div_ceil(64)],
             occ_dirty_list: Vec::new(),
+            xfer_bufs: vec![MoveBuf::default()],
             release_check: Vec::new(),
             release_deferred: Vec::new(),
             release_flag: vec![],
@@ -1828,79 +1933,67 @@ impl Network {
         std::mem::swap(&mut self.chan_words, &mut self.chan_scan);
         std::mem::swap(&mut self.chan_word_list, &mut self.chan_scan_list);
         self.chan_scan_list.sort_unstable();
+
+        // Decide: a pure pass over the active channels (start-of-cycle
+        // state only) that records the winning move per channel. The
+        // buffers come back in ascending channel order.
+        let mut bufs = std::mem::take(&mut self.xfer_bufs);
+        {
+            let ctx = TransferCtx {
+                topo: &self.topo,
+                occ_start: &self.occ_start,
+                vc_owner: &self.vc_owner,
+                vc_feed: &self.vc_feed,
+                msg_uninjected: &self.msg_uninjected,
+                owned_per_channel: &self.owned_per_channel,
+                link_rr: &self.link_rr,
+                stall_until: &self.stall_until,
+                chan_scan: &self.chan_scan,
+                fault_mode: self.fault_mode,
+                cycle: self.cycle,
+                vcs_per,
+                depth,
+            };
+            decide_transfers(&ctx, &self.chan_scan_list, &mut bufs[0]);
+        }
+        // The scan set is consumed; hand back an all-zero side for the
+        // next swap.
         for k in 0..self.chan_scan_list.len() {
             let w = self.chan_scan_list[k] as usize;
-            let mut word = self.chan_scan[w];
             self.chan_scan[w] = 0;
-            let wbase = w << 6;
-            while word != 0 {
-                let ch = wbase + word.trailing_zeros() as usize;
-                word &= word - 1;
-                if self.owned_per_channel[ch] == 0 {
-                    continue;
+        }
+        self.chan_scan_list.clear();
+
+        // Apply: execute the decided moves in buffer order (ascending
+        // channel id), performing every state mutation the decisions
+        // imply. Identical regardless of how the decide pass was
+        // partitioned.
+        for b in 0..bufs.len() {
+            let buf = &mut bufs[b];
+            for &ch in &buf.stalled {
+                self.activate_channel(ch as usize);
+            }
+            buf.stalled.clear();
+            for k in 0..buf.moves.len() {
+                let Move { v, owner, prev } = buf.moves[k];
+                let vi = v as usize;
+                let ch = vi / vcs_per;
+                self.vc_occ[vi] += 1;
+                self.mark_occ_dirty(v);
+                events.link_flits += 1;
+                self.link_rr[ch] = ((vi % vcs_per + 1) % vcs_per) as u8;
+                // The served link stays active (round-robin fairness); the
+                // fed VC may now feed its chain successor; the drained
+                // upstream VC regained buffer space.
+                self.activate_channel(ch);
+                let succ = self.vc_next[vi];
+                if succ != NO_OWNER {
+                    self.activate_channel(succ as usize / vcs_per);
                 }
-                if self.fault_mode
-                    && self.cycle
-                        < self.stall_until[self.topo.channel(ChannelId(ch as u32)).src.idx()]
-                {
-                    // Frozen sender: nothing moves, but pending movement must
-                    // survive the stall — keep the channel on the active list.
-                    self.activate_channel(ch);
-                    continue;
-                }
-                let base = ch * vcs_per;
-                let start = self.link_rr[ch] as usize;
-                for i in 0..vcs_per {
-                    let off = (start + i) % vcs_per;
-                    let v = base + off;
-                    let owner = self.vc_owner[v];
-                    if owner == NO_OWNER || self.occ_start[v] >= depth {
-                        continue;
-                    }
-                    // The feed cache mirrors the owner's chain, so the movement
-                    // decision touches only the dense per-VC vectors — never
-                    // the message slab (the dense stepper still walks chains,
-                    // which keeps the differential tests validating the cache).
-                    let feed = self.vc_feed[v];
-                    let (moved, prev, injection_done) = if feed == FROM_SOURCE {
-                        // Chain front: flits arrive from the source.
-                        let u = &mut self.msg_uninjected[owner as usize];
-                        if *u > 0 {
-                            *u -= 1;
-                            (true, None, *u == 0)
-                        } else {
-                            (false, None, false)
-                        }
-                    } else if self.occ_start[feed as usize] >= 1 {
-                        (true, Some(feed as usize), false)
-                    } else {
-                        (false, None, false)
-                    };
-                    if !moved {
-                        continue;
-                    }
-                    self.vc_occ[v] += 1;
-                    self.mark_occ_dirty(v as u32);
-                    events.link_flits += 1;
-                    self.link_rr[ch] = ((off + 1) % vcs_per) as u8;
-                    // The served link stays active (round-robin fairness); the
-                    // fed VC may now feed its chain successor; the drained
-                    // upstream VC regained buffer space.
-                    self.activate_channel(ch);
-                    let succ = self.vc_next[v];
-                    if succ != NO_OWNER {
-                        self.activate_channel(succ as usize / vcs_per);
-                    }
-                    if let Some(p) = prev {
-                        self.vc_occ[p] -= 1;
-                        self.mark_occ_dirty(p as u32);
-                        self.activate_channel(p / vcs_per);
-                        if self.vc_occ[p] == 0 {
-                            // Tail release may now be possible.
-                            self.mark_release(owner);
-                        }
-                    }
-                    if injection_done {
+                if prev == FROM_SOURCE {
+                    let u = &mut self.msg_uninjected[owner as usize];
+                    *u -= 1;
+                    if *u == 0 {
                         // The injection channel frees — but the dense release
                         // phase scans the start-of-cycle active set, so a
                         // message injected *this* cycle (len 1) is only
@@ -1917,11 +2010,20 @@ impl Network {
                             self.release_deferred.push(owner);
                         }
                     }
-                    break;
+                } else {
+                    let p = prev as usize;
+                    self.vc_occ[p] -= 1;
+                    self.mark_occ_dirty(prev);
+                    self.activate_channel(p / vcs_per);
+                    if self.vc_occ[p] == 0 {
+                        // Tail release may now be possible.
+                        self.mark_release(owner);
+                    }
                 }
             }
+            buf.moves.clear();
         }
-        self.chan_scan_list.clear();
+        self.xfer_bufs = bufs;
 
         // Ejection and recovery drains: one flit per cycle per message.
         for k in 0..self.drain_list.len() {
@@ -2409,6 +2511,11 @@ impl Network {
                 self.messages[slot as usize].as_ref().unwrap().phase,
                 MsgPhase::Routing
             );
+        }
+
+        // Transfer decide/apply buffers fully drained between steps.
+        for buf in &self.xfer_bufs {
+            assert!(buf.moves.is_empty() && buf.stalled.is_empty());
         }
 
         // Release work queue fully drained between steps; only deferred
