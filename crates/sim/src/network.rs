@@ -288,6 +288,21 @@ pub struct Network {
     /// Transfer decide-pass output buffers, one per decide partition
     /// (always at least one; drained by the apply pass each cycle).
     xfer_bufs: Vec<MoveBuf>,
+    /// Frozen flattened candidate-VC list per message slot. While a
+    /// message is parked nothing its routing relation reads can change
+    /// (header position, selection-policy state, and — with fault caching
+    /// disabled — the failed set), so the re-attempt after a wake reuses
+    /// this list instead of re-running the routing relation. Invalidated
+    /// on acquisition and on slot reuse; never valid in fault mode.
+    cand_cache: Vec<Vec<u32>>,
+    /// Validity flag per slot for [`Self::cand_cache`].
+    cand_cache_valid: Vec<bool>,
+    /// Frozen flattened candidate-VC list per injector node (valid while
+    /// the source-queue front is unchanged; same rules as
+    /// [`Self::cand_cache`]).
+    inj_cand_cache: Vec<Vec<u32>>,
+    /// Validity flag per node for [`Self::inj_cand_cache`].
+    inj_cand_valid: Vec<bool>,
     /// Slots the release phase must visit this cycle (unordered; sorted).
     release_check: Vec<u32>,
     /// Slots whose release visit is deferred to the next cycle: the dense
@@ -505,6 +520,10 @@ impl Network {
             occ_dirty_words: vec![0; n_vcs.div_ceil(64)],
             occ_dirty_list: Vec::new(),
             xfer_bufs: vec![MoveBuf::default()],
+            cand_cache: Vec::new(),
+            cand_cache_valid: Vec::new(),
+            inj_cand_cache: vec![Vec::new(); n_nodes],
+            inj_cand_valid: vec![false; n_nodes],
             release_check: Vec::new(),
             release_deferred: Vec::new(),
             release_flag: vec![],
@@ -1057,26 +1076,51 @@ impl Network {
             return InjectOutcome::EmptyQueue;
         };
         let src = NodeId(node as u32);
-        compute_candidates(
-            &self.topo,
-            &*self.routing,
-            self.cfg.vcs_per_channel,
-            &self.failed,
-            &RoutingCtx::fresh(src, dst, src),
-            &mut self.cand_buf,
-        );
-        if self.fault_mode && self.cand_buf.is_empty() {
-            // First hop unroutable under the active fault set: reject at
-            // the source (counted; the message never enters the network).
-            self.source_q[node].pop_front();
-            self.total_fault_rejected += 1;
-            events.fault_rejected += 1;
-            return InjectOutcome::Rejected;
-        }
-        let Some(vc_idx) = first_free_vc(&self.vc_owner, self.cfg.vcs_per_channel, &self.cand_buf)
-        else {
+        let free = if self.inj_cand_valid[node] {
+            // Frozen candidates: the queue front (and everything the
+            // routing relation reads for a fresh injection) is unchanged
+            // since this set was computed, so skip the relation and scan
+            // the flattened list. Same nested order as `first_free_vc`
+            // over the recomputed set, so the same VC wins.
+            self.inj_cand_cache[node]
+                .iter()
+                .copied()
+                .find(|&v| self.vc_owner[v as usize] == NO_OWNER)
+        } else {
+            compute_candidates(
+                &self.topo,
+                &*self.routing,
+                self.cfg.vcs_per_channel,
+                &self.failed,
+                &RoutingCtx::fresh(src, dst, src),
+                &mut self.cand_buf,
+            );
+            if self.fault_mode && self.cand_buf.is_empty() {
+                // First hop unroutable under the active fault set: reject at
+                // the source (counted; the message never enters the network).
+                self.source_q[node].pop_front();
+                self.total_fault_rejected += 1;
+                events.fault_rejected += 1;
+                return InjectOutcome::Rejected;
+            }
+            first_free_vc(&self.vc_owner, self.cfg.vcs_per_channel, &self.cand_buf)
+        };
+        let Some(vc_idx) = free else {
+            if !self.fault_mode && !self.inj_cand_valid[node] {
+                // Freeze the flattened set for re-attempts while parked.
+                let vcs_per = self.cfg.vcs_per_channel;
+                self.inj_cand_cache[node].clear();
+                for c in &self.cand_buf {
+                    let base = c.channel.idx() * vcs_per;
+                    for v in c.vcs.iter() {
+                        self.inj_cand_cache[node].push((base + v) as u32);
+                    }
+                }
+                self.inj_cand_valid[node] = true;
+            }
             return InjectOutcome::NoFreeVc;
         };
+        self.inj_cand_valid[node] = false;
 
         {
             self.source_q[node].pop_front();
@@ -1150,7 +1194,13 @@ impl Network {
                 self.msg_watches.resize_with(n, Vec::new);
                 self.msg_uninjected.resize(n, 0);
                 self.slot_id.resize(n, 0);
+                self.cand_cache.resize_with(n, Vec::new);
+                self.cand_cache_valid.resize(n, false);
             }
+            // A recycled slot may carry a stale frozen candidate set from
+            // its previous occupant (e.g. one pulled into recovery while
+            // parked); the new message must start uncached.
+            self.cand_cache_valid[slot as usize] = false;
             self.msg_uninjected[slot as usize] = len;
             self.slot_id[slot as usize] = id;
             self.active_idx[slot as usize] = self.active.len() as u32;
@@ -1630,6 +1680,27 @@ impl Network {
         self.cand_buf = cand_buf;
     }
 
+    /// Parks a waiter on every VC of its frozen candidate list — the
+    /// cached-path twin of [`Self::park_on_candidates`] (`idx` is a
+    /// message slot, or a node when `injector` is set).
+    fn park_on_cached(&mut self, idx: u32, injector: bool) {
+        let list = if injector {
+            std::mem::take(&mut self.inj_cand_cache[idx as usize])
+        } else {
+            std::mem::take(&mut self.cand_cache[idx as usize])
+        };
+        let waiter = if injector { INJECTOR | idx } else { idx };
+        for &v in &list {
+            debug_assert_ne!(self.vc_owner[v as usize], NO_OWNER);
+            self.watch(waiter, v);
+        }
+        if injector {
+            self.inj_cand_cache[idx as usize] = list;
+        } else {
+            self.cand_cache[idx as usize] = list;
+        }
+    }
+
     /// Folds messages woken since the last allocation phase back into the
     /// id-sorted allocation queue (two-pointer merge).
     fn merge_woken(&mut self) {
@@ -1708,7 +1779,11 @@ impl Network {
                 }
                 InjectOutcome::NoFreeVc => {
                     self.inj_state[n] = InjState::Parked;
-                    self.park_on_candidates(INJECTOR | node);
+                    if self.inj_cand_valid[n] {
+                        self.park_on_cached(node, true);
+                    } else {
+                        self.park_on_candidates(INJECTOR | node);
+                    }
                     return;
                 }
             }
@@ -1816,18 +1891,34 @@ impl Network {
             return false;
         }
 
+        let cached = self.cand_cache_valid[s];
         let acquired = {
             let msg = self.messages[s].as_mut().expect("queued slot");
-            compute_candidates(
-                &self.topo,
-                &*self.routing,
-                self.cfg.vcs_per_channel,
-                &self.failed,
-                &ctx_of(msg, here),
-                &mut self.cand_buf,
-            );
-            match first_free_vc(&self.vc_owner, self.cfg.vcs_per_channel, &self.cand_buf) {
+            let free = if cached {
+                // Frozen candidates: while parked, nothing the routing
+                // relation reads changed (header position and policy state
+                // are frozen, and fault caching is disabled), so scan the
+                // flattened list in the same nested order `first_free_vc`
+                // would use over the recomputed set.
+                debug_assert!(msg.blocked, "cached candidates imply a parked episode");
+                self.cand_cache[s]
+                    .iter()
+                    .copied()
+                    .find(|&v| self.vc_owner[v as usize] == NO_OWNER)
+            } else {
+                compute_candidates(
+                    &self.topo,
+                    &*self.routing,
+                    self.cfg.vcs_per_channel,
+                    &self.failed,
+                    &ctx_of(msg, here),
+                    &mut self.cand_buf,
+                );
+                first_free_vc(&self.vc_owner, self.cfg.vcs_per_channel, &self.cand_buf)
+            };
+            match free {
                 Some(vc_idx) => {
+                    self.cand_cache_valid[s] = false;
                     if msg.blocked {
                         self.blocked_ctr -= 1;
                     }
@@ -1883,12 +1974,30 @@ impl Network {
             }
             None => {
                 self.alloc_state[s] = AllocState::Parked;
-                self.park_on_candidates(slot);
-                if self.fault_mode && self.cand_buf.is_empty() {
-                    // Unroutable under the active fault set (parked with no
-                    // watches): resolved at the start of the next cycle.
-                    let id = self.messages[s].as_ref().expect("queued slot").id;
-                    self.stranded.push((slot, id));
+                if cached {
+                    self.park_on_cached(slot, false);
+                } else {
+                    self.park_on_candidates(slot);
+                    if self.fault_mode {
+                        if self.cand_buf.is_empty() {
+                            // Unroutable under the active fault set (parked
+                            // with no watches): resolved at the start of the
+                            // next cycle.
+                            let id = self.messages[s].as_ref().expect("queued slot").id;
+                            self.stranded.push((slot, id));
+                        }
+                    } else {
+                        // Freeze the flattened set for re-attempts.
+                        let vcs_per = self.cfg.vcs_per_channel;
+                        self.cand_cache[s].clear();
+                        for c in &self.cand_buf {
+                            let base = c.channel.idx() * vcs_per;
+                            for v in c.vcs.iter() {
+                                self.cand_cache[s].push((base + v) as u32);
+                            }
+                        }
+                        self.cand_cache_valid[s] = true;
+                    }
                 }
                 false
             }
@@ -2374,6 +2483,23 @@ impl Network {
                             n_cand_vcs,
                             "watch set does not match candidate set"
                         );
+                        if !self.fault_mode {
+                            assert!(
+                                self.cand_cache_valid[s],
+                                "parked message without frozen candidates"
+                            );
+                            let flat: Vec<u32> = cand
+                                .iter()
+                                .flat_map(|c| {
+                                    let base = c.channel.idx() * vcs_per;
+                                    c.vcs.iter().map(move |v| (base + v) as u32)
+                                })
+                                .collect();
+                            assert_eq!(
+                                self.cand_cache[s], flat,
+                                "frozen candidate set diverged from recompute"
+                            );
+                        }
                     }
                 }
                 AllocState::Inactive => panic!("routing message {} inactive", msg.id),
@@ -2427,6 +2553,23 @@ impl Network {
                         }
                     }
                     assert_eq!(self.inj_watches[node].len(), n_cand_vcs);
+                    if !self.fault_mode {
+                        assert!(
+                            self.inj_cand_valid[node],
+                            "parked injector without frozen candidates"
+                        );
+                        let flat: Vec<u32> = cand
+                            .iter()
+                            .flat_map(|c| {
+                                let base = c.channel.idx() * vcs_per;
+                                c.vcs.iter().map(move |v| (base + v) as u32)
+                            })
+                            .collect();
+                        assert_eq!(
+                            self.inj_cand_cache[node], flat,
+                            "frozen injector candidate set diverged from recompute"
+                        );
+                    }
                 }
             }
         }
