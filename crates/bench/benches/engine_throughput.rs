@@ -9,8 +9,14 @@
 //! table and written to `BENCH_engine.json`.
 //!
 //! Run with `cargo bench -p icn-bench --bench engine_throughput`. Exits
-//! non-zero if any digest diverges; throughput checks are reported as
-//! PASS/FAIL but do not fail the process (wall-clock noise).
+//! non-zero if any digest diverges, or if the saturation speedup ratio
+//! regresses more than 20% below the committed `BENCH_engine.json`
+//! baseline (ratios are machine-normalized, so this survives CI-runner
+//! variance); the remaining throughput checks are reported as PASS/FAIL
+//! but do not fail the process (wall-clock noise).
+//!
+//! `ICN_BENCH_QUICK=1` shrinks the verify/measure windows for CI smoke
+//! runs (~seconds instead of ~minutes).
 
 use std::fmt::Write as _;
 use std::time::Instant;
@@ -33,9 +39,47 @@ struct Case {
 }
 
 const MSG_LEN: usize = 32;
-const VERIFY_CYCLES: u64 = 4_000;
-const MEASURE_CYCLES: u64 = 40_000;
-const REPS: usize = 3;
+
+/// Window sizes, shrunk by `ICN_BENCH_QUICK=1` for CI smoke runs.
+#[derive(Clone, Copy)]
+struct Windows {
+    verify_cycles: u64,
+    measure_cycles: u64,
+    reps: usize,
+}
+
+fn quick_mode() -> bool {
+    std::env::var("ICN_BENCH_QUICK").is_ok_and(|v| !v.is_empty() && v != "0")
+}
+
+fn windows() -> Windows {
+    if quick_mode() {
+        Windows {
+            verify_cycles: 1_500,
+            measure_cycles: 8_000,
+            reps: 2,
+        }
+    } else {
+        Windows {
+            verify_cycles: 4_000,
+            measure_cycles: 40_000,
+            reps: 3,
+        }
+    }
+}
+
+/// The committed baseline (and output) lives at the repo root, not in
+/// the bench crate's CWD. Quick mode measures a shorter window — the
+/// saturation backlog is shallower, so its speedup ratio is a different
+/// (also deterministic) number — and therefore keeps its own baseline
+/// so the regression gate always compares like-for-like.
+fn baseline_path() -> &'static str {
+    if quick_mode() {
+        concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_engine_quick.json")
+    } else {
+        concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_engine.json")
+    }
+}
 
 fn cases() -> Vec<Case> {
     vec![
@@ -124,13 +168,13 @@ fn fold(acc: &mut (u64, u64, u64), ev: &StepEvents) {
 
 /// Lockstep differential over the verify window: identical per-cycle
 /// events, identical digests.
-fn verify(case: &Case) -> bool {
+fn verify(case: &Case, w: Windows) -> bool {
     let (mut a, injector, mut rng_a) = build(case);
     let (mut b, _, mut rng_b) = build(case);
     let topo = a.topology().clone();
     let mut fa = (0, 0, 0);
     let mut fb = (0, 0, 0);
-    for cycle in 0..VERIFY_CYCLES {
+    for cycle in 0..w.verify_cycles {
         offer_traffic(&mut a, &topo, &injector, &mut rng_a);
         offer_traffic(&mut b, &topo, &injector, &mut rng_b);
         let ea = a.step();
@@ -154,10 +198,10 @@ fn verify(case: &Case) -> bool {
     true
 }
 
-/// Steady-state cycles per second for one engine; best of [`REPS`] runs.
-fn time_engine(case: &Case, dense: bool) -> f64 {
+/// Steady-state cycles per second for one engine; best of `w.reps` runs.
+fn time_engine(case: &Case, dense: bool, w: Windows) -> f64 {
     let mut best = 0.0f64;
-    for _ in 0..REPS {
+    for _ in 0..w.reps {
         let (mut net, injector, mut rng) = build(case);
         let topo = net.topology().clone();
         for _ in 0..case.warmup {
@@ -169,7 +213,7 @@ fn time_engine(case: &Case, dense: bool) -> f64 {
             }
         }
         let start = Instant::now();
-        for _ in 0..MEASURE_CYCLES {
+        for _ in 0..w.measure_cycles {
             offer_traffic(&mut net, &topo, &injector, &mut rng);
             if dense {
                 net.step_reference();
@@ -177,26 +221,46 @@ fn time_engine(case: &Case, dense: bool) -> f64 {
                 net.step();
             }
         }
-        let cps = MEASURE_CYCLES as f64 / start.elapsed().as_secs_f64();
+        let cps = w.measure_cycles as f64 / start.elapsed().as_secs_f64();
         best = best.max(cps);
     }
     best
 }
 
+/// Pulls `"speedup": <x>` out of the saturation row of a committed
+/// `BENCH_engine.json` (a fixed format we also write, so a two-line
+/// scan beats a JSON parser here).
+fn baseline_saturation_speedup(json: &str) -> Option<f64> {
+    let row = json
+        .lines()
+        .find(|l| l.contains("\"name\": \"saturation\""))?;
+    let tail = row.split("\"speedup\": ").nth(1)?;
+    tail.split(|c: char| c != '.' && c != '-' && !c.is_ascii_digit())
+        .next()?
+        .parse()
+        .ok()
+}
+
 fn main() {
+    let w = windows();
+    let baseline = std::fs::read_to_string(baseline_path())
+        .ok()
+        .as_deref()
+        .and_then(baseline_saturation_speedup);
     println!("== engine throughput: activity stepper vs dense reference ==");
     println!(
-        "   8-ary 2-cube, {MSG_LEN}-flit messages; verify {VERIFY_CYCLES} cycles, \
-         measure {MEASURE_CYCLES} cycles x {REPS} reps\n"
+        "   8-ary 2-cube, {MSG_LEN}-flit messages; verify {} cycles, \
+         measure {} cycles x {} reps\n",
+        w.verify_cycles, w.measure_cycles, w.reps
     );
 
     let mut rows = Vec::new();
     let mut all_match = true;
     for case in cases() {
-        let matched = verify(&case);
+        let matched = verify(&case, w);
         all_match &= matched;
-        let dense = time_engine(&case, true);
-        let activity = time_engine(&case, false);
+        let dense = time_engine(&case, true, w);
+        let activity = time_engine(&case, false, w);
         let speedup = activity / dense;
         println!(
             "{:>14}  dense {:>12.0} cyc/s   activity {:>12.0} cyc/s   speedup {:>5.2}x   digest {}",
@@ -227,11 +291,30 @@ fn main() {
         "  [{}] identical digests vs dense reference on all configs",
         if all_match { "PASS" } else { "FAIL" },
     );
+    let sat = find("saturation");
+    let sat_regressed = match baseline {
+        Some(b) => {
+            let ok = sat.3 >= 0.8 * b;
+            println!(
+                "  [{}] saturation speedup within 20% of committed baseline \
+                 (measured {:.2}x vs baseline {:.2}x)",
+                if ok { "PASS" } else { "FAIL" },
+                sat.3,
+                b
+            );
+            !ok
+        }
+        None => {
+            println!("  [SKIP] no committed baseline to compare saturation speedup against");
+            false
+        }
+    };
 
     let mut json = String::from("{\n  \"bench\": \"engine_throughput\",\n");
     let _ = write!(
         json,
-        "  \"verify_cycles\": {VERIFY_CYCLES},\n  \"measure_cycles\": {MEASURE_CYCLES},\n  \"configs\": [\n"
+        "  \"verify_cycles\": {},\n  \"measure_cycles\": {},\n  \"configs\": [\n",
+        w.verify_cycles, w.measure_cycles
     );
     for (i, (name, dense, activity, speedup, matched)) in rows.iter().enumerate() {
         let _ = writeln!(
@@ -243,13 +326,17 @@ fn main() {
         );
     }
     json.push_str("  ]\n}\n");
-    match std::fs::write("BENCH_engine.json", &json) {
-        Ok(()) => println!("\nwrote BENCH_engine.json"),
-        Err(e) => eprintln!("\ncannot write BENCH_engine.json: {e}"),
+    match std::fs::write(baseline_path(), &json) {
+        Ok(()) => println!("\nwrote {}", baseline_path()),
+        Err(e) => eprintln!("\ncannot write {}: {e}", baseline_path()),
     }
 
     if !all_match {
         eprintln!("engine digest mismatch — the activity stepper is wrong");
+        std::process::exit(1);
+    }
+    if sat_regressed {
+        eprintln!("saturation speedup regressed more than 20% vs the committed baseline");
         std::process::exit(1);
     }
 }

@@ -693,6 +693,7 @@ pub(crate) fn config_to_json(cfg: &RunConfig) -> Json {
             },
         ),
         ("faults", crate::faults::plan_to_json(&cfg.faults)),
+        ("transfer_threads", Json::U64(cfg.transfer_threads as u64)),
         (
             "stall_threshold",
             match cfg.stall_threshold {
@@ -748,6 +749,15 @@ pub(crate) fn config_from_json(v: &Json) -> Result<RunConfig, ParseError> {
         seed: get_u64(v, "seed")?,
         forensics,
         faults: crate::faults::plan_from_json(get(v, "faults")?)?,
+        // Absent in records written before the knob existed; the serial
+        // engine is the semantic default either way.
+        transfer_threads: match get(v, "transfer_threads") {
+            Ok(j) => {
+                j.as_u64()
+                    .ok_or_else(|| bad("`transfer_threads` must be u64"))? as usize
+            }
+            Err(_) => 1,
+        },
         stall_threshold: match get(v, "stall_threshold")? {
             Json::Null => None,
             j => Some(

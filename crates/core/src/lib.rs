@@ -113,6 +113,11 @@ pub struct RunConfig {
     /// Scheduled fault injection (link outages, router stalls, injector
     /// failures). An empty plan is byte-identical to no plan.
     pub faults: FaultPlan,
+    /// Decide partitions for the engine's transfer phase (see
+    /// [`icn_sim::Network::set_transfer_threads`]). 1 = serial fused
+    /// walk; values above 1 take effect only when the `parallel` cargo
+    /// feature is enabled, and produce byte-identical results either way.
+    pub transfer_threads: usize,
     /// Progress watchdog: when `Some(t)`, a run that makes no progress
     /// (no injection, link movement, drain, delivery, recovery start, or
     /// fault accounting) for `t` consecutive cycles ends early with
@@ -145,6 +150,7 @@ impl RunConfig {
             seed: 0x5ca1ab1e,
             forensics: None,
             faults: FaultPlan::new(),
+            transfer_threads: 1,
             stall_threshold: None,
         }
     }

@@ -145,6 +145,7 @@ fn run_impl(cfg: &RunConfig, obs: &mut dyn RunObserver, stepper: Stepper) -> Run
     }
     cfg.len_dist.validate();
     let mut net = Network::new(topo.clone(), cfg.routing.build(), cfg.sim);
+    net.set_transfer_threads(cfg.transfer_threads);
     if !cfg.faults.is_empty() {
         net.set_fault_plan(&cfg.faults);
     }

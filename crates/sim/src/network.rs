@@ -265,29 +265,34 @@ pub struct Network {
     /// raised while it walks (occupancy triggers) accumulate here for the
     /// next cycle.
     chan_words: Vec<u64>,
-    /// Indices of nonzero words in [`Self::chan_words`] (each pushed once,
-    /// on the word's 0 → nonzero transition), so sparse cycles walk only
-    /// the touched words.
-    chan_word_list: Vec<u32>,
     /// Scratch the transfer phase drains: all-zero between cycles.
     chan_scan: Vec<u64>,
-    /// Word-index scratch paired with [`Self::chan_scan`].
-    chan_scan_list: Vec<u32>,
     /// Ejecting / recovering slots, each draining one flit per cycle.
     drain_list: Vec<u32>,
     /// Slot → index in [`Self::drain_list`], or [`NO_OWNER`].
     drain_idx: Vec<u32>,
+    /// Head VC of `drain_list[k]`, cached at drain start (a draining
+    /// message never acquires, so its chain back is fixed): the common
+    /// starved-head case is decided without touching the message slab.
+    drain_head: Vec<u32>,
     /// Dirty-occupancy bitset: bit `v % 64` of word `v / 64` marks a VC
     /// whose occupancy diverged from `occ_start` since the last sync.
     /// Bit-idempotent, so a VC that changes occupancy several times in one
     /// cycle carries exactly one mark.
     occ_dirty_words: Vec<u64>,
-    /// Indices of nonzero words in [`Self::occ_dirty_words`] (pushed on
-    /// each word's 0 → nonzero transition).
-    occ_dirty_list: Vec<u32>,
     /// Transfer decide-pass output buffers, one per decide partition
     /// (always at least one; drained by the apply pass each cycle).
     xfer_bufs: Vec<MoveBuf>,
+    /// Decide partitions for the transfer phase. 1 = serial fused walk
+    /// (the fast path); >1 (only reachable with the `parallel` cargo
+    /// feature) fans the pure decide pass out over contiguous word ranges
+    /// of the active-channel bitset on scoped threads, then applies the
+    /// decided moves serially in canonical (ascending channel) order.
+    transfer_threads: usize,
+    /// VC index → physical channel index. `vcs_per_channel` is a runtime
+    /// value, so `v / vcs_per` in the per-move hot loops would compile to
+    /// a hardware divide; this table is small enough to stay L1-resident.
+    vc_chan: Vec<u32>,
     /// Frozen flattened candidate-VC list per message slot. While a
     /// message is parked nothing its routing relation reads can change
     /// (header position, selection-policy state, and — with fault caching
@@ -402,14 +407,16 @@ struct TransferCtx<'a> {
     depth: u16,
 }
 
-/// Pure transfer-decision pass over `list` (sorted indices of nonzero
-/// words in `ctx.chan_scan`): for each active channel, pick the one VC
-/// that carries a flit this cycle (round-robin tie-break, start-of-cycle
-/// occupancies) and record the move. Mutates nothing but `out`.
-fn decide_transfers(ctx: &TransferCtx<'_>, list: &[u32], out: &mut MoveBuf) {
-    for &w in list {
-        let mut word = ctx.chan_scan[w as usize];
-        let wbase = (w as usize) << 6;
+/// Pure transfer-decision pass over the word range `words` of
+/// `ctx.chan_scan`: for each active channel, pick the one VC that carries
+/// a flit this cycle (round-robin tie-break, start-of-cycle occupancies)
+/// and record the move. Mutates nothing but `out`, so disjoint word
+/// ranges can be decided concurrently and their buffers concatenated in
+/// range order for a canonical apply.
+fn decide_transfers(ctx: &TransferCtx<'_>, words: std::ops::Range<usize>, out: &mut MoveBuf) {
+    for w in words {
+        let mut word = ctx.chan_scan[w];
+        let wbase = w << 6;
         while word != 0 {
             let ch = wbase + word.trailing_zeros() as usize;
             word &= word - 1;
@@ -427,7 +434,12 @@ fn decide_transfers(ctx: &TransferCtx<'_>, list: &[u32], out: &mut MoveBuf) {
             let base = ch * ctx.vcs_per;
             let start = ctx.link_rr[ch] as usize;
             for i in 0..ctx.vcs_per {
-                let off = (start + i) % ctx.vcs_per;
+                // `start + i < 2 * vcs_per`, so one conditional subtract
+                // replaces a hardware divide (`vcs_per` is not a constant).
+                let mut off = start + i;
+                if off >= ctx.vcs_per {
+                    off -= ctx.vcs_per;
+                }
                 let v = base + off;
                 let owner = ctx.vc_owner[v];
                 if owner == NO_OWNER || ctx.occ_start[v] >= ctx.depth {
@@ -512,14 +524,16 @@ impl Network {
             msg_watches: Vec::new(),
             inj_watches: vec![Vec::new(); n_nodes],
             chan_words: vec![0; topo.num_channels().div_ceil(64)],
-            chan_word_list: Vec::new(),
             chan_scan: vec![0; topo.num_channels().div_ceil(64)],
-            chan_scan_list: Vec::new(),
             drain_list: Vec::new(),
             drain_idx: Vec::new(),
+            drain_head: Vec::new(),
             occ_dirty_words: vec![0; n_vcs.div_ceil(64)],
-            occ_dirty_list: Vec::new(),
             xfer_bufs: vec![MoveBuf::default()],
+            transfer_threads: 1,
+            vc_chan: (0..n_vcs)
+                .map(|v| (v / cfg.vcs_per_channel) as u32)
+                .collect(),
             cand_cache: Vec::new(),
             cand_cache_valid: Vec::new(),
             inj_cand_cache: vec![Vec::new(); n_nodes],
@@ -645,6 +659,28 @@ impl Network {
             );
         }
         self.failed[ch.idx()] = true;
+    }
+
+    /// Sets the number of decide partitions for the activity transfer
+    /// phase. With the `parallel` cargo feature, values above 1 fan the
+    /// pure transfer-decision pass out over `n` contiguous word ranges of
+    /// the active-channel bitset on scoped OS threads; the apply pass
+    /// stays serial and canonical (ascending channel order), so every
+    /// observable — events, traces, counters, digests — is byte-identical
+    /// to the single-threaded engine. Without the feature the call is a
+    /// no-op (the engine stays serial); fault-mode instances always
+    /// decide serially regardless. Threads are scoped per cycle, so this
+    /// pays off only when per-cycle decide work is large relative to
+    /// spawn cost (big networks at deep saturation).
+    pub fn set_transfer_threads(&mut self, n: usize) {
+        if cfg!(feature = "parallel") {
+            self.transfer_threads = n.max(1);
+        }
+    }
+
+    /// Current decide-partition count for the transfer phase.
+    pub fn transfer_threads(&self) -> usize {
+        self.transfer_threads
     }
 
     // ------------------------------------------------------------------
@@ -860,14 +896,13 @@ impl Network {
                 self.inj_ready.push(node as u32);
             }
         }
-        let vcs_per = self.vcs_per();
         for &v in &chain {
             debug_assert_eq!(self.vc_owner[v as usize], slot);
             self.vc_owner[v as usize] = NO_OWNER;
             self.vc_occ[v as usize] = 0;
             self.vc_feed[v as usize] = NO_OWNER;
             self.vc_next[v as usize] = NO_OWNER;
-            self.owned_per_channel[v as usize / vcs_per] -= 1;
+            self.owned_per_channel[self.vc_chan[v as usize] as usize] -= 1;
             if self.mode != StepMode::Dense {
                 self.mark_occ_dirty(v);
                 self.wake_resource(v);
@@ -1453,6 +1488,7 @@ impl Network {
         let di = self.drain_idx[slot as usize];
         if di != NO_OWNER {
             self.drain_list.swap_remove(di as usize);
+            self.drain_head.swap_remove(di as usize);
             if let Some(&moved) = self.drain_list.get(di as usize) {
                 self.drain_idx[moved as usize] = di;
             }
@@ -1551,25 +1587,20 @@ impl Network {
     /// Records that VC `v`'s occupancy diverged from `occ_start`
     /// (idempotent: setting an already-set bit is a no-op, so a VC whose
     /// occupancy changes several times per cycle is patched once).
+    ///
+    /// Branchless on purpose: this and [`Self::activate_channel`] run
+    /// several times per moved flit, and the word arrays are small enough
+    /// (`n / 64` entries) that the patch/scan loops walk every word
+    /// unconditionally rather than maintaining touched-word lists.
     #[inline]
     fn mark_occ_dirty(&mut self, v: u32) {
-        let w = (v >> 6) as usize;
-        let word = &mut self.occ_dirty_words[w];
-        if *word == 0 {
-            self.occ_dirty_list.push(w as u32);
-        }
-        *word |= 1 << (v & 63);
+        self.occ_dirty_words[(v >> 6) as usize] |= 1 << (v & 63);
     }
 
     /// Adds `ch` to the active-channel set (idempotent).
     #[inline]
     fn activate_channel(&mut self, ch: usize) {
-        let w = ch >> 6;
-        let word = &mut self.chan_words[w];
-        if *word == 0 {
-            self.chan_word_list.push(w as u32);
-        }
-        *word |= 1 << (ch & 63);
+        self.chan_words[ch >> 6] |= 1 << (ch & 63);
     }
 
     /// Schedules `slot` for this cycle's release phase (idempotent).
@@ -1584,8 +1615,15 @@ impl Network {
     /// Appends `slot` to the drain list (one flit per cycle until done).
     fn drain_push(&mut self, slot: u32) {
         debug_assert_eq!(self.drain_idx[slot as usize], NO_OWNER);
+        let &head = self.messages[slot as usize]
+            .as_ref()
+            .expect("drain slot")
+            .chain
+            .back()
+            .expect("draining message still owns its head VC");
         self.drain_idx[slot as usize] = self.drain_list.len() as u32;
         self.drain_list.push(slot);
+        self.drain_head.push(head);
     }
 
     fn watches_of(&self, waiter: u32) -> &Vec<(u32, u32)> {
@@ -2004,31 +2042,33 @@ impl Network {
         }
     }
 
-    /// Activity transfer: only channels on the active list are examined,
-    /// and `occ_start` is patched from the dirty list instead of copied.
+    /// Activity transfer: only channels in the active bitset are examined,
+    /// and `occ_start` is patched from the dirty bitset instead of copied.
     fn activity_transfer(&mut self, events: &mut StepEvents) {
         // Lazy occ_start sync: occupancies change only during a transfer
         // and every change is logged, so patching the dirty words is
-        // exactly the dense stepper's full copy.
+        // exactly the dense stepper's full copy. The word array is tiny
+        // (one u64 per 64 VCs), so every word is visited unconditionally.
         {
             let Self {
                 occ_dirty_words,
-                occ_dirty_list,
                 occ_start,
                 vc_occ,
                 ..
             } = self;
-            for &w in occ_dirty_list.iter() {
-                let mut word = occ_dirty_words[w as usize];
-                occ_dirty_words[w as usize] = 0;
-                let base = (w as usize) << 6;
+            for (w, slot) in occ_dirty_words.iter_mut().enumerate() {
+                let mut word = *slot;
+                if word == 0 {
+                    continue;
+                }
+                *slot = 0;
+                let base = w << 6;
                 while word != 0 {
                     let v = base + word.trailing_zeros() as usize;
                     occ_start[v] = vc_occ[v];
                     word &= word - 1;
                 }
             }
-            occ_dirty_list.clear();
         }
         let vcs_per = self.cfg.vcs_per_channel;
         let depth = self.cfg.buffer_depth as u16;
@@ -2040,109 +2080,95 @@ impl Network {
         // visits, so the scan side hands back an all-zero set for the next
         // swap.
         std::mem::swap(&mut self.chan_words, &mut self.chan_scan);
-        std::mem::swap(&mut self.chan_word_list, &mut self.chan_scan_list);
-        self.chan_scan_list.sort_unstable();
 
-        // Decide: a pure pass over the active channels (start-of-cycle
-        // state only) that records the winning move per channel. The
-        // buffers come back in ascending channel order.
-        let mut bufs = std::mem::take(&mut self.xfer_bufs);
-        {
-            let ctx = TransferCtx {
-                topo: &self.topo,
-                occ_start: &self.occ_start,
-                vc_owner: &self.vc_owner,
-                vc_feed: &self.vc_feed,
-                msg_uninjected: &self.msg_uninjected,
-                owned_per_channel: &self.owned_per_channel,
-                link_rr: &self.link_rr,
-                stall_until: &self.stall_until,
-                chan_scan: &self.chan_scan,
-                fault_mode: self.fault_mode,
-                cycle: self.cycle,
-                vcs_per,
-                depth,
+        if !self.fault_mode && self.transfer_threads <= 1 {
+            self.fused_transfer(events, vcs_per, depth);
+        } else {
+            // Fault mode and the opt-in parallel path keep the two-pass
+            // shape: a pure decide pass over start-of-cycle state, then a
+            // canonical apply pass in ascending channel order. The fused
+            // serial walk above is the same computation with the apply
+            // inlined at each decision — legal because decisions read only
+            // start-of-cycle state (`occ_start`, per-channel `link_rr`,
+            // and `msg_uninjected`, which only the deciding VC's own move
+            // can touch), so no apply can influence a later decision.
+            // Fault-mode decide stays serial: the stall checks are cheap
+            // and faulted runs are rare.
+            let threads = if self.fault_mode {
+                1
+            } else {
+                self.transfer_threads.min(self.chan_scan.len()).max(1)
             };
-            decide_transfers(&ctx, &self.chan_scan_list, &mut bufs[0]);
-        }
-        // The scan set is consumed; hand back an all-zero side for the
-        // next swap.
-        for k in 0..self.chan_scan_list.len() {
-            let w = self.chan_scan_list[k] as usize;
-            self.chan_scan[w] = 0;
-        }
-        self.chan_scan_list.clear();
-
-        // Apply: execute the decided moves in buffer order (ascending
-        // channel id), performing every state mutation the decisions
-        // imply. Identical regardless of how the decide pass was
-        // partitioned.
-        for b in 0..bufs.len() {
-            let buf = &mut bufs[b];
-            for &ch in &buf.stalled {
-                self.activate_channel(ch as usize);
+            let mut bufs = std::mem::take(&mut self.xfer_bufs);
+            if bufs.len() < threads {
+                bufs.resize_with(threads, MoveBuf::default);
             }
-            buf.stalled.clear();
-            for k in 0..buf.moves.len() {
-                let Move { v, owner, prev } = buf.moves[k];
-                let vi = v as usize;
-                let ch = vi / vcs_per;
-                self.vc_occ[vi] += 1;
-                self.mark_occ_dirty(v);
-                events.link_flits += 1;
-                self.link_rr[ch] = ((vi % vcs_per + 1) % vcs_per) as u8;
-                // The served link stays active (round-robin fairness); the
-                // fed VC may now feed its chain successor; the drained
-                // upstream VC regained buffer space.
-                self.activate_channel(ch);
-                let succ = self.vc_next[vi];
-                if succ != NO_OWNER {
-                    self.activate_channel(succ as usize / vcs_per);
-                }
-                if prev == FROM_SOURCE {
-                    let u = &mut self.msg_uninjected[owner as usize];
-                    *u -= 1;
-                    if *u == 0 {
-                        // The injection channel frees — but the dense release
-                        // phase scans the start-of-cycle active set, so a
-                        // message injected *this* cycle (len 1) is only
-                        // visited next cycle.
-                        let injected_now = self.messages[owner as usize]
-                            .as_ref()
-                            .expect("owner live")
-                            .injected_at
-                            == self.cycle;
-                        if !injected_now {
-                            self.mark_release(owner);
-                        } else if !self.release_flag[owner as usize] {
-                            self.release_flag[owner as usize] = true;
-                            self.release_deferred.push(owner);
-                        }
-                    }
+            {
+                let ctx = TransferCtx {
+                    topo: &self.topo,
+                    occ_start: &self.occ_start,
+                    vc_owner: &self.vc_owner,
+                    vc_feed: &self.vc_feed,
+                    msg_uninjected: &self.msg_uninjected,
+                    owned_per_channel: &self.owned_per_channel,
+                    link_rr: &self.link_rr,
+                    stall_until: &self.stall_until,
+                    chan_scan: &self.chan_scan,
+                    fault_mode: self.fault_mode,
+                    cycle: self.cycle,
+                    vcs_per,
+                    depth,
+                };
+                let words = self.chan_scan.len();
+                if threads <= 1 {
+                    decide_transfers(&ctx, 0..words, &mut bufs[0]);
                 } else {
-                    let p = prev as usize;
-                    self.vc_occ[p] -= 1;
-                    self.mark_occ_dirty(prev);
-                    self.activate_channel(p / vcs_per);
-                    if self.vc_occ[p] == 0 {
-                        // Tail release may now be possible.
-                        self.mark_release(owner);
-                    }
+                    // Fixed contiguous word-range partitions: partition
+                    // shape depends only on (words, threads), decisions
+                    // only on start-of-cycle state, and buffers are
+                    // applied in partition order — so the move sequence
+                    // is identical to the serial decide regardless of
+                    // thread count or scheduling.
+                    std::thread::scope(|s| {
+                        for (i, buf) in bufs.iter_mut().take(threads).enumerate() {
+                            let lo = i * words / threads;
+                            let hi = (i + 1) * words / threads;
+                            let ctx = &ctx;
+                            s.spawn(move || decide_transfers(ctx, lo..hi, buf));
+                        }
+                    });
                 }
             }
-            buf.moves.clear();
+            // The scan set is consumed; hand back an all-zero side for the
+            // next swap.
+            self.chan_scan.fill(0);
+
+            // Apply: execute the decided moves in buffer order (ascending
+            // channel id), performing every state mutation the decisions
+            // imply. Identical regardless of how the decide pass was
+            // partitioned.
+            for slot in &mut bufs {
+                let mut buf = std::mem::take(slot);
+                for &ch in &buf.stalled {
+                    self.activate_channel(ch as usize);
+                }
+                buf.stalled.clear();
+                for k in 0..buf.moves.len() {
+                    let Move { v, owner, prev } = buf.moves[k];
+                    self.apply_move(v, owner, prev, vcs_per, events);
+                }
+                buf.moves.clear();
+                *slot = buf;
+            }
+            self.xfer_bufs = bufs;
         }
-        self.xfer_bufs = bufs;
 
         // Ejection and recovery drains: one flit per cycle per message.
+        // `drain_head[k]` caches the head VC of `drain_list[k]` (fixed
+        // while draining: Ejecting/Recovering messages never acquire), so
+        // the starved-head case skips the message slab entirely.
         for k in 0..self.drain_list.len() {
-            let slot = self.drain_list[k];
-            let msg = self.messages[slot as usize].as_mut().expect("drain slot");
-            debug_assert_ne!(msg.phase, MsgPhase::Routing);
-            let &head = msg
-                .chain
-                .back()
-                .expect("draining message still owns its head VC");
+            let head = self.drain_head[k];
             if self.fault_mode {
                 let drain_node = self.topo.channel(ChannelId(head / vcs_per as u32)).dst;
                 if self.cycle < self.stall_until[drain_node.idx()] {
@@ -2153,15 +2179,207 @@ impl Network {
             if self.occ_start[head as usize] < 1 {
                 continue;
             }
+            let slot = self.drain_list[k];
+            let msg = self.messages[slot as usize].as_mut().expect("drain slot");
+            debug_assert_ne!(msg.phase, MsgPhase::Routing);
+            debug_assert_eq!(msg.chain.back(), Some(&head));
             self.vc_occ[head as usize] -= 1;
             msg.delivered += 1;
             events.drained_flits += 1;
             let done = msg.delivered == msg.len;
             let emptied = self.vc_occ[head as usize] == 0;
             self.mark_occ_dirty(head);
-            self.activate_channel(head as usize / vcs_per);
+            self.activate_channel(self.vc_chan[head as usize] as usize);
             if emptied || done {
                 self.mark_release(slot);
+            }
+        }
+    }
+
+    /// Serial fused decide+apply transfer walk (non-fault fast path): one
+    /// ascending pass over the active-channel words, applying each move as
+    /// it is decided. Byte-identical to decide-then-apply because apply
+    /// mutations never reach a later decision's inputs: decisions read
+    /// `occ_start` (patched next cycle), `link_rr[ch]` (written only by
+    /// channel `ch`'s own move, after its decision), and
+    /// `msg_uninjected[owner]` (read only at the owner's unique chain
+    /// front), while activations land in the accumulating bitset, not the
+    /// scan side.
+    fn fused_transfer(&mut self, events: &mut StepEvents, vcs_per: usize, depth: u16) {
+        // Destructured field borrows: indexed stores through one slice
+        // provably cannot clobber another slice's header, so the pointers
+        // stay in registers across the walk (through `&mut self` every
+        // heap store would force header reloads).
+        let Self {
+            chan_scan,
+            chan_words,
+            owned_per_channel,
+            link_rr,
+            vc_owner,
+            vc_occ,
+            occ_start,
+            vc_feed,
+            vc_next,
+            vc_chan,
+            occ_dirty_words,
+            msg_uninjected,
+            messages,
+            release_flag,
+            release_check,
+            release_deferred,
+            cycle,
+            ..
+        } = self;
+        let cycle = *cycle;
+        for (w, slot) in chan_scan.iter_mut().enumerate() {
+            let mut word = *slot;
+            if word == 0 {
+                continue;
+            }
+            *slot = 0;
+            let wbase = w << 6;
+            while word != 0 {
+                let ch = wbase + word.trailing_zeros() as usize;
+                word &= word - 1;
+                if owned_per_channel[ch] == 0 {
+                    continue;
+                }
+                let base = ch * vcs_per;
+                let start = link_rr[ch] as usize;
+                for i in 0..vcs_per {
+                    // `start + i < 2 * vcs_per`, so one conditional
+                    // subtract replaces a hardware divide (`vcs_per` is
+                    // not a compile-time constant).
+                    let mut off = start + i;
+                    if off >= vcs_per {
+                        off -= vcs_per;
+                    }
+                    let v = base + off;
+                    let owner = vc_owner[v];
+                    if owner == NO_OWNER || occ_start[v] >= depth {
+                        continue;
+                    }
+                    // The feed cache mirrors the owner's chain, so the
+                    // movement decision touches only the dense per-VC
+                    // vectors — never the message slab.
+                    let feed = vc_feed[v];
+                    let moved = if feed == FROM_SOURCE {
+                        msg_uninjected[owner as usize] > 0
+                    } else {
+                        occ_start[feed as usize] >= 1
+                    };
+                    if !moved {
+                        continue;
+                    }
+                    // Apply inline — MUST stay in lockstep with
+                    // `apply_move` (the fault/parallel two-pass path);
+                    // the differential and parallel-digest suites pin
+                    // the equivalence.
+                    vc_occ[v] += 1;
+                    occ_dirty_words[v >> 6] |= 1 << (v & 63);
+                    events.link_flits += 1;
+                    let next_rr = off + 1;
+                    link_rr[ch] = if next_rr == vcs_per { 0 } else { next_rr } as u8;
+                    chan_words[ch >> 6] |= 1 << (ch & 63);
+                    let succ = vc_next[v];
+                    if succ != NO_OWNER {
+                        let sc = vc_chan[succ as usize] as usize;
+                        chan_words[sc >> 6] |= 1 << (sc & 63);
+                    }
+                    if feed == FROM_SOURCE {
+                        let u = &mut msg_uninjected[owner as usize];
+                        *u -= 1;
+                        if *u == 0 && !release_flag[owner as usize] {
+                            release_flag[owner as usize] = true;
+                            // The injection channel frees — but the dense
+                            // release phase scans the start-of-cycle
+                            // active set, so a message injected *this*
+                            // cycle (len 1) is only visited next cycle.
+                            let injected_now = messages[owner as usize]
+                                .as_ref()
+                                .expect("owner live")
+                                .injected_at
+                                == cycle;
+                            if !injected_now {
+                                release_check.push(owner);
+                            } else {
+                                release_deferred.push(owner);
+                            }
+                        }
+                    } else {
+                        let p = feed as usize;
+                        vc_occ[p] -= 1;
+                        occ_dirty_words[p >> 6] |= 1 << (p & 63);
+                        let pc = vc_chan[p] as usize;
+                        chan_words[pc >> 6] |= 1 << (pc & 63);
+                        // Tail release may now be possible.
+                        if vc_occ[p] == 0 && !release_flag[owner as usize] {
+                            release_flag[owner as usize] = true;
+                            release_check.push(owner);
+                        }
+                    }
+                    break;
+                }
+            }
+        }
+    }
+
+    /// Executes one decided transfer: flit enters `v`, leaves `prev` (or
+    /// the source when `prev == FROM_SOURCE`), with every activation and
+    /// release trigger the movement implies. Shared verbatim by the fused
+    /// serial walk and the two-pass apply loop so the paths cannot drift.
+    #[inline]
+    fn apply_move(
+        &mut self,
+        v: u32,
+        owner: u32,
+        prev: u32,
+        vcs_per: usize,
+        events: &mut StepEvents,
+    ) {
+        let vi = v as usize;
+        let ch = self.vc_chan[vi] as usize;
+        self.vc_occ[vi] += 1;
+        self.mark_occ_dirty(v);
+        events.link_flits += 1;
+        let next_rr = vi - ch * vcs_per + 1;
+        self.link_rr[ch] = if next_rr == vcs_per { 0 } else { next_rr } as u8;
+        // The served link stays active (round-robin fairness); the
+        // fed VC may now feed its chain successor; the drained
+        // upstream VC regained buffer space.
+        self.activate_channel(ch);
+        let succ = self.vc_next[vi];
+        if succ != NO_OWNER {
+            self.activate_channel(self.vc_chan[succ as usize] as usize);
+        }
+        if prev == FROM_SOURCE {
+            let u = &mut self.msg_uninjected[owner as usize];
+            *u -= 1;
+            if *u == 0 {
+                // The injection channel frees — but the dense release
+                // phase scans the start-of-cycle active set, so a
+                // message injected *this* cycle (len 1) is only
+                // visited next cycle.
+                let injected_now = self.messages[owner as usize]
+                    .as_ref()
+                    .expect("owner live")
+                    .injected_at
+                    == self.cycle;
+                if !injected_now {
+                    self.mark_release(owner);
+                } else if !self.release_flag[owner as usize] {
+                    self.release_flag[owner as usize] = true;
+                    self.release_deferred.push(owner);
+                }
+            }
+        } else {
+            let p = prev as usize;
+            self.vc_occ[p] -= 1;
+            self.mark_occ_dirty(prev);
+            self.activate_channel(self.vc_chan[p] as usize);
+            if self.vc_occ[p] == 0 {
+                // Tail release may now be possible.
+                self.mark_release(owner);
             }
         }
     }
@@ -2212,7 +2430,7 @@ impl Network {
             self.vc_owner[front as usize] = NO_OWNER;
             self.vc_feed[front as usize] = NO_OWNER;
             self.vc_next[front as usize] = NO_OWNER;
-            self.owned_per_channel[front as usize / self.cfg.vcs_per_channel] -= 1;
+            self.owned_per_channel[self.vc_chan[front as usize] as usize] -= 1;
             {
                 let msg = self.messages[s].as_mut().expect("release slot");
                 msg.chain.pop_front();
@@ -2595,64 +2813,30 @@ impl Network {
                 );
             }
         }
-        // Word-list discipline: the touched-word list names each nonzero
-        // word exactly once and every nonzero word is listed; the scan side
-        // is idle between steps.
-        {
-            let mut listed = vec![false; self.chan_words.len()];
-            for &w in &self.chan_word_list {
-                assert!(!listed[w as usize], "duplicate chan_word_list entry {w}");
-                listed[w as usize] = true;
-                assert_ne!(
-                    self.chan_words[w as usize], 0,
-                    "listed channel word {w} is zero"
-                );
-            }
-            for (w, &word) in self.chan_words.iter().enumerate() {
-                assert!(
-                    word == 0 || listed[w],
-                    "nonzero channel word {w} missing from chan_word_list"
-                );
-            }
-            assert!(self.chan_scan.iter().all(|&w| w == 0));
-            assert!(self.chan_scan_list.is_empty());
-        }
+        // The scan side is idle between steps.
+        assert!(self.chan_scan.iter().all(|&w| w == 0));
 
-        // Dirty-mark discipline: the dirty words cover exactly the listed
-        // word indices, and every occupancy that diverged from the
+        // Dirty-mark discipline: every occupancy that diverged from the
         // `occ_start` snapshot carries a mark (no missed patch).
-        {
-            let mut listed = vec![false; self.occ_dirty_words.len()];
-            for &w in &self.occ_dirty_list {
-                assert!(!listed[w as usize], "duplicate occ_dirty_list entry {w}");
-                listed[w as usize] = true;
-                assert_ne!(
-                    self.occ_dirty_words[w as usize], 0,
-                    "listed dirty word {w} is zero"
+        for (v, &occ) in self.vc_occ.iter().enumerate() {
+            if self.occ_dirty_words[v >> 6] >> (v & 63) & 1 == 0 {
+                assert_eq!(
+                    self.occ_start[v], occ,
+                    "VC {v} occupancy diverged from occ_start without a dirty mark"
                 );
-            }
-            for (w, &word) in self.occ_dirty_words.iter().enumerate() {
-                assert!(
-                    word == 0 || listed[w],
-                    "nonzero dirty word {w} missing from occ_dirty_list"
-                );
-            }
-            for (v, &occ) in self.vc_occ.iter().enumerate() {
-                if self.occ_dirty_words[v >> 6] >> (v & 63) & 1 == 0 {
-                    assert_eq!(
-                        self.occ_start[v], occ,
-                        "VC {v} occupancy diverged from occ_start without a dirty mark"
-                    );
-                }
             }
         }
 
-        // Drain list back-map.
+        // Drain list back-map and cached heads.
+        assert_eq!(self.drain_list.len(), self.drain_head.len());
         for (i, &slot) in self.drain_list.iter().enumerate() {
             assert_eq!(self.drain_idx[slot as usize], i as u32);
-            assert_ne!(
-                self.messages[slot as usize].as_ref().unwrap().phase,
-                MsgPhase::Routing
+            let msg = self.messages[slot as usize].as_ref().unwrap();
+            assert_ne!(msg.phase, MsgPhase::Routing);
+            assert_eq!(
+                msg.chain.back(),
+                Some(&self.drain_head[i]),
+                "stale cached drain head for slot {slot}"
             );
         }
 
