@@ -5,6 +5,7 @@
 //! repro forensics [--store DIR] [--seed N] [--max N] [--cycles N] [--no-prefix]
 //! repro validate [--configs N] [--cwgs N] [--seed N] [--store DIR] [--no-explore]
 //! repro faults [--seed N] [--expect-stall]
+//! repro serve [--addr HOST:PORT] [--data DIR] [--workers N] [--smoke]
 //! ```
 //!
 //! With no experiment named, runs `all`. `--small` switches to the
@@ -33,6 +34,18 @@
 //! saturated single-VC torus) under the progress watchdog and exits 2 —
 //! and only 2 — when the run ends as `Stalled` with a coherent stall
 //! report, so CI can assert the watchdog actually fires.
+//!
+//! `repro serve` starts the campaign server (see `icn-server`): an HTTP
+//! job API over the supervised sweep engine with per-job checkpoints, a
+//! content-addressed result cache, and a read-only incident browser.
+//! Ctrl-C and `POST /shutdown` both take the graceful path — in-flight
+//! configurations finish and checkpoint, queued ones resume on the next
+//! start. With `--smoke` it instead runs a one-shot self-check against
+//! an ephemeral port: submit a small grid, poll it to completion, verify
+//! every streamed result digest-matches a direct `sweep_supervised` of
+//! the same grid, resubmit and verify the whole job is answered from the
+//! cache without a single new simulation, then shut down. Exits non-zero
+//! on any divergence, which makes it CI-able without network egress.
 //!
 //! `repro validate` runs the validation layer: the production detector
 //! is differentially checked against the independent naive oracle and
@@ -500,10 +513,232 @@ fn faults_main(args: &[String]) -> i32 {
     }
 }
 
+/// The grid used by `repro serve --smoke`: 2 loads × 2 seeds on the
+/// scaled-down torus, small enough to finish in seconds.
+fn smoke_grid() -> icn_server::SweepGrid {
+    let mut base = RunConfig::small_default();
+    base.warmup = 200;
+    base.measure = 600;
+    icn_server::SweepGrid {
+        base,
+        seeds: vec![11, 12],
+        loads: vec![0.15, 0.25],
+    }
+}
+
+/// Polls `GET /jobs/:id` until the job settles. Returns the final status
+/// JSON, or an error string on timeout or transport failure.
+fn poll_job(
+    addr: std::net::SocketAddr,
+    id: u64,
+    timeout: std::time::Duration,
+) -> Result<flexsim::jsonio::Json, String> {
+    let deadline = Instant::now() + timeout;
+    loop {
+        let (status, body) = icn_server::http_request(addr, "GET", &format!("/jobs/{id}"), None)
+            .map_err(|e| format!("polling job {id}: {e}"))?;
+        if status != 200 {
+            return Err(format!("job {id} status returned HTTP {status}: {body}"));
+        }
+        let v = flexsim::jsonio::parse(&body).map_err(|e| format!("bad status JSON: {e}"))?;
+        if v.get("state").and_then(flexsim::jsonio::Json::as_str) == Some("done") {
+            return Ok(v);
+        }
+        if Instant::now() > deadline {
+            return Err(format!("job {id} did not settle in {timeout:?}: {body}"));
+        }
+        std::thread::sleep(std::time::Duration::from_millis(50));
+    }
+}
+
+/// The `--smoke` self-check body. Returns an error description on the
+/// first divergence.
+fn serve_smoke(data_dir: &std::path::Path, workers: usize) -> Result<(), String> {
+    use flexsim::jsonio::Json;
+
+    let grid = smoke_grid();
+    let configs = grid.expand();
+    println!(
+        "== campaign smoke: direct sweep of {} configs ==",
+        configs.len()
+    );
+    let direct = flexsim::sweep_supervised(&configs, &flexsim::SweepOptions::default());
+    let want: Vec<String> = direct
+        .iter()
+        .map(|r| r.as_ref().map(|x| x.digest()).unwrap_or_default())
+        .collect();
+
+    let mut opts = icn_server::ServerOptions::new(data_dir);
+    opts.workers = workers;
+    let server =
+        icn_server::CampaignServer::bind("127.0.0.1:0", &opts).map_err(|e| format!("bind: {e}"))?;
+    let addr = server.addr();
+    println!("== campaign smoke: server on {addr} ==");
+    let handle = std::thread::spawn(move || server.serve());
+
+    let submit = |tag: &str| -> Result<u64, String> {
+        let (status, body) =
+            icn_server::http_request(addr, "POST", "/jobs", Some(&grid.to_json().to_string()))
+                .map_err(|e| format!("{tag} submit: {e}"))?;
+        if status != 200 {
+            return Err(format!("{tag} submit returned HTTP {status}: {body}"));
+        }
+        flexsim::jsonio::parse(&body)
+            .ok()
+            .and_then(|v| v.get("id").and_then(Json::as_u64))
+            .ok_or_else(|| format!("{tag} submit body lacks an id: {body}"))
+    };
+    let finish = |r: Result<(), String>| -> Result<(), String> {
+        // Always take the graceful path so the worker threads exit.
+        let _ = icn_server::http_request(addr, "POST", "/shutdown", None);
+        let joined = handle
+            .join()
+            .map_err(|_| "server thread panicked".to_string());
+        r.and_then(|()| joined.and_then(|io| io.map_err(|e| format!("serve: {e}"))))
+    };
+
+    let check = (|| -> Result<(), String> {
+        // Round 1: fresh submission must simulate everything and match
+        // the direct sweep digest-for-digest.
+        let id = submit("first")?;
+        poll_job(addr, id, std::time::Duration::from_secs(300))?;
+        let (status, stream) =
+            icn_server::http_request(addr, "GET", &format!("/jobs/{id}/results"), None)
+                .map_err(|e| format!("results: {e}"))?;
+        if status != 200 {
+            return Err(format!("results returned HTTP {status}"));
+        }
+        let mut got = vec![String::new(); configs.len()];
+        for line in stream.lines().filter(|l| !l.trim().is_empty()) {
+            let v = flexsim::jsonio::parse(line).map_err(|e| format!("bad result line: {e}"))?;
+            let idx = v
+                .get("index")
+                .and_then(Json::as_u64)
+                .ok_or("result line lacks an index")? as usize;
+            let r = v
+                .get("result")
+                .ok_or("result line lacks a result")
+                .and_then(|r| flexsim::decode_result(r).map_err(|_| "undecodable result"))?;
+            got[idx] = r.digest();
+        }
+        if got != want {
+            return Err(format!(
+                "digest mismatch vs direct sweep_supervised:\n  server: {got:?}\n  direct: {want:?}"
+            ));
+        }
+        println!(
+            "   {} results digest-identical to the direct sweep",
+            got.len()
+        );
+
+        // Round 2: identical resubmission must be answered entirely from
+        // the cache — zero new simulations.
+        let sims_before = stats_field(addr, "sims_run")?;
+        let id2 = submit("second")?;
+        let status2 = poll_job(addr, id2, std::time::Duration::from_secs(60))?;
+        let cached = status2.get("cached").and_then(Json::as_u64).unwrap_or(0);
+        let sims_after = stats_field(addr, "sims_run")?;
+        if sims_after != sims_before {
+            return Err(format!(
+                "resubmission ran {} new simulations (want 0)",
+                sims_after - sims_before
+            ));
+        }
+        if cached != configs.len() as u64 {
+            return Err(format!(
+                "resubmission reported {cached} cached slots (want {})",
+                configs.len()
+            ));
+        }
+        println!("   resubmission: {cached} cache hits, 0 new simulations");
+        Ok(())
+    })();
+    finish(check)
+}
+
+/// Reads one `u64` leaf out of `GET /stats` (`sims_run` level only).
+fn stats_field(addr: std::net::SocketAddr, key: &str) -> Result<u64, String> {
+    let (status, body) =
+        icn_server::http_request(addr, "GET", "/stats", None).map_err(|e| format!("stats: {e}"))?;
+    if status != 200 {
+        return Err(format!("stats returned HTTP {status}"));
+    }
+    flexsim::jsonio::parse(&body)
+        .ok()
+        .and_then(|v| v.get(key).and_then(flexsim::jsonio::Json::as_u64))
+        .ok_or_else(|| format!("stats body lacks `{key}`: {body}"))
+}
+
+/// The `repro serve` subcommand. Returns the process exit code.
+fn serve_main(args: &[String]) -> i32 {
+    let workers = flag_value(args, "--workers").map_or_else(
+        || {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(2)
+        },
+        |v| {
+            v.parse().unwrap_or_else(|_| {
+                eprintln!("--workers wants an integer, got `{v}`");
+                std::process::exit(2);
+            })
+        },
+    );
+
+    if args.iter().any(|a| a == "--smoke") {
+        let dir = std::env::temp_dir().join(format!("campaign-smoke-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let verdict = serve_smoke(&dir, workers.min(4));
+        let _ = std::fs::remove_dir_all(&dir);
+        return match verdict {
+            Ok(()) => {
+                println!("campaign smoke: PASS");
+                0
+            }
+            Err(e) => {
+                eprintln!("campaign smoke: FAIL — {e}");
+                1
+            }
+        };
+    }
+
+    let addr = flag_value(args, "--addr").unwrap_or("127.0.0.1:8991");
+    let data = flag_value(args, "--data").unwrap_or("campaign-data");
+    let mut opts = icn_server::ServerOptions::new(data);
+    opts.workers = workers;
+    opts.handle_sigint = true;
+    let server = match icn_server::CampaignServer::bind(addr, &opts) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("cannot bind campaign server on {addr}: {e}");
+            return 1;
+        }
+    };
+    println!(
+        "campaign server on http://{} ({} workers, data in `{data}`)",
+        server.addr(),
+        workers
+    );
+    println!("endpoints: POST /jobs  GET /jobs/:id[/results]  GET /stats  GET /incidents  POST /shutdown");
+    match server.serve() {
+        Ok(()) => {
+            println!("campaign server: clean shutdown");
+            0
+        }
+        Err(e) => {
+            eprintln!("campaign server failed: {e}");
+            1
+        }
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.first().map(String::as_str) == Some("forensics") {
         std::process::exit(forensics_main(&args[1..]));
+    }
+    if args.first().map(String::as_str) == Some("serve") {
+        std::process::exit(serve_main(&args[1..]));
     }
     if args.first().map(String::as_str) == Some("faults") {
         std::process::exit(faults_main(&args[1..]));

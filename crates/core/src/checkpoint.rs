@@ -11,49 +11,13 @@
 //! which exports a flat, human-oriented summary of *derived* metrics and
 //! is lossy by design.
 
-use icn_cwg::jsonio::{obj, u64_arr, Json, ParseError};
 use icn_metrics::{Histogram, Mean, TimeSeries};
 
 use crate::forensics::DeadlockIncident;
+use crate::jsonio::{
+    bad, f64_bits, get, get_f64_bits, get_u64, get_u64_vec, obj, u64_arr, Json, ParseError,
+};
 use crate::result::{Incident, RunOutcome, RunResult, StallReport};
-
-fn bad(message: &str) -> ParseError {
-    ParseError {
-        offset: 0,
-        message: message.to_string(),
-    }
-}
-
-fn get<'a>(v: &'a Json, key: &str) -> Result<&'a Json, ParseError> {
-    v.get(key).ok_or_else(|| bad(&format!("missing `{key}`")))
-}
-
-fn get_u64(v: &Json, key: &str) -> Result<u64, ParseError> {
-    get(v, key)?
-        .as_u64()
-        .ok_or_else(|| bad(&format!("`{key}` must be an unsigned integer")))
-}
-
-fn get_u64_vec(v: &Json, key: &str) -> Result<Vec<u64>, ParseError> {
-    get(v, key)?
-        .as_arr()
-        .ok_or_else(|| bad(&format!("`{key}` must be an array")))?
-        .iter()
-        .map(|x| {
-            x.as_u64()
-                .ok_or_else(|| bad(&format!("`{key}` holds a non-u64 element")))
-        })
-        .collect()
-}
-
-/// An `f64` as its bit pattern, so NaN payloads and signed zeros survive.
-fn f64_bits(v: f64) -> Json {
-    Json::U64(v.to_bits())
-}
-
-fn get_f64_bits(v: &Json, key: &str) -> Result<f64, ParseError> {
-    Ok(f64::from_bits(get_u64(v, key)?))
-}
 
 fn hist_to_json(h: &Histogram) -> Json {
     u64_arr(h.encode())

@@ -7,8 +7,7 @@
 
 pub use icn_sim::{FaultEvent, FaultKind, FaultPlan};
 
-use icn_cwg::jsonio::{obj, Json, ParseError};
-
+use crate::jsonio::{bad, obj, Json, ParseError};
 use crate::spec::TopologySpec;
 use crate::validate::SplitMix64;
 
@@ -43,13 +42,6 @@ pub fn plan_to_json(plan: &FaultPlan) -> Json {
         })
         .collect();
     obj(vec![("events", Json::Arr(events))])
-}
-
-fn bad(message: &str) -> ParseError {
-    ParseError {
-        offset: 0,
-        message: message.to_string(),
-    }
 }
 
 fn field_u64(v: &Json, key: &str) -> Result<u64, ParseError> {

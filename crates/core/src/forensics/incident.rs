@@ -368,54 +368,9 @@ pub fn incidents_equal(a: &DeadlockIncident, b: &DeadlockIncident) -> bool {
 }
 
 // ---------------------------------------------------------------------
-// JSON helpers.
+// JSON helpers (shared with the rest of the orchestration layer).
 
-fn bad(message: &str) -> ParseError {
-    ParseError {
-        offset: 0,
-        message: message.to_string(),
-    }
-}
-
-fn get<'a>(v: &'a Json, key: &str) -> Result<&'a Json, ParseError> {
-    v.get(key).ok_or_else(|| bad(&format!("missing `{key}`")))
-}
-
-fn get_u64(v: &Json, key: &str) -> Result<u64, ParseError> {
-    get(v, key)?
-        .as_u64()
-        .ok_or_else(|| bad(&format!("`{key}` must be an unsigned integer")))
-}
-
-fn get_f64(v: &Json, key: &str) -> Result<f64, ParseError> {
-    get(v, key)?
-        .as_f64()
-        .ok_or_else(|| bad(&format!("`{key}` must be a number")))
-}
-
-fn get_bool(v: &Json, key: &str) -> Result<bool, ParseError> {
-    get(v, key)?
-        .as_bool()
-        .ok_or_else(|| bad(&format!("`{key}` must be a bool")))
-}
-
-fn get_str<'a>(v: &'a Json, key: &str) -> Result<&'a str, ParseError> {
-    get(v, key)?
-        .as_str()
-        .ok_or_else(|| bad(&format!("`{key}` must be a string")))
-}
-
-fn get_u64_vec(v: &Json, key: &str) -> Result<Vec<u64>, ParseError> {
-    get(v, key)?
-        .as_arr()
-        .ok_or_else(|| bad(&format!("`{key}` must be an array")))?
-        .iter()
-        .map(|x| {
-            x.as_u64()
-                .ok_or_else(|| bad(&format!("`{key}` holds a non-u64 element")))
-        })
-        .collect()
-}
+use crate::jsonio::{bad, get, get_bool, get_f64, get_str, get_u64, get_u64_vec};
 
 // ---------------------------------------------------------------------
 // Trace-event serialization.
@@ -640,8 +595,10 @@ fn len_dist_from_json(v: &Json) -> Result<MsgLenDist, ParseError> {
     })
 }
 
-/// Serializes a full [`RunConfig`] (used inside incidents).
-pub(crate) fn config_to_json(cfg: &RunConfig) -> Json {
+/// Serializes a full [`RunConfig`] — the canonical machine-readable
+/// config form, used inside incidents, campaign-server job submissions,
+/// and cache keys.
+pub fn config_to_json(cfg: &RunConfig) -> Json {
     obj(vec![
         (
             "topology",
@@ -705,7 +662,7 @@ pub(crate) fn config_to_json(cfg: &RunConfig) -> Json {
 }
 
 /// Rebuilds a [`RunConfig`] from [`config_to_json`] output.
-pub(crate) fn config_from_json(v: &Json) -> Result<RunConfig, ParseError> {
+pub fn config_from_json(v: &Json) -> Result<RunConfig, ParseError> {
     let topo = get(v, "topology")?;
     let sim = get(v, "sim")?;
     let count_cycles_every = match get(v, "count_cycles_every")? {

@@ -35,7 +35,8 @@ mod store;
 mod timeline;
 
 pub use incident::{
-    incidents_equal, CwgMsg, CwgSnapshot, DeadlockIncident, MemberTimeline, RecoveryOutcome,
+    config_from_json, config_to_json, incidents_equal, CwgMsg, CwgSnapshot, DeadlockIncident,
+    MemberTimeline, RecoveryOutcome,
 };
 pub use minimize::{minimize, minimize_cwg, shortest_prefix, MinimizedIncident, ShortestPrefix};
 pub use replay::{replay, ReplayReport};

@@ -3,20 +3,9 @@
 //! Hand-rolled on purpose: the export is a flat summary of derived
 //! metrics, so a serializer dependency would be pure weight.
 
+use crate::jsonio::{esc, num};
 use crate::RunResult;
 use std::fmt::Write;
-
-fn esc(s: &str) -> String {
-    s.replace('\\', "\\\\").replace('"', "\\\"")
-}
-
-fn num(v: f64) -> String {
-    if v.is_finite() {
-        format!("{v}")
-    } else {
-        "null".to_string()
-    }
-}
 
 /// Serializes one result as a JSON object.
 pub fn result_to_json(r: &RunResult) -> String {

@@ -1,0 +1,213 @@
+//! Shared hand-rolled JSON plumbing for the orchestration layer.
+//!
+//! The value tree, parser, and writer live in [`icn_cwg::jsonio`] (the
+//! lowest crate that needs them); this module re-exports that surface and
+//! centralizes the helpers that used to be copy-pasted across
+//! `json.rs`, `checkpoint.rs`, `forensics/incident.rs`, and `faults.rs`:
+//! typed field accessors with uniform error messages, exact `f64`
+//! bit-pattern transport, scalar formatting for the flat summary export,
+//! and a JSON-lines scanner that understands torn final lines (the
+//! signature of an interrupted appender). The campaign server reuses all
+//! of it instead of growing a fourth copy.
+
+pub use icn_cwg::jsonio::{obj, parse, u64_arr, Json, ParseError};
+
+/// A parse error with no meaningful offset (field-level validation).
+pub fn bad(message: &str) -> ParseError {
+    ParseError {
+        offset: 0,
+        message: message.to_string(),
+    }
+}
+
+/// Required object field.
+pub fn get<'a>(v: &'a Json, key: &str) -> Result<&'a Json, ParseError> {
+    v.get(key).ok_or_else(|| bad(&format!("missing `{key}`")))
+}
+
+/// Required `u64` field.
+pub fn get_u64(v: &Json, key: &str) -> Result<u64, ParseError> {
+    get(v, key)?
+        .as_u64()
+        .ok_or_else(|| bad(&format!("`{key}` must be an unsigned integer")))
+}
+
+/// Required numeric field (integers widen).
+pub fn get_f64(v: &Json, key: &str) -> Result<f64, ParseError> {
+    get(v, key)?
+        .as_f64()
+        .ok_or_else(|| bad(&format!("`{key}` must be a number")))
+}
+
+/// Required boolean field.
+pub fn get_bool(v: &Json, key: &str) -> Result<bool, ParseError> {
+    get(v, key)?
+        .as_bool()
+        .ok_or_else(|| bad(&format!("`{key}` must be a bool")))
+}
+
+/// Required string field.
+pub fn get_str<'a>(v: &'a Json, key: &str) -> Result<&'a str, ParseError> {
+    get(v, key)?
+        .as_str()
+        .ok_or_else(|| bad(&format!("`{key}` must be a string")))
+}
+
+/// Required array-of-`u64` field.
+pub fn get_u64_vec(v: &Json, key: &str) -> Result<Vec<u64>, ParseError> {
+    get(v, key)?
+        .as_arr()
+        .ok_or_else(|| bad(&format!("`{key}` must be an array")))?
+        .iter()
+        .map(|x| {
+            x.as_u64()
+                .ok_or_else(|| bad(&format!("`{key}` holds a non-u64 element")))
+        })
+        .collect()
+}
+
+/// An `f64` as its `u64` bit pattern, so NaN payloads and signed zeros
+/// survive a round trip exactly.
+pub fn f64_bits(v: f64) -> Json {
+    Json::U64(v.to_bits())
+}
+
+/// Reads a field written by [`f64_bits`].
+pub fn get_f64_bits(v: &Json, key: &str) -> Result<f64, ParseError> {
+    Ok(f64::from_bits(get_u64(v, key)?))
+}
+
+/// Escapes a string for direct embedding between quotes in hand-written
+/// JSON (the flat-summary writer path).
+pub fn esc(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+/// Formats a float for a human-oriented export: finite values print
+/// shortest-round-trip, non-finite values become `null`.
+pub fn num(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".to_string()
+    }
+}
+
+/// Outcome of scanning a JSON-lines document (one value per line).
+///
+/// Checkpoint and result-stream files are written by a single appender,
+/// so the only legitimate corruption is a *torn final line*: the writer
+/// was killed mid-`writeln!`. The scanner distinguishes that case (a
+/// non-empty last line with no trailing newline that fails to parse)
+/// from interior garbage, which is counted as skipped.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct LineScan {
+    /// Values that parsed, in file order, with their 0-based line number.
+    pub values: Vec<(usize, Json)>,
+    /// Interior lines that failed to parse (data loss worth surfacing).
+    pub skipped: usize,
+    /// Whether the document ends in a torn (partially written) line.
+    pub torn_tail: bool,
+}
+
+/// Scans a JSON-lines document. Empty lines are ignored entirely.
+pub fn scan_lines(text: &str) -> LineScan {
+    let mut scan = LineScan::default();
+    let ends_with_newline = text.is_empty() || text.ends_with('\n');
+    let last_line = text.lines().filter(|l| !l.trim().is_empty()).count();
+    let mut seen = 0usize;
+    for (lineno, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        seen += 1;
+        match parse(line) {
+            Ok(v) => scan.values.push((lineno, v)),
+            Err(_) => {
+                if seen == last_line && !ends_with_newline {
+                    scan.torn_tail = true;
+                } else {
+                    scan.skipped += 1;
+                }
+            }
+        }
+    }
+    scan
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accessors_report_missing_and_mistyped() {
+        let v = parse("{\"n\": 3, \"s\": \"x\", \"b\": true, \"f\": 1.5}").unwrap();
+        assert_eq!(get_u64(&v, "n").unwrap(), 3);
+        assert_eq!(get_str(&v, "s").unwrap(), "x");
+        assert!(get_bool(&v, "b").unwrap());
+        assert_eq!(get_f64(&v, "f").unwrap(), 1.5);
+        assert!(get(&v, "missing").is_err());
+        assert!(get_u64(&v, "s").is_err());
+    }
+
+    #[test]
+    fn f64_bits_round_trips_nan_and_negative_zero() {
+        for x in [-0.0f64, f64::NAN, 1.5, f64::INFINITY] {
+            let v = obj(vec![("x", f64_bits(x))]);
+            let back = get_f64_bits(&v, "x").unwrap();
+            assert_eq!(back.to_bits(), x.to_bits());
+        }
+    }
+
+    #[test]
+    fn esc_and_num() {
+        assert_eq!(esc("a\"b\\c"), "a\\\"b\\\\c");
+        assert_eq!(num(0.25), "0.25");
+        assert_eq!(num(f64::NAN), "null");
+        assert_eq!(num(f64::INFINITY), "null");
+    }
+
+    #[test]
+    fn scan_clean_document() {
+        let s = scan_lines("{\"a\":1}\n{\"a\":2}\n");
+        assert_eq!(s.values.len(), 2);
+        assert_eq!(s.skipped, 0);
+        assert!(!s.torn_tail);
+    }
+
+    #[test]
+    fn scan_counts_interior_garbage() {
+        let s = scan_lines("{\"a\":1}\nnot json\n{\"a\":2}\n");
+        assert_eq!(s.values.len(), 2);
+        assert_eq!(s.skipped, 1);
+        assert!(!s.torn_tail);
+        // Line numbers point at the surviving lines.
+        assert_eq!(s.values[0].0, 0);
+        assert_eq!(s.values[1].0, 2);
+    }
+
+    #[test]
+    fn scan_tolerates_torn_tail() {
+        let s = scan_lines("{\"a\":1}\n{\"a\":2,\"tr");
+        assert_eq!(s.values.len(), 1);
+        assert_eq!(s.skipped, 0);
+        assert!(s.torn_tail);
+    }
+
+    #[test]
+    fn torn_tail_requires_missing_newline() {
+        // A complete (newline-terminated) bad line is interior garbage,
+        // not a torn tail, even in final position.
+        let s = scan_lines("{\"a\":1}\ngarbage\n");
+        assert_eq!(s.skipped, 1);
+        assert!(!s.torn_tail);
+    }
+
+    #[test]
+    fn empty_and_blank_lines_ignored() {
+        let s = scan_lines("\n\n{\"a\":1}\n\n");
+        assert_eq!(s.values.len(), 1);
+        assert_eq!(s.skipped, 0);
+        assert!(!s.torn_tail);
+    }
+}

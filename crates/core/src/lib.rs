@@ -45,6 +45,7 @@ pub mod extensions;
 pub mod faults;
 pub mod forensics;
 pub mod json;
+pub mod jsonio;
 pub mod report;
 mod result;
 mod runner;
@@ -61,9 +62,19 @@ pub use runner::{
 };
 pub use spec::{RecoveryPolicy, RoutingSpec, TopologySpec};
 pub use sweep::{
-    replicate, replication_summary, sweep, sweep_supervised, ReplicationSummary, SweepError,
-    SweepOptions,
+    backoff_for, checkpoint_line, replicate, replication_summary, restore_checkpoint,
+    run_supervised, sweep, sweep_supervised, sweep_supervised_report, CheckpointRestore,
+    ReplicationSummary, SweepError, SweepOptions, SweepReport,
 };
+
+/// Version tag of the simulation semantics, baked into the campaign
+/// server's content-addressed cache keys. Bump it whenever a change can
+/// alter any [`RunResult`] digest for an unchanged configuration — a
+/// perf refactor that stays byte-identical (the repo's differential
+/// suites enforce this, including at any `transfer_threads` count) does
+/// NOT need a bump, which is what makes cached results durable across
+/// such PRs.
+pub const ENGINE_VERSION: &str = "flexsim-engine-v1";
 
 use icn_traffic::{MsgLenDist, Pattern};
 

@@ -9,8 +9,8 @@
 //! failed slot panics *after* every sibling has completed.
 
 use crate::checkpoint::{decode_result, encode_result};
+use crate::jsonio::{obj, scan_lines, Json};
 use crate::{run, RunConfig, RunResult};
-use icn_cwg::jsonio::{obj, parse, Json};
 use std::io::Write as _;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
@@ -85,10 +85,27 @@ impl Default for SweepOptions {
     }
 }
 
-/// One worker attempt cycle: run under a panic guard, retrying with a
-/// perturbed seed and bounded backoff. Returns the result or the final
-/// panic message.
-fn run_guarded(cfg: &RunConfig, opts: &SweepOptions) -> Result<RunResult, SweepError> {
+/// The backoff slept before retry `attempt` (1-based): `opts.backoff`
+/// doubled per attempt, clamped to `opts.max_backoff`.
+pub fn backoff_for(attempt: u32, opts: &SweepOptions) -> Duration {
+    debug_assert!(attempt >= 1, "attempt 0 is the first try — no backoff");
+    let exp = (attempt - 1).min(20);
+    opts.backoff.saturating_mul(1 << exp).min(opts.max_backoff)
+}
+
+/// One worker attempt cycle over an arbitrary runner: execute under a
+/// panic guard, retrying with a perturbed seed and bounded backoff.
+/// Returns the result or the final panic message. Generic so the
+/// supervision machinery (reseed scheme, attempt accounting, backoff
+/// ordering) is testable without a real simulation.
+fn run_guarded_with<F>(
+    cfg: &RunConfig,
+    opts: &SweepOptions,
+    runner: F,
+) -> Result<RunResult, SweepError>
+where
+    F: Fn(&RunConfig) -> RunResult,
+{
     let attempts = opts.retries + 1;
     let mut last_message = String::new();
     for attempt in 0..attempts {
@@ -100,10 +117,9 @@ fn run_guarded(cfg: &RunConfig, opts: &SweepOptions) -> Result<RunResult, SweepE
             c.seed = cfg
                 .seed
                 .wrapping_add((attempt as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15) | 1);
-            let exp = (attempt - 1).min(20);
-            std::thread::sleep(opts.backoff.saturating_mul(1 << exp).min(opts.max_backoff));
+            std::thread::sleep(backoff_for(attempt, opts));
         }
-        match catch_unwind(AssertUnwindSafe(|| run(&c))) {
+        match catch_unwind(AssertUnwindSafe(|| runner(&c))) {
             Ok(r) => return Ok(r),
             Err(payload) => {
                 last_message = if let Some(s) = payload.downcast_ref::<&str>() {
@@ -123,45 +139,99 @@ fn run_guarded(cfg: &RunConfig, opts: &SweepOptions) -> Result<RunResult, SweepE
     })
 }
 
-/// Restores completed slots from a checkpoint file. Lines that fail to
-/// parse (e.g. a torn final line from an interrupted writer), name an
-/// out-of-range index, or carry a label that no longer matches the
-/// configuration are skipped — they belong to a different sweep.
-fn restore_checkpoint(
+/// Runs one configuration under the full supervision discipline of
+/// [`sweep_supervised`] — panic isolation, retry-and-reseed, bounded
+/// backoff — without the sweep scaffolding. This is the execution unit
+/// the campaign server's worker pool drains its job queue through, so a
+/// served result is byte-identical to the same slot of a direct
+/// supervised sweep.
+pub fn run_supervised(cfg: &RunConfig, opts: &SweepOptions) -> Result<RunResult, SweepError> {
+    run_guarded_with(cfg, opts, run)
+}
+
+/// What a checkpoint restore found on disk.
+///
+/// The zero value (`restored == 0`, `skipped_lines == 0`,
+/// `torn_tail == false`) is indistinguishable from a missing file, which
+/// is exactly right: an absent checkpoint is an empty one.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CheckpointRestore {
+    /// Slots restored from disk instead of re-run.
+    pub restored: usize,
+    /// Lines that parsed as JSON but could not be restored (undecodable
+    /// result, out-of-range index, or a label that no longer matches the
+    /// configuration at that index), plus interior lines that failed to
+    /// parse outright. Every such line is silent data loss the caller
+    /// should surface; a nonzero count on a file this sweep wrote itself
+    /// means corruption.
+    pub skipped_lines: usize,
+    /// The file ends in a partially written line — the signature of a
+    /// writer killed mid-append. Tolerated explicitly (the interrupted
+    /// slot simply re-runs) and reported so callers can distinguish
+    /// "clean resume" from "resume after a hard kill".
+    pub torn_tail: bool,
+}
+
+/// Restores completed slots from a checkpoint file, reporting exactly
+/// what was kept and what was lost. See [`CheckpointRestore`] for the
+/// accounting semantics.
+pub fn restore_checkpoint(
     path: &std::path::Path,
     configs: &[RunConfig],
     slots: &mut [Option<Result<RunResult, SweepError>>],
-) {
+) -> CheckpointRestore {
     let Ok(text) = std::fs::read_to_string(path) else {
-        return;
+        return CheckpointRestore::default();
     };
-    for line in text.lines() {
-        let Ok(v) = parse(line) else { continue };
-        let Some(i) = v.get("index").and_then(Json::as_u64) else {
-            continue;
-        };
-        let i = i as usize;
-        if i >= configs.len() {
-            continue;
+    let scan = scan_lines(&text);
+    let mut report = CheckpointRestore {
+        restored: 0,
+        skipped_lines: scan.skipped,
+        torn_tail: scan.torn_tail,
+    };
+    for (_, v) in &scan.values {
+        let restorable = (|| {
+            let i = v.get("index").and_then(Json::as_u64)? as usize;
+            if i >= configs.len() {
+                return None;
+            }
+            if v.get("label").and_then(Json::as_str) != Some(&configs[i].label()) {
+                return None;
+            }
+            let r = v.get("result").and_then(|r| decode_result(r).ok())?;
+            Some((i, r))
+        })();
+        match restorable {
+            Some((i, r)) => {
+                report.restored += 1;
+                slots[i] = Some(Ok(r));
+            }
+            None => report.skipped_lines += 1,
         }
-        let label_matches = v.get("label").and_then(Json::as_str) == Some(&configs[i].label());
-        if !label_matches {
-            continue;
-        }
-        let Some(r) = v.get("result").and_then(|r| decode_result(r).ok()) else {
-            continue;
-        };
-        slots[i] = Some(Ok(r));
     }
+    report
 }
 
-fn checkpoint_line(index: usize, label: &str, result: &RunResult) -> String {
+/// Renders one checkpoint line: `{"index":i,"label":...,"result":{...}}`.
+/// The campaign server writes its per-job checkpoint/result files in
+/// exactly this format so [`restore_checkpoint`] can resume them.
+pub fn checkpoint_line(index: usize, label: &str, result: &RunResult) -> String {
     obj(vec![
         ("index", Json::U64(index as u64)),
         ("label", Json::Str(label.to_string())),
         ("result", encode_result(result)),
     ])
     .to_string()
+}
+
+/// [`sweep_supervised`] output plus the checkpoint-restore accounting.
+#[derive(Debug)]
+pub struct SweepReport {
+    /// Per-slot results in input order.
+    pub results: Vec<Result<RunResult, SweepError>>,
+    /// What the checkpoint restore found. `None` when
+    /// [`SweepOptions::checkpoint`] was `None`.
+    pub checkpoint: Option<CheckpointRestore>,
 }
 
 /// Runs every configuration across OS threads under supervision and
@@ -172,15 +242,29 @@ pub fn sweep_supervised(
     configs: &[RunConfig],
     opts: &SweepOptions,
 ) -> Vec<Result<RunResult, SweepError>> {
+    sweep_supervised_report(configs, opts).results
+}
+
+/// [`sweep_supervised`] with the checkpoint-restore accounting attached:
+/// how many slots came from disk, how many checkpoint lines were lost to
+/// corruption, and whether the file ended in a torn line.
+pub fn sweep_supervised_report(configs: &[RunConfig], opts: &SweepOptions) -> SweepReport {
     let mut slots: Vec<Option<Result<RunResult, SweepError>>> = Vec::new();
     slots.resize_with(configs.len(), || None);
     if configs.is_empty() {
-        return Vec::new();
+        return SweepReport {
+            results: Vec::new(),
+            checkpoint: opts
+                .checkpoint
+                .as_ref()
+                .map(|_| CheckpointRestore::default()),
+        };
     }
 
-    if let Some(path) = &opts.checkpoint {
-        restore_checkpoint(path, configs, &mut slots);
-    }
+    let checkpoint = opts
+        .checkpoint
+        .as_ref()
+        .map(|path| restore_checkpoint(path, configs, &mut slots));
     let pending: Vec<usize> = (0..configs.len()).filter(|&i| slots[i].is_none()).collect();
 
     if !pending.is_empty() {
@@ -214,7 +298,7 @@ pub fn sweep_supervised(
                     let i = pending[n];
                     // A dropped receiver just means nobody wants the
                     // result any more; finish the remaining work quietly.
-                    if tx.send((i, run_guarded(&configs[i], opts))).is_err() {
+                    if tx.send((i, run_supervised(&configs[i], opts))).is_err() {
                         break;
                     }
                 });
@@ -231,7 +315,7 @@ pub fn sweep_supervised(
         });
     }
 
-    slots
+    let results = slots
         .into_iter()
         .enumerate()
         .map(|(i, slot)| {
@@ -239,7 +323,11 @@ pub fn sweep_supervised(
                 label: configs[i].label(),
             }))
         })
-        .collect()
+        .collect();
+    SweepReport {
+        results,
+        checkpoint,
+    }
 }
 
 /// Runs every configuration, fanning out across OS threads (one run is
@@ -433,6 +521,184 @@ mod tests {
         // slots).
         let restored = sweep_supervised(&configs, &opts);
         for (r, f) in restored.iter().zip(fresh.iter()) {
+            assert_eq!(r.as_ref().unwrap().digest(), f.digest());
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// Retry-and-reseed: a runner that panics on the original seed but
+    /// succeeds on any perturbed one must be rescued by the retry loop,
+    /// and the rescue must use the documented perturbation scheme.
+    #[test]
+    fn retry_reseeds_after_injected_panic() {
+        let cfg = quick_cfg(0.2);
+        let original_seed = cfg.seed;
+        let attempts = std::sync::atomic::AtomicU32::new(0);
+        let opts = SweepOptions {
+            retries: 2,
+            backoff: Duration::from_millis(1),
+            ..SweepOptions::default()
+        };
+        let r = run_guarded_with(&cfg, &opts, |c| {
+            attempts.fetch_add(1, Ordering::SeqCst);
+            assert!(
+                c.seed == original_seed
+                    || c.seed
+                        == original_seed.wrapping_add(1u64.wrapping_mul(0x9e37_79b9_7f4a_7c15) | 1),
+                "unexpected reseed value {:#x}",
+                c.seed
+            );
+            if c.seed == original_seed {
+                panic!("injected load-order-dependent panic");
+            }
+            run(c)
+        });
+        assert_eq!(attempts.load(Ordering::SeqCst), 2, "first try + one retry");
+        let r = r.expect("perturbed seed should succeed");
+        // The rescued result is the perturbed-seed run, byte-exactly.
+        let mut reseeded = cfg.clone();
+        reseeded.seed = original_seed.wrapping_add(0x9e37_79b9_7f4a_7c15 | 1);
+        assert_eq!(r.digest(), run(&reseeded).digest());
+    }
+
+    /// A deterministic panic exhausts every attempt and reports the
+    /// attempt count and final message.
+    #[test]
+    fn deterministic_panic_exhausts_all_attempts() {
+        let cfg = quick_cfg(0.2);
+        let attempts = std::sync::atomic::AtomicU32::new(0);
+        let opts = SweepOptions {
+            retries: 3,
+            backoff: Duration::from_millis(1),
+            ..SweepOptions::default()
+        };
+        let r = run_guarded_with(&cfg, &opts, |_| -> RunResult {
+            attempts.fetch_add(1, Ordering::SeqCst);
+            panic!("always broken")
+        });
+        assert_eq!(attempts.load(Ordering::SeqCst), 4);
+        match r {
+            Err(SweepError::Panicked {
+                attempts, message, ..
+            }) => {
+                assert_eq!(attempts, 4);
+                assert!(message.contains("always broken"));
+            }
+            other => panic!("expected Panicked, got {other:?}"),
+        }
+    }
+
+    /// Backoff ordering: doubles per retry, clamps at the cap, and never
+    /// decreases.
+    #[test]
+    fn backoff_doubles_then_clamps() {
+        let opts = SweepOptions {
+            backoff: Duration::from_millis(50),
+            max_backoff: Duration::from_millis(350),
+            ..SweepOptions::default()
+        };
+        let seq: Vec<Duration> = (1..=5).map(|a| backoff_for(a, &opts)).collect();
+        assert_eq!(
+            seq,
+            vec![
+                Duration::from_millis(50),
+                Duration::from_millis(100),
+                Duration::from_millis(200),
+                Duration::from_millis(350),
+                Duration::from_millis(350),
+            ]
+        );
+        for w in seq.windows(2) {
+            assert!(w[0] <= w[1], "backoff must be monotone");
+        }
+        // The shift exponent saturates instead of overflowing on absurd
+        // attempt counts.
+        assert_eq!(backoff_for(64, &opts), Duration::from_millis(350));
+    }
+
+    /// Checkpoint-resume from a file whose final line was torn by a hard
+    /// kill: the torn slot re-runs, the intact slot restores, accounting
+    /// reports the tear, and the resumed sweep is digest-exact against an
+    /// uninterrupted run.
+    #[test]
+    fn truncated_checkpoint_resumes_digest_exact() {
+        let configs = vec![quick_cfg(0.2), quick_cfg(0.4)];
+        let dir = std::env::temp_dir().join(format!(
+            "icn-sweep-torn-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("sweep.jsonl");
+        let _ = std::fs::remove_file(&path);
+
+        let opts = SweepOptions {
+            checkpoint: Some(path.clone()),
+            ..SweepOptions::default()
+        };
+        let full = sweep_supervised_report(&configs, &opts);
+        assert!(full.results.iter().all(Result::is_ok));
+        let ck = full.checkpoint.expect("checkpoint accounting present");
+        assert_eq!(
+            ck,
+            CheckpointRestore::default(),
+            "fresh run restores nothing"
+        );
+
+        // Simulate the writer dying mid-append: cut the file mid-way
+        // through its final line (no trailing newline).
+        let text = std::fs::read_to_string(&path).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        let torn = format!("{}\n{}", lines[0], &lines[1][..lines[1].len() / 2]);
+        std::fs::write(&path, &torn).unwrap();
+
+        let resumed = sweep_supervised_report(&configs, &opts);
+        let ck = resumed.checkpoint.unwrap();
+        assert_eq!(ck.restored, 1, "the intact line restores");
+        assert!(ck.torn_tail, "the tear must be reported");
+        assert_eq!(ck.skipped_lines, 0, "a torn tail is not counted as loss");
+
+        let fresh = sweep(&configs);
+        for (r, f) in resumed.results.iter().zip(fresh.iter()) {
+            assert_eq!(r.as_ref().unwrap().digest(), f.digest());
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// Interior garbage (a corrupted line in the middle of the file) is
+    /// counted as skipped, not silently dropped.
+    #[test]
+    fn corrupted_interior_line_is_counted() {
+        let configs = vec![quick_cfg(0.2), quick_cfg(0.4)];
+        let dir = std::env::temp_dir().join(format!(
+            "icn-sweep-corrupt-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("sweep.jsonl");
+        let _ = std::fs::remove_file(&path);
+        let opts = SweepOptions {
+            checkpoint: Some(path.clone()),
+            ..SweepOptions::default()
+        };
+        let _ = sweep_supervised(&configs, &opts);
+
+        // Corrupt the first line in place, keep the second intact.
+        let text = std::fs::read_to_string(&path).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        let corrupted = format!("{}XX\n{}\n", &lines[0][..lines[0].len() - 2], lines[1]);
+        std::fs::write(&path, &corrupted).unwrap();
+
+        let resumed = sweep_supervised_report(&configs, &opts);
+        let ck = resumed.checkpoint.unwrap();
+        assert_eq!(ck.restored, 1);
+        assert_eq!(ck.skipped_lines, 1, "the corrupted line is accounted for");
+        assert!(!ck.torn_tail);
+        // The damaged slot re-ran; results still match a fresh sweep.
+        let fresh = sweep(&configs);
+        for (r, f) in resumed.results.iter().zip(fresh.iter()) {
             assert_eq!(r.as_ref().unwrap().digest(), f.digest());
         }
         let _ = std::fs::remove_dir_all(&dir);

@@ -1,0 +1,210 @@
+//! Minimal HTTP/1.1 over `std::net` — hand-rolled on purpose: the build
+//! environment is offline and the repo's policy is zero new dependencies.
+//!
+//! The server side parses exactly what the campaign API needs (request
+//! line, headers, `Content-Length` body) and always answers with
+//! `Connection: close`, so a connection carries one request. The client
+//! side ([`http_request`]) is the same subset from the other end; the
+//! integration tests, the `repro serve --smoke` self-check, and any
+//! script with a TCP stack can drive the API with it.
+
+use std::io::{self, BufRead, BufReader, Read, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+/// Largest accepted request body (a million-config grid is ~kilobytes;
+/// this bound exists to shed hostile inputs, not to constrain use).
+pub const MAX_BODY: usize = 16 << 20;
+
+/// One parsed request.
+#[derive(Debug)]
+pub struct Request {
+    pub method: String,
+    /// Path with any query string stripped.
+    pub path: String,
+    pub body: Vec<u8>,
+}
+
+fn bad_input(msg: &str) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg.to_string())
+}
+
+/// Reads one request from the stream. Returns `Err` on malformed input;
+/// the caller answers 400 and closes.
+pub fn read_request(stream: &TcpStream) -> io::Result<Request> {
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    reader.read_line(&mut line)?;
+    let mut parts = line.split_whitespace();
+    let method = parts
+        .next()
+        .ok_or_else(|| bad_input("empty request line"))?
+        .to_string();
+    let target = parts.next().ok_or_else(|| bad_input("missing target"))?;
+    let path = target.split('?').next().unwrap_or(target).to_string();
+    if !path.starts_with('/') {
+        return Err(bad_input("target must be absolute"));
+    }
+
+    let mut content_length = 0usize;
+    loop {
+        let mut h = String::new();
+        if reader.read_line(&mut h)? == 0 {
+            return Err(bad_input("connection closed inside headers"));
+        }
+        let t = h.trim();
+        if t.is_empty() {
+            break;
+        }
+        if let Some((k, v)) = t.split_once(':') {
+            if k.trim().eq_ignore_ascii_case("content-length") {
+                content_length = v
+                    .trim()
+                    .parse()
+                    .map_err(|_| bad_input("bad content-length"))?;
+            }
+        }
+    }
+    if content_length > MAX_BODY {
+        return Err(bad_input("body too large"));
+    }
+    let mut body = vec![0u8; content_length];
+    reader.read_exact(&mut body)?;
+    Ok(Request { method, path, body })
+}
+
+fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        500 => "Internal Server Error",
+        _ => "Unknown",
+    }
+}
+
+/// Writes a complete response and flushes. `Connection: close` always.
+pub fn respond(
+    stream: &mut TcpStream,
+    status: u16,
+    content_type: &str,
+    body: &[u8],
+) -> io::Result<()> {
+    let head = format!(
+        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        status,
+        reason(status),
+        content_type,
+        body.len()
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body)?;
+    stream.flush()
+}
+
+/// JSON response helper.
+pub fn respond_json(stream: &mut TcpStream, status: u16, body: &str) -> io::Result<()> {
+    respond(stream, status, "application/json", body.as_bytes())
+}
+
+/// A one-line JSON error body.
+pub fn respond_error(stream: &mut TcpStream, status: u16, message: &str) -> io::Result<()> {
+    let body = flexsim::jsonio::obj(vec![(
+        "error",
+        flexsim::jsonio::Json::Str(message.to_string()),
+    )])
+    .to_string();
+    respond_json(stream, status, &body)
+}
+
+/// Blocking HTTP client for the campaign API: sends one request, reads
+/// the full response (the server closes the connection after it).
+/// Returns `(status, body)`.
+pub fn http_request(
+    addr: impl ToSocketAddrs,
+    method: &str,
+    path: &str,
+    body: Option<&str>,
+) -> io::Result<(u16, String)> {
+    let mut stream = TcpStream::connect(addr)?;
+    stream.set_read_timeout(Some(Duration::from_secs(120)))?;
+    let body = body.unwrap_or("");
+    let head = format!(
+        "{method} {path} HTTP/1.1\r\nHost: campaign\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body.as_bytes())?;
+    stream.flush()?;
+
+    let mut raw = Vec::new();
+    stream.read_to_end(&mut raw)?;
+    let text = String::from_utf8(raw).map_err(|_| bad_input("non-UTF-8 response"))?;
+    let (head, payload) = text
+        .split_once("\r\n\r\n")
+        .ok_or_else(|| bad_input("truncated response"))?;
+    let status: u16 = head
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| bad_input("bad status line"))?;
+    Ok((status, payload.to_string()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::TcpListener;
+
+    #[test]
+    fn request_and_response_round_trip() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let server = std::thread::spawn(move || {
+            let (stream, _) = listener.accept().unwrap();
+            let req = read_request(&stream).unwrap();
+            assert_eq!(req.method, "POST");
+            assert_eq!(req.path, "/jobs");
+            assert_eq!(req.body, b"{\"x\":1}");
+            let mut stream = stream;
+            respond_json(&mut stream, 200, "{\"ok\":true}").unwrap();
+        });
+        let (status, body) =
+            http_request(addr, "POST", "/jobs?verbose=1", Some("{\"x\":1}")).unwrap();
+        assert_eq!(status, 200);
+        assert_eq!(body, "{\"ok\":true}");
+        server.join().unwrap();
+    }
+
+    #[test]
+    fn get_without_body() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let server = std::thread::spawn(move || {
+            let (stream, _) = listener.accept().unwrap();
+            let req = read_request(&stream).unwrap();
+            assert_eq!(req.method, "GET");
+            assert!(req.body.is_empty());
+            let mut stream = stream;
+            respond(&mut stream, 404, "text/plain", b"nope").unwrap();
+        });
+        let (status, body) = http_request(addr, "GET", "/stats", None).unwrap();
+        assert_eq!(status, 404);
+        assert_eq!(body, "nope");
+        server.join().unwrap();
+    }
+
+    #[test]
+    fn malformed_request_line_rejected() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let client = std::thread::spawn(move || {
+            let mut s = TcpStream::connect(addr).unwrap();
+            s.write_all(b"garbage\r\n\r\n").unwrap();
+        });
+        let (stream, _) = listener.accept().unwrap();
+        assert!(read_request(&stream).is_err());
+        client.join().unwrap();
+    }
+}

@@ -1,0 +1,36 @@
+//! Campaign server: simulation-as-a-service over the supervised sweep
+//! engine.
+//!
+//! The repo's sweeps are library calls; this crate puts an HTTP job API
+//! in front of them so long simulation campaigns can be submitted,
+//! monitored, shared, and resumed. Std-only by design — the build
+//! environment is offline, so the HTTP layer, the JSON, and the signal
+//! handling are all hand-rolled on `std`.
+//!
+//! * [`http`] — minimal HTTP/1.1 server- and client-side plumbing.
+//! * [`grid`] — sweep-grid submissions (`base × seeds × loads`).
+//! * [`cache`] — content-addressed result cache keyed on canonical
+//!   config digests and [`flexsim::ENGINE_VERSION`].
+//! * [`state`] — job table, work-stealing worker pool, per-job
+//!   checkpoint appends in the core sweep format.
+//! * [`server`] — [`CampaignServer`]: endpoints, crash recovery,
+//!   graceful shutdown.
+//!
+//! Results served over the API are digest-identical to direct
+//! [`flexsim::sweep_supervised`] calls on the same grid: the workers run
+//! each configuration through the very same supervised single-config
+//! path ([`flexsim::run_supervised`]) and persist it with the same
+//! checkpoint codec. The integration suite and `repro serve --smoke`
+//! assert this end to end.
+
+pub mod cache;
+pub mod grid;
+pub mod http;
+pub mod server;
+pub mod signal;
+pub mod state;
+
+pub use cache::{config_key, ResultCache};
+pub use grid::SweepGrid;
+pub use http::http_request;
+pub use server::{CampaignServer, ServerOptions};

@@ -1,0 +1,501 @@
+//! The campaign server: HTTP front end, job recovery, and the serve loop.
+//!
+//! # Endpoints
+//!
+//! | Method | Path                 | Meaning                                        |
+//! |--------|----------------------|------------------------------------------------|
+//! | POST   | `/jobs`              | Submit a sweep grid; returns `{"id", "configs"}` |
+//! | GET    | `/jobs/:id`          | Job status with per-config progress            |
+//! | GET    | `/jobs/:id/results`  | Completed results as JSON lines                |
+//! | GET    | `/stats`             | Engine version, worker/job/cache counters      |
+//! | POST   | `/shutdown`          | Graceful shutdown (in-flight configs finish)   |
+//! | GET    | `/incidents`         | Deadlock-incident index                        |
+//! | GET    | `/incidents/:n`      | Full incident record (JSON)                    |
+//! | GET    | `/incidents/:n/dot`  | Knot-highlighted Graphviz rendering            |
+//!
+//! # Durability
+//!
+//! Everything lives under `data_dir`: `jobs/job-<id>.json` (the canonical
+//! submitted grid), `jobs/job-<id>.ckpt.jsonl` (completed results in the
+//! core checkpoint format — this file *is* the results stream), and
+//! `cache/` (content-addressed results). A killed server recovers on the
+//! next [`CampaignServer::bind`]: grids are re-expanded, checkpoints
+//! restored with the core [`flexsim::restore_checkpoint`] (digest-exact,
+//! torn final lines tolerated and surfaced), and unfinished
+//! configurations re-enter the queues.
+
+use std::fs;
+use std::io::{self, ErrorKind};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::path::PathBuf;
+use std::sync::atomic::Ordering;
+use std::sync::{mpsc, Arc, Mutex};
+use std::thread::{self, JoinHandle};
+use std::time::Duration;
+
+use flexsim::forensics::IncidentStore;
+use flexsim::jsonio::{obj, scan_lines, u64_arr, Json};
+use flexsim::{restore_checkpoint, RunResult, SweepError, SweepOptions, ENGINE_VERSION};
+
+use crate::cache::ResultCache;
+use crate::grid::SweepGrid;
+use crate::http::{read_request, respond, respond_error, respond_json, Request};
+use crate::signal;
+use crate::state::{Job, Shared, SlotState};
+
+/// Server configuration.
+#[derive(Clone, Debug)]
+pub struct ServerOptions {
+    /// Root of all durable state (`jobs/`, `cache/`, `incidents/`).
+    pub data_dir: PathBuf,
+    /// Simulation workers (the work-stealing pool size).
+    pub workers: usize,
+    /// HTTP handler threads (requests are cheap; 2 is plenty).
+    pub http_threads: usize,
+    /// Supervision knobs for each simulation. The `checkpoint` field is
+    /// ignored — the server manages one checkpoint file per job.
+    pub sweep: SweepOptions,
+    /// Install a SIGINT handler so Ctrl-C takes the graceful path.
+    pub handle_sigint: bool,
+}
+
+impl ServerOptions {
+    pub fn new(data_dir: impl Into<PathBuf>) -> Self {
+        ServerOptions {
+            data_dir: data_dir.into(),
+            workers: thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(2),
+            http_threads: 2,
+            sweep: SweepOptions::default(),
+            handle_sigint: false,
+        }
+    }
+}
+
+/// What the HTTP handlers need.
+struct Ctx {
+    shared: Arc<Shared>,
+    jobs_dir: PathBuf,
+    incidents: IncidentStore,
+    workers: usize,
+}
+
+/// A bound campaign server. [`bind`](CampaignServer::bind) recovers
+/// durable state and starts the worker pool; [`serve`](CampaignServer::serve)
+/// runs the accept loop until shutdown and drains gracefully.
+pub struct CampaignServer {
+    listener: TcpListener,
+    addr: SocketAddr,
+    ctx: Arc<Ctx>,
+    workers: Vec<JoinHandle<()>>,
+    http_threads: usize,
+    handle_sigint: bool,
+}
+
+impl CampaignServer {
+    /// Binds `addr` (use port 0 for an ephemeral port), recovers jobs
+    /// from `data_dir`, and starts the worker pool.
+    pub fn bind(addr: impl ToSocketAddrs, opts: &ServerOptions) -> io::Result<CampaignServer> {
+        let jobs_dir = opts.data_dir.join("jobs");
+        fs::create_dir_all(&jobs_dir)?;
+        let cache = ResultCache::open(opts.data_dir.join("cache"))?;
+        let incidents = IncidentStore::open(opts.data_dir.join("incidents"))?;
+
+        let mut sweep = opts.sweep.clone();
+        sweep.checkpoint = None;
+        let shared = Shared::new(opts.workers, sweep, cache);
+        recover_jobs(&shared, &jobs_dir);
+
+        let workers = (0..opts.workers.max(1))
+            .map(|w| {
+                let s = Arc::clone(&shared);
+                thread::Builder::new()
+                    .name(format!("campaign-worker-{w}"))
+                    .spawn(move || s.worker_loop(w))
+                    .expect("spawn worker")
+            })
+            .collect();
+
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        let addr = listener.local_addr()?;
+        Ok(CampaignServer {
+            listener,
+            addr,
+            ctx: Arc::new(Ctx {
+                shared,
+                jobs_dir,
+                incidents,
+                workers: opts.workers.max(1),
+            }),
+            workers,
+            http_threads: opts.http_threads.max(1),
+            handle_sigint: opts.handle_sigint,
+        })
+    }
+
+    /// The bound address (useful with an ephemeral port).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Runs until `POST /shutdown` or SIGINT, then drains: in-flight
+    /// requests and simulations finish and are checkpointed; queued
+    /// configurations stay on disk for the next lifetime.
+    pub fn serve(self) -> io::Result<()> {
+        if self.handle_sigint {
+            signal::install();
+        }
+        let (tx, rx) = mpsc::channel::<TcpStream>();
+        let rx = Arc::new(Mutex::new(rx));
+        let handlers: Vec<JoinHandle<()>> = (0..self.http_threads)
+            .map(|h| {
+                let rx = Arc::clone(&rx);
+                let ctx = Arc::clone(&self.ctx);
+                thread::Builder::new()
+                    .name(format!("campaign-http-{h}"))
+                    .spawn(move || loop {
+                        let next = rx.lock().unwrap().recv_timeout(Duration::from_millis(100));
+                        match next {
+                            Ok(stream) => handle_connection(&ctx, stream),
+                            Err(mpsc::RecvTimeoutError::Timeout) => continue,
+                            Err(mpsc::RecvTimeoutError::Disconnected) => break,
+                        }
+                    })
+                    .expect("spawn http handler")
+            })
+            .collect();
+
+        loop {
+            if self.ctx.shared.shutdown.load(Ordering::SeqCst) || signal::triggered() {
+                break;
+            }
+            match self.listener.accept() {
+                Ok((stream, _)) => {
+                    let _ = stream.set_nonblocking(false);
+                    let _ = tx.send(stream);
+                }
+                Err(e) if e.kind() == ErrorKind::WouldBlock => {
+                    thread::sleep(Duration::from_millis(25));
+                }
+                Err(_) => thread::sleep(Duration::from_millis(25)),
+            }
+        }
+
+        // Drain: stop feeding handlers, let them finish queued requests,
+        // then stop the workers (their in-flight units checkpoint first).
+        drop(tx);
+        for h in handlers {
+            let _ = h.join();
+        }
+        self.ctx.shared.trigger_shutdown();
+        for w in self.workers {
+            let _ = w.join();
+        }
+        Ok(())
+    }
+}
+
+/// Re-creates every job found in `jobs_dir` and restores its checkpoint.
+fn recover_jobs(shared: &Arc<Shared>, jobs_dir: &std::path::Path) {
+    let Ok(rd) = fs::read_dir(jobs_dir) else {
+        return;
+    };
+    let mut ids: Vec<u64> = rd
+        .filter_map(Result::ok)
+        .filter_map(|e| {
+            let name = e.file_name().into_string().ok()?;
+            name.strip_prefix("job-")?
+                .strip_suffix(".json")?
+                .parse()
+                .ok()
+        })
+        .collect();
+    ids.sort_unstable();
+
+    let mut inner = shared.inner.lock().unwrap();
+    for id in ids {
+        let grid_path = jobs_dir.join(format!("job-{id}.json"));
+        let Ok(text) = fs::read_to_string(&grid_path) else {
+            continue;
+        };
+        let Ok(grid) = SweepGrid::from_json(&text) else {
+            eprintln!(
+                "campaign: ignoring unparseable grid {}",
+                grid_path.display()
+            );
+            continue;
+        };
+        let configs = grid.expand();
+        let ckpt = jobs_dir.join(format!("job-{id}.ckpt.jsonl"));
+        let mut raw: Vec<Option<Result<RunResult, SweepError>>> = Vec::new();
+        raw.resize_with(configs.len(), || None);
+        let restore = restore_checkpoint(&ckpt, &configs, &mut raw);
+        let slots: Vec<SlotState> = raw
+            .iter()
+            .map(|s| match s {
+                Some(Ok(_)) => SlotState::Done {
+                    cached: false,
+                    restored: true,
+                },
+                _ => SlotState::Pending,
+            })
+            .collect();
+        let job = Job {
+            id,
+            configs,
+            slots,
+            ckpt,
+            restored: restore.restored,
+            ckpt_skipped: restore.skipped_lines,
+            torn_tail: restore.torn_tail,
+            needs_newline_guard: restore.torn_tail,
+        };
+        inner.jobs.insert(id, job);
+        Shared::enqueue_pending(&mut inner, id);
+        inner.next_job_id = inner.next_job_id.max(id + 1);
+        shared.stats.jobs_resumed.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+/// Reads one request, dispatches it, writes the response. All errors end
+/// the connection; the protocol is one request per connection anyway.
+fn handle_connection(ctx: &Arc<Ctx>, stream: TcpStream) {
+    let mut stream = stream;
+    let req = match read_request(&stream) {
+        Ok(r) => r,
+        Err(e) => {
+            let _ = respond_error(&mut stream, 400, &e.to_string());
+            return;
+        }
+    };
+    // `/shutdown` answers before raising the latch so the client sees the
+    // acknowledgment.
+    if req.method == "POST" && req.path == "/shutdown" {
+        let _ = respond_json(&mut stream, 200, "{\"shutting_down\":true}");
+        ctx.shared.trigger_shutdown();
+        return;
+    }
+    match dispatch(ctx, &req) {
+        Ok((status, content_type, body)) => {
+            let _ = respond(&mut stream, status, content_type, body.as_bytes());
+        }
+        Err((status, msg)) => {
+            let _ = respond_error(&mut stream, status, &msg);
+        }
+    }
+}
+
+type Reply = Result<(u16, &'static str, String), (u16, String)>;
+
+fn dispatch(ctx: &Arc<Ctx>, req: &Request) -> Reply {
+    let segments: Vec<&str> = req.path.split('/').filter(|s| !s.is_empty()).collect();
+    match (req.method.as_str(), segments.as_slice()) {
+        ("POST", ["jobs"]) => submit_job(ctx, &req.body),
+        ("GET", ["jobs", id]) => job_status(ctx, parse_id(id)?),
+        ("GET", ["jobs", id, "results"]) => job_results(ctx, parse_id(id)?),
+        ("GET", ["stats"]) => stats(ctx),
+        ("GET", ["incidents"]) => incident_index(ctx),
+        ("GET", ["incidents", n]) => incident_file(ctx, parse_id(n)?, "json"),
+        ("GET", ["incidents", n, "dot"]) => incident_file(ctx, parse_id(n)?, "dot"),
+        ("GET" | "POST", _) => Err((404, format!("no route for {} {}", req.method, req.path))),
+        _ => Err((405, format!("method {} not supported", req.method))),
+    }
+}
+
+fn parse_id(s: &str) -> Result<u64, (u16, String)> {
+    s.parse().map_err(|_| (400, format!("bad id `{s}`")))
+}
+
+fn submit_job(ctx: &Arc<Ctx>, body: &[u8]) -> Reply {
+    let text = std::str::from_utf8(body).map_err(|_| (400, "body is not UTF-8".to_string()))?;
+    let grid = SweepGrid::from_json(text).map_err(|e| (400, format!("bad grid: {e}")))?;
+    let configs = grid.expand();
+    let n = configs.len();
+
+    let mut inner = ctx.shared.inner.lock().unwrap();
+    let id = inner.next_job_id;
+    inner.next_job_id += 1;
+    let grid_path = ctx.jobs_dir.join(format!("job-{id}.json"));
+    fs::write(&grid_path, grid.to_json().to_string())
+        .map_err(|e| (500, format!("persisting grid: {e}")))?;
+    let job = Job {
+        id,
+        configs,
+        slots: vec![SlotState::Pending; n],
+        ckpt: ctx.jobs_dir.join(format!("job-{id}.ckpt.jsonl")),
+        restored: 0,
+        ckpt_skipped: 0,
+        torn_tail: false,
+        needs_newline_guard: false,
+    };
+    inner.jobs.insert(id, job);
+    Shared::enqueue_pending(&mut inner, id);
+    drop(inner);
+    ctx.shared
+        .stats
+        .jobs_submitted
+        .fetch_add(1, Ordering::Relaxed);
+    ctx.shared.work_cv.notify_all();
+
+    let body = obj(vec![
+        ("id", Json::U64(id)),
+        ("configs", Json::U64(n as u64)),
+    ]);
+    Ok((200, "application/json", body.to_string()))
+}
+
+fn job_status(ctx: &Arc<Ctx>, id: u64) -> Reply {
+    let inner = ctx.shared.inner.lock().unwrap();
+    let job = inner
+        .jobs
+        .get(&id)
+        .ok_or_else(|| (404, format!("no job {id}")))?;
+    let (pending, running, done, cached, restored, failed) = job.tally();
+    let state = if job.is_settled() {
+        "done"
+    } else if running > 0 || done > 0 {
+        "running"
+    } else {
+        "queued"
+    };
+    let slots: Vec<Json> = job
+        .slots
+        .iter()
+        .map(|s| {
+            Json::Str(match s {
+                SlotState::Pending => "pending".to_string(),
+                SlotState::Running => "running".to_string(),
+                SlotState::Done { cached: true, .. } => "done:cached".to_string(),
+                SlotState::Done { restored: true, .. } => "done:restored".to_string(),
+                SlotState::Done { .. } => "done".to_string(),
+                SlotState::Failed(msg) => format!("failed: {msg}"),
+            })
+        })
+        .collect();
+    let body = obj(vec![
+        ("id", Json::U64(id)),
+        ("state", Json::Str(state.to_string())),
+        ("configs", Json::U64(job.slots.len() as u64)),
+        ("pending", Json::U64(pending as u64)),
+        ("running", Json::U64(running as u64)),
+        ("completed", Json::U64(done as u64)),
+        ("cached", Json::U64(cached as u64)),
+        ("restored", Json::U64(restored as u64)),
+        ("failed", Json::U64(failed as u64)),
+        (
+            "checkpoint",
+            obj(vec![
+                ("restored", Json::U64(job.restored as u64)),
+                ("skipped_lines", Json::U64(job.ckpt_skipped as u64)),
+                ("torn_tail", Json::Bool(job.torn_tail)),
+            ]),
+        ),
+        ("slots", Json::Arr(slots)),
+    ]);
+    Ok((200, "application/json", body.to_string()))
+}
+
+fn job_results(ctx: &Arc<Ctx>, id: u64) -> Reply {
+    let ckpt = {
+        let inner = ctx.shared.inner.lock().unwrap();
+        inner
+            .jobs
+            .get(&id)
+            .ok_or_else(|| (404, format!("no job {id}")))?
+            .ckpt
+            .clone()
+    };
+    let text = match fs::read_to_string(&ckpt) {
+        Ok(t) => t,
+        Err(e) if e.kind() == ErrorKind::NotFound => String::new(),
+        Err(e) => return Err((500, format!("reading results: {e}"))),
+    };
+    // Stream only whole, parseable lines — a torn tail or a damaged line
+    // never reaches a client.
+    let lines: Vec<&str> = text.lines().collect();
+    let mut body = String::with_capacity(text.len());
+    for (lineno, _) in scan_lines(&text).values {
+        body.push_str(lines[lineno]);
+        body.push('\n');
+    }
+    Ok((200, "application/x-ndjson", body))
+}
+
+fn stats(ctx: &Arc<Ctx>) -> Reply {
+    let s = &ctx.shared.stats;
+    let body = obj(vec![
+        ("engine", Json::Str(ENGINE_VERSION.to_string())),
+        ("workers", Json::U64(ctx.workers as u64)),
+        (
+            "jobs",
+            obj(vec![
+                (
+                    "submitted",
+                    Json::U64(s.jobs_submitted.load(Ordering::Relaxed)),
+                ),
+                (
+                    "completed",
+                    Json::U64(s.jobs_completed.load(Ordering::Relaxed)),
+                ),
+                ("resumed", Json::U64(s.jobs_resumed.load(Ordering::Relaxed))),
+            ]),
+        ),
+        (
+            "cache",
+            obj(vec![
+                (
+                    "hits",
+                    Json::U64(ctx.shared.cache.hits.load(Ordering::Relaxed)),
+                ),
+                (
+                    "misses",
+                    Json::U64(ctx.shared.cache.misses.load(Ordering::Relaxed)),
+                ),
+                ("entries", Json::U64(ctx.shared.cache.entries() as u64)),
+            ]),
+        ),
+        ("sims_run", Json::U64(s.sims_run.load(Ordering::Relaxed))),
+    ]);
+    Ok((200, "application/json", body.to_string()))
+}
+
+fn incident_index(ctx: &Arc<Ctx>) -> Reply {
+    let entries = ctx
+        .incidents
+        .list()
+        .map_err(|e| (500, format!("reading incident index: {e}")))?;
+    let arr: Vec<Json> = entries
+        .iter()
+        .map(|e| {
+            obj(vec![
+                ("file", Json::Str(e.file.clone())),
+                ("seq", Json::U64(e.seq as u64)),
+                ("cycle", Json::U64(e.cycle)),
+                ("label", Json::Str(e.label.clone())),
+                ("fingerprint", Json::U64(e.fingerprint)),
+                ("set_sizes", u64_arr(e.set_sizes.iter().copied())),
+            ])
+        })
+        .collect();
+    let body = obj(vec![("incidents", Json::Arr(arr))]);
+    Ok((200, "application/json", body.to_string()))
+}
+
+fn incident_file(ctx: &Arc<Ctx>, n: u64, ext: &str) -> Reply {
+    let path = ctx.incidents.dir().join(format!("incident-{n:05}.{ext}"));
+    match fs::read_to_string(&path) {
+        Ok(text) => Ok((
+            200,
+            if ext == "dot" {
+                "text/vnd.graphviz"
+            } else {
+                "application/json"
+            },
+            text,
+        )),
+        Err(e) if e.kind() == ErrorKind::NotFound => Err((404, format!("no incident {n}"))),
+        Err(e) => Err((500, format!("reading incident: {e}"))),
+    }
+}

@@ -1,0 +1,354 @@
+//! Shared server state: the job table, the work-stealing queues, and the
+//! worker loop that drains them through the supervised runner.
+//!
+//! Each worker owns a deque; units are dealt round-robin at submission,
+//! a worker pops its own deque LIFO and steals FIFO from the longest
+//! sibling when empty. All deques sit behind one mutex — the unit of
+//! work is a whole simulation (milliseconds to minutes), so queue
+//! contention is irrelevant and the single lock keeps the stealing logic
+//! trivially correct.
+//!
+//! Results are never kept in memory: a completed unit is appended to its
+//! job's checkpoint file in the exact [`checkpoint_line`] format the core
+//! sweep writes, so `GET /jobs/:id/results` is a file read and a
+//! restarted server resumes with the core [`restore_checkpoint`] — the
+//! same machinery, digest-exact.
+
+use std::collections::{BTreeMap, VecDeque};
+use std::fs::OpenOptions;
+use std::io::Write;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Duration;
+
+use flexsim::{checkpoint_line, run_supervised, RunConfig, SweepOptions};
+
+use crate::cache::ResultCache;
+
+/// One schedulable piece of work: configuration `index` of job `job`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Unit {
+    pub job: u64,
+    pub index: usize,
+}
+
+/// Lifecycle of one configuration slot.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SlotState {
+    Pending,
+    Running,
+    Done {
+        /// Served from the result cache instead of simulated.
+        cached: bool,
+        /// Restored from the job checkpoint at server start.
+        restored: bool,
+    },
+    /// Supervision exhausted its retries; the message is the
+    /// [`flexsim::SweepError`] rendering.
+    Failed(String),
+}
+
+/// One submitted job.
+#[derive(Debug)]
+pub struct Job {
+    pub id: u64,
+    pub configs: Vec<RunConfig>,
+    pub slots: Vec<SlotState>,
+    /// JSON-lines results/checkpoint file (core `checkpoint_line` format).
+    pub ckpt: PathBuf,
+    /// Slots restored from the checkpoint at recovery.
+    pub restored: usize,
+    /// Checkpoint lines lost to corruption at recovery (surfaced in the
+    /// job status; nonzero means the file was damaged at rest).
+    pub ckpt_skipped: usize,
+    /// Whether recovery found a torn final line (killed mid-append).
+    pub torn_tail: bool,
+    /// Set with `torn_tail`: the next append must start with a newline so
+    /// it does not concatenate onto the torn fragment.
+    pub(crate) needs_newline_guard: bool,
+}
+
+impl Job {
+    /// (pending, running, done, cached, restored, failed) slot counts.
+    pub fn tally(&self) -> (usize, usize, usize, usize, usize, usize) {
+        let (mut p, mut r, mut d, mut c, mut re, mut f) = (0, 0, 0, 0, 0, 0);
+        for s in &self.slots {
+            match s {
+                SlotState::Pending => p += 1,
+                SlotState::Running => r += 1,
+                SlotState::Done { cached, restored } => {
+                    d += 1;
+                    c += usize::from(*cached);
+                    re += usize::from(*restored);
+                }
+                SlotState::Failed(_) => f += 1,
+            }
+        }
+        (p, r, d, c, re, f)
+    }
+
+    /// No slot is pending or running.
+    pub fn is_settled(&self) -> bool {
+        let (p, r, ..) = self.tally();
+        p == 0 && r == 0
+    }
+}
+
+/// Mutex-guarded portion of the server state.
+#[derive(Default)]
+pub struct Inner {
+    pub jobs: BTreeMap<u64, Job>,
+    pub queues: Vec<VecDeque<Unit>>,
+    pub next_job_id: u64,
+}
+
+/// Counters reported by `GET /stats`.
+#[derive(Default)]
+pub struct Stats {
+    /// Simulations actually executed (cache hits and restores excluded).
+    pub sims_run: AtomicU64,
+    pub jobs_submitted: AtomicU64,
+    pub jobs_resumed: AtomicU64,
+    pub jobs_completed: AtomicU64,
+}
+
+/// Everything the HTTP threads and the workers share.
+pub struct Shared {
+    pub inner: Mutex<Inner>,
+    pub work_cv: Condvar,
+    /// Graceful-shutdown latch: workers finish their in-flight unit and
+    /// exit; queued units stay in the job checkpoints' debt for the next
+    /// server lifetime.
+    pub shutdown: AtomicBool,
+    pub stats: Stats,
+    pub sweep: SweepOptions,
+    pub cache: ResultCache,
+}
+
+impl Shared {
+    pub fn new(workers: usize, sweep: SweepOptions, cache: ResultCache) -> Arc<Shared> {
+        let inner = Inner {
+            jobs: BTreeMap::new(),
+            queues: (0..workers.max(1)).map(|_| VecDeque::new()).collect(),
+            next_job_id: 1,
+        };
+        Arc::new(Shared {
+            inner: Mutex::new(inner),
+            work_cv: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+            stats: Stats::default(),
+            sweep,
+            cache,
+        })
+    }
+
+    /// Deals every `Pending` slot of `job_id` round-robin across the
+    /// worker queues and wakes the pool. Caller holds the lock.
+    pub fn enqueue_pending(inner: &mut Inner, job_id: u64) {
+        let Some(job) = inner.jobs.get(&job_id) else {
+            return;
+        };
+        let units: Vec<Unit> = job
+            .slots
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| **s == SlotState::Pending)
+            .map(|(index, _)| Unit { job: job_id, index })
+            .collect();
+        let n = inner.queues.len();
+        for (k, unit) in units.into_iter().enumerate() {
+            inner.queues[k % n].push_back(unit);
+        }
+    }
+
+    /// Pops work for `worker`: own deque from the back (LIFO keeps a
+    /// worker on the job it was dealt), else steal from the front of the
+    /// longest sibling queue (FIFO takes the oldest backlog).
+    fn next_unit(inner: &mut Inner, worker: usize) -> Option<Unit> {
+        if let Some(u) = inner.queues[worker].pop_back() {
+            return Some(u);
+        }
+        let victim = (0..inner.queues.len())
+            .filter(|&q| q != worker)
+            .max_by_key(|&q| inner.queues[q].len())?;
+        inner.queues[victim].pop_front()
+    }
+
+    /// The worker loop. Exits when the shutdown latch rises; the unit in
+    /// flight at that moment is finished and checkpointed first.
+    pub fn worker_loop(self: &Arc<Shared>, worker: usize) {
+        loop {
+            let unit = {
+                let mut inner = self.inner.lock().unwrap();
+                loop {
+                    if self.shutdown.load(Ordering::SeqCst) {
+                        return;
+                    }
+                    if let Some(u) = Self::next_unit(&mut inner, worker) {
+                        break u;
+                    }
+                    let (guard, _) = self
+                        .work_cv
+                        .wait_timeout(inner, Duration::from_millis(200))
+                        .unwrap();
+                    inner = guard;
+                }
+            };
+            self.execute_unit(unit);
+        }
+    }
+
+    /// Runs one unit to completion: cache lookup, supervised run on a
+    /// miss, checkpoint append, cache store, slot update.
+    fn execute_unit(self: &Arc<Shared>, unit: Unit) {
+        let (cfg, ckpt) = {
+            let mut inner = self.inner.lock().unwrap();
+            let Some(job) = inner.jobs.get_mut(&unit.job) else {
+                return;
+            };
+            job.slots[unit.index] = SlotState::Running;
+            (job.configs[unit.index].clone(), job.ckpt.clone())
+        };
+
+        let (outcome, cached) = match self.cache.lookup(&cfg) {
+            Some(hit) => (Ok(hit), true),
+            None => {
+                self.stats.sims_run.fetch_add(1, Ordering::Relaxed);
+                (run_supervised(&cfg, &self.sweep), false)
+            }
+        };
+
+        if let Ok(result) = &outcome {
+            if !cached {
+                // Best-effort: a failed store only costs a future re-run.
+                let _ = self.cache.store(&cfg, result);
+            }
+            let line = checkpoint_line(unit.index, &cfg.label(), result);
+            // Appends are serialized under the state lock (several workers
+            // may finish units of the same job concurrently) and carry the
+            // newline guard after a torn-tail restore.
+            let mut inner = self.inner.lock().unwrap();
+            if let Some(job) = inner.jobs.get_mut(&unit.job) {
+                let guard = std::mem::take(&mut job.needs_newline_guard);
+                let appended = OpenOptions::new()
+                    .create(true)
+                    .append(true)
+                    .open(&ckpt)
+                    .and_then(|mut f| {
+                        if guard {
+                            f.write_all(b"\n")?;
+                        }
+                        f.write_all(line.as_bytes())?;
+                        f.write_all(b"\n")
+                    });
+                if let Err(e) = appended {
+                    eprintln!(
+                        "campaign: checkpoint append failed for job {}: {e}",
+                        unit.job
+                    );
+                    job.needs_newline_guard = guard;
+                }
+            }
+            drop(inner);
+        }
+
+        let mut inner = self.inner.lock().unwrap();
+        if let Some(job) = inner.jobs.get_mut(&unit.job) {
+            job.slots[unit.index] = match &outcome {
+                Ok(_) => SlotState::Done {
+                    cached,
+                    restored: false,
+                },
+                Err(e) => SlotState::Failed(e.to_string()),
+            };
+            if job.is_settled() {
+                self.stats.jobs_completed.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Raises the shutdown latch and wakes every waiter.
+    pub fn trigger_shutdown(&self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        self.work_cv.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dummy_job(id: u64, slots: Vec<SlotState>) -> Job {
+        Job {
+            id,
+            configs: vec![RunConfig::small_default(); slots.len()],
+            slots,
+            ckpt: PathBuf::from("/nonexistent"),
+            restored: 0,
+            ckpt_skipped: 0,
+            torn_tail: false,
+            needs_newline_guard: false,
+        }
+    }
+
+    #[test]
+    fn units_deal_round_robin_and_steal_from_longest() {
+        let mut inner = Inner {
+            queues: vec![VecDeque::new(), VecDeque::new(), VecDeque::new()],
+            next_job_id: 2,
+            ..Inner::default()
+        };
+        inner
+            .jobs
+            .insert(1, dummy_job(1, vec![SlotState::Pending; 7]));
+        Shared::enqueue_pending(&mut inner, 1);
+        assert_eq!(inner.queues[0].len(), 3);
+        assert_eq!(inner.queues[1].len(), 2);
+        assert_eq!(inner.queues[2].len(), 2);
+
+        // Own deque first, LIFO.
+        let u = Shared::next_unit(&mut inner, 0).unwrap();
+        assert_eq!(u.index, 6); // queue 0 held indices 0, 3, 6
+                                // Drain own, then steal FIFO from the longest sibling.
+        Shared::next_unit(&mut inner, 0).unwrap();
+        Shared::next_unit(&mut inner, 0).unwrap();
+        let stolen = Shared::next_unit(&mut inner, 0).unwrap();
+        // Queues 1 and 2 tie on length; `max_by_key` keeps the last, so
+        // the steal takes the oldest unit of queue 2 (indices 2, 5).
+        assert_eq!(stolen.index, 2);
+    }
+
+    #[test]
+    fn tally_and_settled() {
+        let job = dummy_job(
+            1,
+            vec![
+                SlotState::Pending,
+                SlotState::Running,
+                SlotState::Done {
+                    cached: true,
+                    restored: false,
+                },
+                SlotState::Done {
+                    cached: false,
+                    restored: true,
+                },
+                SlotState::Failed("boom".into()),
+            ],
+        );
+        assert_eq!(job.tally(), (1, 1, 2, 1, 1, 1));
+        assert!(!job.is_settled());
+        let done = dummy_job(
+            2,
+            vec![
+                SlotState::Failed("x".into()),
+                SlotState::Done {
+                    cached: false,
+                    restored: false,
+                },
+            ],
+        );
+        assert!(done.is_settled());
+    }
+}

@@ -12,11 +12,14 @@
 //! * [`icn_metrics`] — measurement plumbing
 //! * [`flexsim`] — the orchestrating simulator (detection cadence, recovery,
 //!   experiment sweeps)
+//! * [`server`] (crate `icn-server`) — the campaign server: HTTP
+//!   job API, work-stealing workers, content-addressed result cache
 
 pub use flexsim;
 pub use icn_cwg;
 pub use icn_metrics;
 pub use icn_routing;
+pub use icn_server as server;
 pub use icn_sim;
 pub use icn_topology;
 pub use icn_traffic;
