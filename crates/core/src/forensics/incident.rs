@@ -651,6 +651,7 @@ pub fn config_to_json(cfg: &RunConfig) -> Json {
         ),
         ("faults", crate::faults::plan_to_json(&cfg.faults)),
         ("transfer_threads", Json::U64(cfg.transfer_threads as u64)),
+        ("shards", Json::U64(cfg.shards as u64)),
         (
             "stall_threshold",
             match cfg.stall_threshold {
@@ -715,6 +716,10 @@ pub fn config_from_json(v: &Json) -> Result<RunConfig, ParseError> {
             }
             Err(_) => 1,
         },
+        shards: match get(v, "shards") {
+            Ok(j) => j.as_u64().ok_or_else(|| bad("`shards` must be u64"))? as usize,
+            Err(_) => 1,
+        },
         stall_threshold: match get(v, "stall_threshold")? {
             Json::Null => None,
             j => Some(
@@ -747,6 +752,8 @@ mod tests {
         cfg.count_cycles_every = Some(7);
         cfg.forensics = Some(ForensicsConfig::default());
         cfg.faults.link_outage(2, 50, 90).node_stall(120, 9, 40);
+        cfg.transfer_threads = 3;
+        cfg.shards = 4;
         cfg.stall_threshold = Some(500);
         let text = config_to_json(&cfg).to_string();
         let back = config_from_json(&parse(&text).unwrap()).unwrap();

@@ -129,6 +129,15 @@ pub struct RunConfig {
     /// walk; values above 1 take effect only when the `parallel` cargo
     /// feature is enabled, and produce byte-identical results either way.
     pub transfer_threads: usize,
+    /// Spatial shards for the cycle-barrier sharded engine (see
+    /// [`icn_sim::Network::set_shards`]). 1 = the flat serial engine;
+    /// values above 1 partition the network into contiguous node ranges
+    /// that step concurrently inside each cycle, exchanging boundary
+    /// traffic at the barrier in canonical order. Like `transfer_threads`
+    /// this knob is digest-neutral — results are byte-identical at any
+    /// shard count — and takes effect only with the `parallel` cargo
+    /// feature (clamped to 1 otherwise).
+    pub shards: usize,
     /// Progress watchdog: when `Some(t)`, a run that makes no progress
     /// (no injection, link movement, drain, delivery, recovery start, or
     /// fault accounting) for `t` consecutive cycles ends early with
@@ -162,6 +171,7 @@ impl RunConfig {
             forensics: None,
             faults: FaultPlan::new(),
             transfer_threads: 1,
+            shards: 1,
             stall_threshold: None,
         }
     }

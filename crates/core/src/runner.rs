@@ -5,7 +5,7 @@ use std::ops::ControlFlow;
 use icn_cwg::{
     count_cycles, Analysis, CycleCount, DeadlockKind, DependentKind, DetectorScratch, WaitGraph,
 };
-use icn_sim::{Network, SnapshotArena, StepEvents, WaitSnapshot};
+use icn_sim::{Network, SnapshotArena, SnapshotFragment, StepEvents, WaitSnapshot};
 use icn_topology::NodeId;
 use icn_traffic::BernoulliInjector;
 use rand::rngs::StdRng;
@@ -145,7 +145,32 @@ fn run_impl(cfg: &RunConfig, obs: &mut dyn RunObserver, stepper: Stepper) -> Run
     }
     cfg.len_dist.validate();
     let mut net = Network::new(topo.clone(), cfg.routing.build(), cfg.sim);
-    net.set_transfer_threads(cfg.transfer_threads);
+    let eff_threads = net.set_transfer_threads(cfg.transfer_threads);
+    if eff_threads < cfg.transfer_threads {
+        // Parallelism knobs are digest-neutral, so a downgrade never
+        // changes results — but sweeps and server configs that *asked* for
+        // parallelism deserve to know they ran serial. Once per process,
+        // not per run: a 10k-point sweep should not print 10k warnings.
+        static THREADS_DOWNGRADED: std::sync::Once = std::sync::Once::new();
+        THREADS_DOWNGRADED.call_once(|| {
+            eprintln!(
+                "flexsim: transfer_threads={} requested but running with {} \
+                 (build the `parallel` feature for more); results are identical",
+                cfg.transfer_threads, eff_threads
+            );
+        });
+    }
+    let eff_shards = net.set_shards(cfg.shards);
+    if eff_shards < cfg.shards {
+        static SHARDS_DOWNGRADED: std::sync::Once = std::sync::Once::new();
+        SHARDS_DOWNGRADED.call_once(|| {
+            eprintln!(
+                "flexsim: shards={} requested but running with {} \
+                 (build the `parallel` feature for more); results are identical",
+                cfg.shards, eff_shards
+            );
+        });
+    }
     if !cfg.faults.is_empty() {
         net.set_fault_plan(&cfg.faults);
     }
@@ -176,6 +201,19 @@ fn run_impl(cfg: &RunConfig, obs: &mut dyn RunObserver, stepper: Stepper) -> Run
     let mut arena = SnapshotArena::new();
     let mut graph = WaitGraph::new(0);
     let mut scratch = DetectorScratch::new();
+    // Sharded snapshot capture: with a multi-shard plan installed, each
+    // detection epoch captures per-shard wait-state fragments (on scoped
+    // threads when cores allow) and stitches them into `arena` — exactly
+    // reproducing the serial capture, fragment reuse included.
+    let snapshot_shards = net.shard_plan().map_or(1, |p| p.shards());
+    let mut frags: Vec<SnapshotFragment> = (0..snapshot_shards)
+        .filter(|_| snapshot_shards > 1)
+        .map(|_| SnapshotFragment::new())
+        .collect();
+    let snap_workers = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1)
+        .min(snapshot_shards);
     // Blocked-wait-state fingerprint of the previous epoch, kept only when
     // that epoch was verified knot-free. Knots (and resource cycles) are
     // closed exclusively by blocked messages — moving chains are CWG sinks
@@ -261,7 +299,35 @@ fn run_impl(cfg: &RunConfig, obs: &mut dyn RunObserver, stepper: Stepper) -> Run
                 .count_cycles_every
                 .is_some_and(|every| measuring && detection_epoch.is_multiple_of(every));
 
-            net.wait_snapshot_into(&mut arena);
+            if snapshot_shards > 1 {
+                if snap_workers > 1 {
+                    std::thread::scope(|scope| {
+                        let net = &net;
+                        let mut rest: &mut [SnapshotFragment] = &mut frags;
+                        let mut base = 0usize;
+                        for w in 0..snap_workers {
+                            let n = (w + 1) * snapshot_shards / snap_workers
+                                - w * snapshot_shards / snap_workers;
+                            let (chunk, tail) = rest.split_at_mut(n);
+                            rest = tail;
+                            let start = base;
+                            base += n;
+                            scope.spawn(move || {
+                                for (k, frag) in chunk.iter_mut().enumerate() {
+                                    net.wait_snapshot_fragment(start + k, frag);
+                                }
+                            });
+                        }
+                    });
+                } else {
+                    for (s, frag) in frags.iter_mut().enumerate() {
+                        net.wait_snapshot_fragment(s, frag);
+                    }
+                }
+                arena.assemble(&frags);
+            } else {
+                net.wait_snapshot_into(&mut arena);
+            }
 
             // Fast paths: with nothing blocked there are no dashed arcs, so
             // neither knots nor resource cycles can exist; and when the

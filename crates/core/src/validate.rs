@@ -686,9 +686,19 @@ impl CampaignOutcome {
 /// Runs `num_configs` seeded random configs (seeds `base_seed..`), each
 /// under a fresh [`ValidationObserver`] on the activity stepper.
 pub fn campaign(num_configs: usize, base_seed: u64) -> CampaignOutcome {
+    campaign_with_shards(num_configs, base_seed, 1)
+}
+
+/// [`campaign`] with every drawn config forced to `shards` spatial
+/// shards, keeping the oracle auditing the sharded engine: the observer's
+/// per-epoch differential checks run against sharded stepping and the
+/// fragment-assembled snapshots. Digest-neutral, so the audit verdicts
+/// must be identical to the serial campaign's.
+pub fn campaign_with_shards(num_configs: usize, base_seed: u64, shards: usize) -> CampaignOutcome {
     let mut out = CampaignOutcome::default();
     for i in 0..num_configs {
-        let cfg = random_config(base_seed + i as u64);
+        let mut cfg = random_config(base_seed + i as u64);
+        cfg.shards = shards;
         let mut obs = ValidationObserver::new(&cfg);
         run_with(&cfg, &mut obs);
         out.configs += 1;

@@ -2,9 +2,10 @@
 //!
 //! Every completed configuration is stored under a key derived from its
 //! *canonical digest*: the full [`config_to_json`] rendering (seed and
-//! fault plan included) with `transfer_threads` normalized to 1 — the
-//! engine is digest-identical at any thread count, so the knob must not
-//! fragment the cache — concatenated with [`flexsim::ENGINE_VERSION`].
+//! fault plan included) with `transfer_threads` and `shards` normalized
+//! to 1 — the engine is digest-identical at any thread or shard count, so
+//! neither knob may fragment the cache — concatenated with
+//! [`flexsim::ENGINE_VERSION`].
 //! Resubmitting any previously run configuration is answered from disk
 //! without simulating; an engine-semantics bump invalidates everything
 //! at once by changing every key.
@@ -33,10 +34,13 @@ fn fnv1a(bytes: &[u8], basis: u64) -> u64 {
 }
 
 /// The canonical config text a cache key digests: config JSON with
-/// `transfer_threads` pinned to 1, plus the engine version.
+/// `transfer_threads` and `shards` pinned to 1, plus the engine version.
+/// Both knobs are digest-neutral parallelism controls, so leaving either
+/// in the key would fragment the cache with duplicate results.
 pub fn canonical_config(cfg: &RunConfig) -> String {
     let mut c = cfg.clone();
     c.transfer_threads = 1;
+    c.shards = 1;
     format!("{}\u{0}{ENGINE_VERSION}", config_to_json(&c))
 }
 
@@ -158,6 +162,14 @@ mod tests {
             config_key(&a),
             config_key(&b),
             "thread count must not fragment"
+        );
+        let mut s = a.clone();
+        s.shards = 8;
+        s.transfer_threads = 2;
+        assert_eq!(
+            config_key(&a),
+            config_key(&s),
+            "shard count must not fragment"
         );
         let mut c = a.clone();
         c.seed ^= 1;

@@ -1,0 +1,220 @@
+//! Sharded-engine differential: the spatially sharded activity stepper
+//! must be indistinguishable — same [`StepEvents`], counters, invariants,
+//! and wait-for snapshots, cycle for cycle — from the serial activity
+//! engine at every shard count. The allocation equivalence rests on a
+//! header only ever contending for resources of the node it sits at
+//! (owned by exactly one shard); these tests are what pins that argument
+//! to the implementation, above saturation where queues, migrations, and
+//! wakes are densest.
+//!
+//! Everything here requires the `parallel` cargo feature (the shard knob
+//! is a no-op without it); the no-feature clamp itself is covered at the
+//! workspace level in `tests/engine_sharded.rs`.
+#![cfg(feature = "parallel")]
+
+use icn_routing::{Dor, DuatoFar, RoutingAlgorithm, Tfar};
+use icn_sim::{Network, SimConfig};
+use icn_topology::{KAryNCube, NodeId};
+use proptest::prelude::*;
+
+/// SplitMix64, as in the base differential suite.
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n
+    }
+}
+
+struct Golden {
+    topo: KAryNCube,
+    routing: fn() -> Box<dyn RoutingAlgorithm>,
+    cfg: SimConfig,
+}
+
+/// The four golden-regime points, as in the saturation differential.
+fn goldens() -> Vec<Golden> {
+    vec![
+        Golden {
+            topo: KAryNCube::torus(8, 2, false),
+            routing: || Box::new(Dor),
+            cfg: SimConfig {
+                vcs_per_channel: 1,
+                buffer_depth: 2,
+                msg_len: 8,
+            },
+        },
+        Golden {
+            topo: KAryNCube::torus(8, 2, true),
+            routing: || Box::new(Dor),
+            cfg: SimConfig {
+                vcs_per_channel: 1,
+                buffer_depth: 2,
+                msg_len: 8,
+            },
+        },
+        Golden {
+            topo: KAryNCube::torus(8, 2, true),
+            routing: || Box::new(Tfar),
+            cfg: SimConfig {
+                vcs_per_channel: 2,
+                buffer_depth: 2,
+                msg_len: 8,
+            },
+        },
+        Golden {
+            topo: KAryNCube::torus(8, 2, true),
+            routing: || Box::new(DuatoFar),
+            cfg: SimConfig {
+                vcs_per_channel: 3,
+                buffer_depth: 8,
+                msg_len: 8,
+            },
+        },
+    ]
+}
+
+/// Drives a serial and a sharded instance through `cycles` of
+/// above-saturation traffic with periodic recovery pulls, comparing
+/// events, counters, invariants, and snapshot fingerprints cycle for
+/// cycle.
+fn sharded_lockstep(g: &Golden, shards: usize, seed: u64, cycles: u64) {
+    let mut a = Network::new(g.topo.clone(), (g.routing)(), g.cfg);
+    let mut b = Network::new(g.topo.clone(), (g.routing)(), g.cfg);
+    assert_eq!(a.set_shards(1), 1);
+    let eff = b.set_shards(shards);
+    assert_eq!(eff, shards.min(g.topo.num_nodes()), "effective shard count");
+    let nodes = g.topo.num_nodes() as u64;
+    let mut arrivals = Rng(seed);
+    let mut arena_a = icn_sim::SnapshotArena::new();
+    let mut arena_b = icn_sim::SnapshotArena::new();
+    let mut frags: Vec<icn_sim::SnapshotFragment> =
+        (0..eff).map(|_| icn_sim::SnapshotFragment::new()).collect();
+    let mut assembled = icn_sim::SnapshotArena::new();
+    for cycle in 0..cycles {
+        for n in 0..nodes {
+            let mut dst = arrivals.below(nodes);
+            if dst == n {
+                dst = (dst + 1) % nodes;
+            }
+            a.enqueue(NodeId(n as u32), NodeId(dst as u32));
+            b.enqueue(NodeId(n as u32), NodeId(dst as u32));
+        }
+        // Recovery pulls cross the sharded scheduler: the victim's stale
+        // queue entry must die in its shard queue exactly as it does in
+        // the serial allocation queue.
+        if cycle % 48 == 47 {
+            let victim = a
+                .active_ids()
+                .into_iter()
+                .find(|&id| a.message_info(id).is_some_and(|m| m.blocked));
+            if let Some(id) = victim {
+                assert_eq!(a.message_info(id), b.message_info(id));
+                assert_eq!(a.start_recovery(id), b.start_recovery(id));
+            }
+        }
+        let ea = a.step();
+        let eb = b.step();
+        assert_eq!(
+            ea, eb,
+            "step events diverged at cycle {cycle} ({shards} shards, seed {seed})"
+        );
+        if cycle % 32 == 0 || cycle + 1 == cycles {
+            a.check_invariants();
+            b.check_invariants();
+            assert_eq!(a.blocked_count(), b.blocked_count(), "cycle {cycle}");
+            assert_eq!(a.in_network(), b.in_network(), "cycle {cycle}");
+            assert_eq!(a.active_ids(), b.active_ids(), "cycle {cycle}");
+            a.wait_snapshot_into(&mut arena_a);
+            b.wait_snapshot_into(&mut arena_b);
+            assert_eq!(
+                arena_a.fingerprint(),
+                arena_b.fingerprint(),
+                "wait-state diverged at cycle {cycle}"
+            );
+            // Per-shard fragments stitched back together must reproduce
+            // the serial snapshot exactly: order, pool contents, blocked
+            // census, fingerprint.
+            for (s, frag) in frags.iter_mut().enumerate() {
+                b.wait_snapshot_fragment(s, frag);
+            }
+            assembled.assemble(&frags);
+            assert_eq!(assembled.num_vertices(), arena_a.num_vertices());
+            assert_eq!(assembled.cycle(), arena_a.cycle());
+            assert_eq!(assembled.len(), arena_a.len(), "cycle {cycle}");
+            assert_eq!(assembled.num_blocked(), arena_a.num_blocked());
+            assert_eq!(
+                assembled.fingerprint(),
+                arena_a.fingerprint(),
+                "assembled fragment fingerprint diverged at cycle {cycle}"
+            );
+            for (x, y) in assembled.messages().zip(arena_a.messages()) {
+                assert_eq!(x.id, y.id);
+                assert_eq!(x.chain, y.chain, "chain of msg {} at cycle {cycle}", x.id);
+                assert_eq!(x.requests, y.requests, "requests of msg {}", x.id);
+            }
+        }
+    }
+    assert_eq!(
+        a.totals(),
+        b.totals(),
+        "lifetime counters diverged ({shards} shards, seed {seed})"
+    );
+    assert_eq!(a.source_queued(), b.source_queued());
+}
+
+#[test]
+fn golden_regimes_agree_at_every_shard_count() {
+    for (i, g) in goldens().iter().enumerate() {
+        for shards in [2, 4, 8] {
+            sharded_lockstep(g, shards, 0x5aa_0000 + i as u64, 500);
+        }
+    }
+}
+
+/// Shard counts that do not divide the node count exercise the unbalanced
+/// ranges and the masked sub-word decide boundaries.
+#[test]
+fn ragged_shard_counts_agree() {
+    let gs = goldens();
+    for shards in [3, 5, 7, 11] {
+        sharded_lockstep(&gs[1], shards, 0x9a6_6e0, 400);
+    }
+}
+
+/// Oversharding clamps to the node count and still agrees.
+#[test]
+fn oversharding_clamps_and_agrees() {
+    let g = Golden {
+        topo: KAryNCube::torus(2, 2, true),
+        routing: || Box::new(Dor),
+        cfg: SimConfig {
+            vcs_per_channel: 2,
+            buffer_depth: 2,
+            msg_len: 4,
+        },
+    };
+    sharded_lockstep(&g, 64, 0xc1a_0b5, 300);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Randomized above-saturation points: any golden regime, any seed,
+    /// any shard count 2..=9.
+    #[test]
+    fn sharded_differential_holds(seed in any::<u64>()) {
+        let gs = goldens();
+        let g = &gs[(seed % gs.len() as u64) as usize];
+        let shards = 2 + (seed / 7 % 8) as usize;
+        sharded_lockstep(g, shards, seed, 320);
+    }
+}

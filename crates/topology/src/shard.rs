@@ -1,0 +1,297 @@
+//! Spatial partitioning of a network into deterministic shards.
+//!
+//! A [`ShardPlan`] cuts the node id space `0..num_nodes` into contiguous,
+//! balanced ranges — one per shard. Because [`KAryNCube`](crate::KAryNCube)
+//! enumerates channels by ascending source node, every shard's *outgoing*
+//! channels also form one contiguous `ChannelId` range, which is what lets
+//! the simulator keep all of its per-channel hot state in flat vectors and
+//! still hand each shard a disjoint slice of it.
+//!
+//! The plan is pure geometry: it never looks at dynamic simulator state, so
+//! the same `(num_nodes, shards)` pair always yields byte-identical ranges
+//! on every build. That determinism is the foundation of the sharded
+//! engine's digest invariance (see `icn-sim`).
+//!
+//! The module also owns [`shard_stream_seed`], the deterministic SplitMix64
+//! stream splitter that derives one RNG seed per shard from the run seed —
+//! the mechanism for per-shard traffic streams without any coordination.
+
+use crate::{ChannelId, KAryNCube, NodeId};
+use core::ops::Range;
+
+/// A contiguous spatial partition of a network into `shards` pieces.
+///
+/// Invariants (asserted in the constructor, property-tested):
+/// * node ranges are contiguous, disjoint, ascending, and cover
+///   `0..num_nodes`;
+/// * range sizes differ by at most one node (balanced);
+/// * channel ranges are exactly the outgoing channels of the node range.
+#[derive(Clone, Debug)]
+pub struct ShardPlan {
+    /// First node of each shard, plus a trailing `num_nodes` sentinel.
+    node_starts: Vec<u32>,
+    /// First outgoing channel of each shard, plus a trailing
+    /// `num_channels` sentinel.
+    chan_starts: Vec<u32>,
+    /// `node id -> owning shard`.
+    node_shard: Vec<u16>,
+    /// `channel id -> shard owning the channel's *destination* node`.
+    /// A message parked at the head of channel `c` is allocated by (and
+    /// its wait state belongs to) `chan_dst_shard[c]`.
+    chan_dst_shard: Vec<u16>,
+    /// Channels whose source and destination nodes live in different
+    /// shards, ascending. These are the only links a flit can cross a
+    /// shard boundary on.
+    boundary: Vec<ChannelId>,
+}
+
+impl ShardPlan {
+    /// Builds a balanced contiguous plan for `topo` with `shards` pieces.
+    ///
+    /// `shards` is clamped to `1..=num_nodes`: more shards than nodes
+    /// would leave empty ranges with nothing to own.
+    pub fn new(topo: &KAryNCube, shards: usize) -> Self {
+        let nodes = topo.num_nodes();
+        let s = shards.clamp(1, nodes);
+        assert!(s <= u16::MAX as usize, "shard count exceeds u16 range");
+
+        // Balanced split: the first `nodes % s` shards get one extra node.
+        let base = nodes / s;
+        let extra = nodes % s;
+        let mut node_starts = Vec::with_capacity(s + 1);
+        let mut at = 0usize;
+        for i in 0..s {
+            node_starts.push(at as u32);
+            at += base + usize::from(i < extra);
+        }
+        debug_assert_eq!(at, nodes);
+        node_starts.push(nodes as u32);
+
+        let mut node_shard = vec![0u16; nodes];
+        for shard in 0..s {
+            for n in node_starts[shard]..node_starts[shard + 1] {
+                node_shard[n as usize] = shard as u16;
+            }
+        }
+
+        // Channels are enumerated by ascending source node, so a shard's
+        // outgoing channels are the contiguous run starting at its first
+        // node's first channel.
+        let chan_starts: Vec<u32> = node_starts
+            .iter()
+            .map(|&n| {
+                if (n as usize) < nodes {
+                    topo.channels_from(NodeId(n))
+                        .first()
+                        .map(|c| c.0)
+                        .unwrap_or(topo.num_channels() as u32)
+                } else {
+                    topo.num_channels() as u32
+                }
+            })
+            .collect();
+
+        let mut chan_dst_shard = Vec::with_capacity(topo.num_channels());
+        let mut boundary = Vec::new();
+        for (idx, info) in topo.channels().iter().enumerate() {
+            let dst_shard = node_shard[info.dst.idx()];
+            chan_dst_shard.push(dst_shard);
+            if node_shard[info.src.idx()] != dst_shard {
+                boundary.push(ChannelId(idx as u32));
+            }
+        }
+
+        let plan = ShardPlan {
+            node_starts,
+            chan_starts,
+            node_shard,
+            chan_dst_shard,
+            boundary,
+        };
+        plan.check(topo);
+        plan
+    }
+
+    fn check(&self, topo: &KAryNCube) {
+        let s = self.shards();
+        debug_assert_eq!(self.node_starts[0], 0);
+        debug_assert_eq!(*self.node_starts.last().unwrap() as usize, topo.num_nodes());
+        debug_assert_eq!(self.chan_starts[0], 0);
+        debug_assert_eq!(
+            *self.chan_starts.last().unwrap() as usize,
+            topo.num_channels()
+        );
+        for i in 0..s {
+            debug_assert!(self.node_starts[i] < self.node_starts[i + 1]);
+            debug_assert!(self.chan_starts[i] <= self.chan_starts[i + 1]);
+        }
+    }
+
+    /// Number of shards in the plan.
+    #[inline]
+    pub fn shards(&self) -> usize {
+        self.node_starts.len() - 1
+    }
+
+    /// The contiguous node range owned by `shard`.
+    #[inline]
+    pub fn node_range(&self, shard: usize) -> Range<usize> {
+        self.node_starts[shard] as usize..self.node_starts[shard + 1] as usize
+    }
+
+    /// The contiguous range of channels *sourced* in `shard`'s nodes.
+    #[inline]
+    pub fn chan_range(&self, shard: usize) -> Range<usize> {
+        self.chan_starts[shard] as usize..self.chan_starts[shard + 1] as usize
+    }
+
+    /// The shard owning node `n`.
+    #[inline]
+    pub fn shard_of_node(&self, n: NodeId) -> usize {
+        self.node_shard[n.idx()] as usize
+    }
+
+    /// The shard owning the destination router of channel `c` — the shard
+    /// that allocates for (and reports the wait state of) a message whose
+    /// header sits at the far end of `c`.
+    #[inline]
+    pub fn shard_of_chan_dst(&self, c: ChannelId) -> usize {
+        self.chan_dst_shard[c.idx()] as usize
+    }
+
+    /// Channels crossing a shard boundary (`src` and `dst` in different
+    /// shards), in ascending channel order.
+    #[inline]
+    pub fn boundary_channels(&self) -> &[ChannelId] {
+        &self.boundary
+    }
+}
+
+/// Derives the RNG stream seed for `shard` from the run seed.
+///
+/// SplitMix64 finalizer over `run_seed + (shard+1) * golden-gamma`: the
+/// canonical stream-splitting construction (Steele et al.), giving each
+/// shard a statistically independent stream while remaining a pure
+/// function of `(run_seed, shard)` — reordering or re-running shards can
+/// never change what any shard draws. Shard 0's stream is distinct from
+/// the plain run seed, so a sharded traffic generator cannot silently
+/// alias the serial one.
+#[inline]
+pub fn shard_stream_seed(run_seed: u64, shard: usize) -> u64 {
+    let mut z = run_seed.wrapping_add((shard as u64 + 1).wrapping_mul(0x9e37_79b9_7f4a_7c15));
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn plans() -> Vec<(KAryNCube, usize)> {
+        let mut out = Vec::new();
+        for shards in [1, 2, 3, 4, 7, 8] {
+            out.push((KAryNCube::torus(4, 2, true), shards));
+            out.push((KAryNCube::torus(8, 2, false), shards));
+            out.push((KAryNCube::mesh(4, 2), shards));
+            out.push((KAryNCube::torus(4, 3, true), shards));
+        }
+        out
+    }
+
+    #[test]
+    fn node_ranges_partition_and_balance() {
+        for (topo, shards) in plans() {
+            let plan = ShardPlan::new(&topo, shards);
+            assert_eq!(plan.shards(), shards.min(topo.num_nodes()));
+            let mut covered = 0usize;
+            let mut sizes = Vec::new();
+            for s in 0..plan.shards() {
+                let r = plan.node_range(s);
+                assert_eq!(r.start, covered, "ranges must be contiguous");
+                covered = r.end;
+                sizes.push(r.len());
+                for n in r {
+                    assert_eq!(plan.shard_of_node(NodeId(n as u32)), s);
+                }
+            }
+            assert_eq!(covered, topo.num_nodes());
+            let (min, max) = (sizes.iter().min().unwrap(), sizes.iter().max().unwrap());
+            assert!(max - min <= 1, "balanced within one node: {sizes:?}");
+        }
+    }
+
+    #[test]
+    fn chan_ranges_are_exactly_the_outgoing_channels() {
+        for (topo, shards) in plans() {
+            let plan = ShardPlan::new(&topo, shards);
+            let mut covered = 0usize;
+            for s in 0..plan.shards() {
+                let r = plan.chan_range(s);
+                assert_eq!(r.start, covered);
+                covered = r.end;
+                for c in r {
+                    let info = topo.channel(ChannelId(c as u32));
+                    assert_eq!(
+                        plan.shard_of_node(info.src),
+                        s,
+                        "channel {c} sourced outside its shard"
+                    );
+                }
+            }
+            assert_eq!(covered, topo.num_channels());
+        }
+    }
+
+    #[test]
+    fn boundary_channels_cross_and_only_cross() {
+        for (topo, shards) in plans() {
+            let plan = ShardPlan::new(&topo, shards);
+            let boundary: std::collections::HashSet<u32> =
+                plan.boundary_channels().iter().map(|c| c.0).collect();
+            for (idx, info) in topo.channels().iter().enumerate() {
+                let crosses = plan.shard_of_node(info.src) != plan.shard_of_node(info.dst);
+                assert_eq!(
+                    boundary.contains(&(idx as u32)),
+                    crosses,
+                    "channel {idx} boundary classification"
+                );
+                assert_eq!(
+                    plan.shard_of_chan_dst(ChannelId(idx as u32)),
+                    plan.shard_of_node(info.dst)
+                );
+            }
+            // One shard has no boundary at all.
+            if plan.shards() == 1 {
+                assert!(boundary.is_empty());
+            }
+            // Ascending order.
+            let ids: Vec<u32> = plan.boundary_channels().iter().map(|c| c.0).collect();
+            let mut sorted = ids.clone();
+            sorted.sort_unstable();
+            assert_eq!(ids, sorted);
+        }
+    }
+
+    #[test]
+    fn oversharding_clamps_to_node_count() {
+        let topo = KAryNCube::torus(2, 1, true);
+        let plan = ShardPlan::new(&topo, 64);
+        assert_eq!(plan.shards(), topo.num_nodes());
+    }
+
+    #[test]
+    fn stream_seeds_are_deterministic_and_distinct() {
+        let a: Vec<u64> = (0..8).map(|s| shard_stream_seed(42, s)).collect();
+        let b: Vec<u64> = (0..8).map(|s| shard_stream_seed(42, s)).collect();
+        assert_eq!(a, b, "pure function of (seed, shard)");
+        let uniq: std::collections::HashSet<u64> = a.iter().copied().collect();
+        assert_eq!(uniq.len(), 8, "streams must not collide");
+        assert_ne!(shard_stream_seed(42, 0), 42, "shard 0 is a distinct stream");
+        assert_ne!(
+            shard_stream_seed(42, 0),
+            shard_stream_seed(43, 0),
+            "different run seeds give different streams"
+        );
+    }
+}

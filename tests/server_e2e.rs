@@ -156,6 +156,51 @@ fn http_grid_matches_direct_sweep_and_resubmission_hits_cache() {
     let _ = std::fs::remove_dir_all(&dir);
 }
 
+/// Shard counts must not fragment the content-addressed cache: the
+/// engine is digest-identical at any shard count, so a grid resubmitted
+/// at different `shards` settings is answered entirely from cache. This
+/// holds on serial builds too — the normalization is config-level, not
+/// engine-level.
+#[test]
+fn resubmission_at_different_shard_counts_hits_cache() {
+    let dir = temp_dir("shards");
+    let grid = test_grid();
+    let n = grid.expand().len();
+    let (addr, handle) = start_server(&dir, 3);
+
+    // Round 1: flat engine, everything simulates.
+    let id = submit(addr, &grid);
+    poll_done(addr, id);
+    let want = result_digests(addr, id, n);
+    let sims_first = stats_u64(addr, &["sims_run"]);
+    assert_eq!(sims_first, n as u64);
+
+    // Rounds 2..: same grid at different shard (and thread) counts — pure
+    // cache hits, zero new simulations, identical results.
+    for (shards, threads) in [(2, 1), (4, 2), (8, 1)] {
+        let mut regrid = grid.clone();
+        regrid.base.shards = shards;
+        regrid.base.transfer_threads = threads;
+        let id = submit(addr, &regrid);
+        let status = poll_done(addr, id);
+        assert_eq!(
+            status.get("cached").and_then(Json::as_u64),
+            Some(n as u64),
+            "shards={shards} should be answered from cache: {status:?}"
+        );
+        assert_eq!(
+            stats_u64(addr, &["sims_run"]),
+            sims_first,
+            "shards={shards} must not run new simulations"
+        );
+        assert_eq!(result_digests(addr, id, n), want);
+    }
+    assert!(stats_u64(addr, &["cache", "hits"]) >= 3 * n as u64);
+
+    shutdown(addr, handle);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 #[test]
 fn killed_server_resumes_from_checkpoints_digest_exact() {
     let dir = temp_dir("resume");
