@@ -3,7 +3,7 @@
 //! ```text
 //! repro [fig5] [fig6] [fig7] [fig8] [degree] [traffic] [all] [--small] [--csv]
 //! repro forensics [--store DIR] [--seed N] [--max N] [--cycles N] [--no-prefix]
-//! repro validate [--configs N] [--cwgs N] [--seed N] [--shards N] [--store DIR] [--no-explore]
+//! repro validate [--configs N] [--cwgs N] [--seed N] [--shards N] [--incremental] [--store DIR] [--no-explore]
 //! repro faults [--seed N] [--expect-stall]
 //! repro serve [--addr HOST:PORT] [--data DIR] [--workers N] [--smoke]
 //! ```
@@ -52,7 +52,9 @@
 //! the brute-force enumerator on randomized CWGs (`--cwgs`, default 512),
 //! on every detection epoch of `--configs` (default 16) seeded random
 //! live configurations (with full invariant auditing; `--shards N` runs
-//! them on the sharded engine so the oracle audits that path), on freshly
+//! them on the sharded engine so the oracle audits that path;
+//! `--incremental` repeats the campaign with every config forced through
+//! the event-patched incremental detector), on freshly
 //! captured forensics incidents, on every incident in `--store DIR` (if
 //! given), and — unless `--no-explore` — on every schedule of the
 //! exhaustive small-world explorer. Any disagreement exits non-zero and
@@ -247,6 +249,7 @@ fn validate_main(args: &[String]) -> i32 {
     let num_configs = parse_u64("--configs", 16) as usize;
     let base_seed = parse_u64("--seed", 0xdeadbeef);
     let shards = parse_u64("--shards", 1) as usize;
+    let incremental = args.iter().any(|a| a == "--incremental");
     let explore = !args.iter().any(|a| a == "--no-explore");
     let started = Instant::now();
     let mut ok = true;
@@ -312,6 +315,29 @@ fn validate_main(args: &[String]) -> i32 {
         }
         if let Some(r) = repro {
             emit_divergence(r);
+        }
+    }
+
+    // Stage 2b: the same campaign forced through the incremental
+    // detector, auditing the event-patched CWG's every epoch.
+    if incremental {
+        println!(
+            "== validate: incremental-detection campaign over {num_configs} random configs =="
+        );
+        let campaign = v::campaign_incremental(num_configs, base_seed);
+        println!(
+            "   {} configs, {} epochs differentially checked, {} with knots",
+            campaign.configs, campaign.epochs_checked, campaign.deadlock_epochs
+        );
+        for (label, violations, repro) in &campaign.failures {
+            ok = false;
+            eprintln!("incremental config `{label}` FAILED:");
+            for viol in violations {
+                eprintln!("   {viol}");
+            }
+            if let Some(r) = repro {
+                emit_divergence(r);
+            }
         }
     }
 

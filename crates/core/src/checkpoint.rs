@@ -112,6 +112,7 @@ pub fn encode_result(r: &RunResult) -> Json {
         ("counting_epochs", Json::U64(r.counting_epochs)),
         ("victims_started", Json::U64(r.victims_started)),
         ("resolution_latency", hist_to_json(&r.resolution_latency)),
+        ("detection_lag", hist_to_json(&r.detection_lag)),
         (
             "incidents",
             Json::Arr(
@@ -124,6 +125,7 @@ pub fn encode_result(r: &RunResult) -> Json {
                             i.resource_set_size as u64,
                             i.knot_cycle_density,
                             i.dependents as u64,
+                            i.formation_cycle,
                         ])
                     })
                     .collect(),
@@ -196,6 +198,11 @@ pub fn decode_result(v: &Json) -> Result<RunResult, ParseError> {
     r.counting_epochs = get_u64(v, "counting_epochs")?;
     r.victims_started = get_u64(v, "victims_started")?;
     r.resolution_latency = hist_from_json(v, "resolution_latency")?;
+    // Absent in checkpoints written before formation-time tracking; an
+    // empty histogram digests identically to a fresh one.
+    if get(v, "detection_lag").is_ok() {
+        r.detection_lag = hist_from_json(v, "detection_lag")?;
+    }
     for i in get(v, "incidents")?
         .as_arr()
         .ok_or_else(|| bad("`incidents` must be an array"))?
@@ -206,8 +213,11 @@ pub fn decode_result(v: &Json) -> Result<RunResult, ParseError> {
             .iter()
             .map(|x| x.as_u64().ok_or_else(|| bad("incident holds non-u64")))
             .collect::<Result<Vec<u64>, _>>()?;
-        if words.len() != 5 {
-            return Err(bad("incident must have 5 fields"));
+        // 5 words = pre-formation-time records (engine v1); the formation
+        // cycle then defaults to the detection cycle, matching the
+        // incident-JSON back-compat rule.
+        if words.len() != 5 && words.len() != 6 {
+            return Err(bad("incident must have 5 or 6 fields"));
         }
         r.incidents.push(Incident {
             cycle: words[0],
@@ -215,6 +225,7 @@ pub fn decode_result(v: &Json) -> Result<RunResult, ParseError> {
             resource_set_size: words[2] as usize,
             knot_cycle_density: words[3],
             dependents: words[4] as usize,
+            formation_cycle: words.get(5).copied().unwrap_or(words[0]),
         });
     }
     r.formation_latency = hist_from_json(v, "formation_latency")?;

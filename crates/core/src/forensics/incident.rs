@@ -6,7 +6,7 @@ use icn_sim::{SimConfig, SnapshotArena, TraceEvent};
 use icn_topology::{ChannelId, NodeId};
 use icn_traffic::{MsgLenDist, Pattern};
 
-use crate::spec::{RecoveryPolicy, RoutingSpec, TopologySpec};
+use crate::spec::{DetectionMode, RecoveryPolicy, RoutingSpec, TopologySpec};
 use crate::{ForensicsConfig, RunConfig};
 
 use super::timeline::{final_block_cycle, injected_cycle, TimelineIndex};
@@ -161,6 +161,11 @@ pub struct DeadlockIncident {
     pub seq: u32,
     /// Cycle of the detection epoch that found the knot(s).
     pub cycle: u64,
+    /// Exact formation cycle: the latest block stamp across the epoch's
+    /// deadlock-set members — when the last participant wedged. At most
+    /// [`cycle`](Self::cycle); the gap is the detection lag the
+    /// incremental detector eliminates from recovery dispatch.
+    pub formation_cycle: u64,
     /// The exact configuration — including the seed — that produced it.
     pub config: RunConfig,
     /// Blocked-wait-state fingerprint of the capture epoch.
@@ -183,6 +188,7 @@ impl DeadlockIncident {
     pub(crate) fn capture(
         seq: u32,
         cycle: u64,
+        formation_cycle: u64,
         cfg: &RunConfig,
         arena: &SnapshotArena,
         analysis: &Analysis,
@@ -207,6 +213,7 @@ impl DeadlockIncident {
         DeadlockIncident {
             seq,
             cycle,
+            formation_cycle,
             config: cfg.clone(),
             fingerprint: arena.fingerprint(),
             cwg: CwgSnapshot::from_arena(arena),
@@ -267,6 +274,7 @@ impl DeadlockIncident {
         obj(vec![
             ("seq", Json::U64(self.seq as u64)),
             ("cycle", Json::U64(self.cycle)),
+            ("formation_cycle", Json::U64(self.formation_cycle)),
             ("fingerprint", Json::U64(self.fingerprint)),
             ("config", config_to_json(&self.config)),
             ("cwg", self.cwg.to_json()),
@@ -331,9 +339,16 @@ impl DeadlockIncident {
             Some(s) => recovery_from_name(s)?,
             None => return Err(bad("`policy` must be a string")),
         };
+        let cycle = get_u64(v, "cycle")?;
         Ok(DeadlockIncident {
             seq: get_u64(v, "seq")? as u32,
-            cycle: get_u64(v, "cycle")?,
+            cycle,
+            // Records from before formation tracking default to the
+            // detection cycle (zero measured lag).
+            formation_cycle: match get_u64(v, "formation_cycle") {
+                Ok(f) => f,
+                Err(_) => cycle,
+            },
             config: config_from_json(get(v, "config")?)?,
             fingerprint: get_u64(v, "fingerprint")?,
             cwg: CwgSnapshot::from_json(get(v, "cwg")?)?,
@@ -358,6 +373,7 @@ impl DeadlockIncident {
 pub fn incidents_equal(a: &DeadlockIncident, b: &DeadlockIncident) -> bool {
     a.seq == b.seq
         && a.cycle == b.cycle
+        && a.formation_cycle == b.formation_cycle
         && a.config == b.config
         && a.fingerprint == b.fingerprint
         && a.cwg == b.cwg
@@ -624,6 +640,7 @@ pub fn config_to_json(cfg: &RunConfig) -> Json {
         ("warmup", Json::U64(cfg.warmup)),
         ("measure", Json::U64(cfg.measure)),
         ("detection_interval", Json::U64(cfg.detection_interval)),
+        ("detection", Json::Str(cfg.detection.name().to_string())),
         (
             "count_cycles_every",
             match cfg.count_cycles_every {
@@ -699,6 +716,16 @@ pub fn config_from_json(v: &Json) -> Result<RunConfig, ParseError> {
         warmup: get_u64(v, "warmup")?,
         measure: get_u64(v, "measure")?,
         detection_interval: get_u64(v, "detection_interval")?,
+        // Absent in records written before the incremental detector;
+        // snapshot is the semantic default either way.
+        detection: match get(v, "detection") {
+            Ok(j) => match j.as_str() {
+                Some("snapshot") => DetectionMode::Snapshot,
+                Some("incremental") => DetectionMode::Incremental,
+                _ => return Err(bad("`detection` must be `snapshot` or `incremental`")),
+            },
+            Err(_) => DetectionMode::Snapshot,
+        },
         count_cycles_every,
         cycle_cap: get_u64(v, "cycle_cap")?,
         density_cap: get_u64(v, "density_cap")?,
@@ -755,6 +782,7 @@ mod tests {
         cfg.transfer_threads = 3;
         cfg.shards = 4;
         cfg.stall_threshold = Some(500);
+        cfg.detection = DetectionMode::Incremental;
         let text = config_to_json(&cfg).to_string();
         let back = config_from_json(&parse(&text).unwrap()).unwrap();
         assert_eq!(cfg, back);

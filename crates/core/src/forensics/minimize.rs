@@ -227,6 +227,7 @@ mod tests {
         DeadlockIncident {
             seq: 0,
             cycle: 50,
+            formation_cycle: 47,
             config: RunConfig::small_default(),
             fingerprint: 0,
             cwg,

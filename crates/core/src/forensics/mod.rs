@@ -110,6 +110,7 @@ impl ForensicsState {
         analysis: &Analysis,
         victims: &[u64],
         cycle: u64,
+        formation: &[u64],
         res: &mut RunResult,
     ) {
         if analysis.deadlocks.is_empty() {
@@ -127,6 +128,7 @@ impl ForensicsState {
             let inc = DeadlockIncident::capture(
                 self.seq,
                 cycle,
+                formation.iter().copied().max().unwrap_or(cycle),
                 run_cfg,
                 arena,
                 analysis,

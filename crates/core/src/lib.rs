@@ -60,7 +60,7 @@ pub use result::{Incident, RunOutcome, RunResult, StallReport};
 pub use runner::{
     build_wait_graph, run, run_reference, run_reference_with, run_with, EpochView, RunObserver,
 };
-pub use spec::{RecoveryPolicy, RoutingSpec, TopologySpec};
+pub use spec::{DetectionMode, RecoveryPolicy, RoutingSpec, TopologySpec};
 pub use sweep::{
     backoff_for, checkpoint_line, replicate, replication_summary, restore_checkpoint,
     run_supervised, sweep, sweep_supervised, sweep_supervised_report, CheckpointRestore,
@@ -74,7 +74,7 @@ pub use sweep::{
 /// suites enforce this, including at any `transfer_threads` count) does
 /// NOT need a bump, which is what makes cached results durable across
 /// such PRs.
-pub const ENGINE_VERSION: &str = "flexsim-engine-v1";
+pub const ENGINE_VERSION: &str = "flexsim-engine-v2";
 
 use icn_traffic::{MsgLenDist, Pattern};
 
@@ -100,6 +100,10 @@ pub struct RunConfig {
     pub measure: u64,
     /// Deadlock-detection cadence in cycles (paper: 50).
     pub detection_interval: u64,
+    /// How knots are detected: epoch snapshots (the reference) or the
+    /// event-driven incremental CWG checked every cycle. Digest-neutral —
+    /// both modes produce byte-identical [`RunResult`]s.
+    pub detection: DetectionMode,
     /// When `Some(n)`, count CWG resource-dependency cycles every `n`-th
     /// detection epoch (the cyclic non-deadlock metric; costs time).
     pub count_cycles_every: Option<u64>,
@@ -162,6 +166,7 @@ impl RunConfig {
             warmup: 10_000,
             measure: 30_000,
             detection_interval: 50,
+            detection: DetectionMode::Snapshot,
             count_cycles_every: None,
             cycle_cap: 150_000,
             density_cap: 2_000,

@@ -119,6 +119,12 @@ pub struct RunResult {
     /// Cycles from a victim entering the recovery lane to its final flit
     /// draining (recovery resolution latency).
     pub resolution_latency: Histogram,
+    /// Detection lag per knot: cycles from the knot's formation (the
+    /// latest block stamp across the deadlock set) to the detection epoch
+    /// that found it. Snapshot mode's lag is bounded by
+    /// `detection_interval`; incremental mode records the same values
+    /// (digest-identical) but exposes per-cycle liveness to observers.
+    pub detection_lag: Histogram,
     /// The first few deadlocks in full detail, for inspection.
     pub incidents: Vec<Incident>,
 
@@ -157,6 +163,9 @@ pub struct RunResult {
 pub struct Incident {
     /// Simulation cycle of the detection epoch.
     pub cycle: u64,
+    /// Exact formation cycle: the latest cycle at which a deadlock-set
+    /// member entered its final blocking episode. Always ≤ `cycle`.
+    pub formation_cycle: u64,
     /// Messages in the knot's deadlock set.
     pub deadlock_set_size: usize,
     /// VCs held by the deadlock set.
@@ -207,6 +216,7 @@ impl RunResult {
             counting_epochs: 0,
             victims_started: 0,
             resolution_latency: Histogram::new(),
+            detection_lag: Histogram::new(),
             incidents: Vec::new(),
             formation_latency: Histogram::new(),
             formation_spread: Histogram::new(),
@@ -374,6 +384,13 @@ impl RunResult {
                 st.cycle, st.last_progress_cycle, st.in_network, st.blocked, st.source_queued
             );
         }
+        // Formation-time data (engine v2) appends after everything above,
+        // keeping the earlier digest a strict prefix of the new one.
+        let _ = write!(s, " lag=");
+        hist_digest(&self.detection_lag, &mut s);
+        for i in &self.incidents {
+            let _ = write!(s, "k({},{})", i.cycle, i.formation_cycle);
+        }
         s
     }
 }
@@ -412,5 +429,36 @@ mod tests {
         r.in_network.record(10.0);
         r.blocked.record(4.0);
         assert!((r.blocked_fraction() - 0.4).abs() < 1e-12);
+    }
+
+    /// Formation-time data must be digest-bearing: tampering with an
+    /// incident's formation cycle, or with the detection-lag histogram,
+    /// has to change the digest so the goldens pin it.
+    #[test]
+    fn digest_covers_formation_suffix() {
+        let mut r = blank();
+        r.incidents.push(Incident {
+            cycle: 100,
+            formation_cycle: 87,
+            deadlock_set_size: 4,
+            resource_set_size: 8,
+            knot_cycle_density: 1,
+            dependents: 0,
+        });
+        let clean = r.digest();
+        assert!(clean.contains(" lag=["), "suffix marker missing: {clean}");
+        assert!(
+            clean.contains("k(100,87)"),
+            "formation pair missing: {clean}"
+        );
+
+        r.incidents[0].formation_cycle = 88;
+        let tampered = r.digest();
+        assert_ne!(clean, tampered, "formation cycle not digest-bearing");
+
+        r.incidents[0].formation_cycle = 87;
+        assert_eq!(r.digest(), clean);
+        r.detection_lag.record(13);
+        assert_ne!(r.digest(), clean, "detection lag not digest-bearing");
     }
 }

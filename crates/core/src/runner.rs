@@ -3,9 +3,10 @@
 use std::ops::ControlFlow;
 
 use icn_cwg::{
-    count_cycles, Analysis, CycleCount, DeadlockKind, DependentKind, DetectorScratch, WaitGraph,
+    count_cycles, Analysis, CycleCount, DeadlockKind, DependentKind, DetectorScratch,
+    DynamicWaitGraph, WaitGraph,
 };
-use icn_sim::{Network, SnapshotArena, SnapshotFragment, StepEvents, WaitSnapshot};
+use icn_sim::{Network, SnapshotArena, SnapshotFragment, StepEvents, WaitSnapshot, WaitUpdate};
 use icn_topology::NodeId;
 use icn_traffic::BernoulliInjector;
 use rand::rngs::StdRng;
@@ -13,8 +14,28 @@ use rand::SeedableRng;
 
 use crate::forensics::ForensicsState;
 use crate::result::{RunOutcome, RunResult, StallReport};
-use crate::spec::RecoveryPolicy;
+use crate::spec::{DetectionMode, RecoveryPolicy};
 use crate::RunConfig;
+
+/// Prints `msg()` to stderr the first time `key` is seen in this process
+/// and never again; returns whether it printed. One shared registry for
+/// every once-style notice (parallelism downgrades today), so a 10k-point
+/// sweep emits each warning once, not 10k times.
+pub(crate) fn log_once(key: &'static str, msg: impl FnOnce() -> String) -> bool {
+    use std::collections::HashSet;
+    use std::sync::{Mutex, OnceLock};
+    static LOGGED: OnceLock<Mutex<HashSet<&'static str>>> = OnceLock::new();
+    let mut seen = LOGGED
+        .get_or_init(|| Mutex::new(HashSet::new()))
+        .lock()
+        .expect("log_once registry poisoned");
+    if seen.insert(key) {
+        eprintln!("{}", msg());
+        true
+    } else {
+        false
+    }
+}
 
 /// What [`RunObserver::on_epoch`] sees at a detection epoch: the snapshot,
 /// its analysis, and the network — immediately after knot analysis and
@@ -31,6 +52,19 @@ pub struct EpochView<'a> {
     /// Whether the fingerprint fast path skipped the full analysis (the
     /// epoch matched a previously verified clean wait-state).
     pub skipped: bool,
+    /// Whether `arena` was (re)captured at this epoch. Incremental
+    /// detection skips the snapshot capture entirely when the live
+    /// wait-state fingerprint matches a verified-clean epoch, so on
+    /// `captured == false` epochs the arena holds a stale earlier capture
+    /// — auditors needing fresh state must take their own snapshot (the
+    /// analysis and `skipped` remain exact either way).
+    pub captured: bool,
+    /// Incremental mode only: the cycle at which the dynamic CWG first
+    /// reported the currently live knot (`None` when knot-free, and always
+    /// `None` in snapshot mode). This is the exact first-true detection
+    /// cycle, which can postdate the last member's block — a foreign
+    /// message taking the final escape VC closes the knot later.
+    pub knot_live_since: Option<u64>,
     /// The network, read-only.
     pub net: &'a Network,
 }
@@ -151,24 +185,22 @@ fn run_impl(cfg: &RunConfig, obs: &mut dyn RunObserver, stepper: Stepper) -> Run
         // changes results — but sweeps and server configs that *asked* for
         // parallelism deserve to know they ran serial. Once per process,
         // not per run: a 10k-point sweep should not print 10k warnings.
-        static THREADS_DOWNGRADED: std::sync::Once = std::sync::Once::new();
-        THREADS_DOWNGRADED.call_once(|| {
-            eprintln!(
+        log_once("transfer_threads_downgraded", || {
+            format!(
                 "flexsim: transfer_threads={} requested but running with {} \
                  (build the `parallel` feature for more); results are identical",
                 cfg.transfer_threads, eff_threads
-            );
+            )
         });
     }
     let eff_shards = net.set_shards(cfg.shards);
     if eff_shards < cfg.shards {
-        static SHARDS_DOWNGRADED: std::sync::Once = std::sync::Once::new();
-        SHARDS_DOWNGRADED.call_once(|| {
-            eprintln!(
+        log_once("shards_downgraded", || {
+            format!(
                 "flexsim: shards={} requested but running with {} \
                  (build the `parallel` feature for more); results are identical",
                 cfg.shards, eff_shards
-            );
+            )
         });
     }
     if !cfg.faults.is_empty() {
@@ -227,6 +259,16 @@ fn run_impl(cfg: &RunConfig, obs: &mut dyn RunObserver, stepper: Stepper) -> Run
         net.enable_trace(f.trace_capacity);
     }
 
+    // Incremental detection: the event-patched dynamic CWG, kept current
+    // every cycle from the engine's block/acquire/release stream, plus the
+    // live-knot episode tracker (the exact first-true detection cycle).
+    let incremental = cfg.detection == DetectionMode::Incremental;
+    let mut dwg = incremental.then(|| DynamicWaitGraph::new(net.wait_vertex_count()));
+    let mut knot_live_since: Option<u64> = None;
+    if incremental {
+        net.enable_wait_tracking();
+    }
+
     // Progress watchdog state: the last cycle that showed any forward
     // motion, and the stall report if the watchdog fires.
     let mut last_progress: u64 = 0;
@@ -256,6 +298,22 @@ fn run_impl(cfg: &RunConfig, obs: &mut dyn RunObserver, stepper: Stepper) -> Run
         if let Some(f) = forensic.as_mut() {
             let (events, dropped) = net.take_trace();
             f.absorb(events, dropped);
+        }
+        // Incremental CWG maintenance: fold this cycle's wait-state events
+        // into the dynamic graph and refresh the knot verdict. The verdict
+        // is fingerprint-cached and S0-certified, so an unchanged (or
+        // provably knot-free) blocked population costs O(changes).
+        if let Some(d) = dwg.as_mut() {
+            net.drain_wait_updates(|id, up| match up {
+                WaitUpdate::Blocked { chain, requests } => d.stage_blocked(id, chain, requests),
+                WaitUpdate::Clear => d.stage_clear(id),
+            });
+            d.commit();
+            if d.has_knot() {
+                knot_live_since.get_or_insert(net.cycle());
+            } else {
+                knot_live_since = None;
+            }
         }
         for d in &ev.delivered {
             if d.recovered {
@@ -299,41 +357,69 @@ fn run_impl(cfg: &RunConfig, obs: &mut dyn RunObserver, stepper: Stepper) -> Run
                 .count_cycles_every
                 .is_some_and(|every| measuring && detection_epoch.is_multiple_of(every));
 
-            if snapshot_shards > 1 {
-                if snap_workers > 1 {
-                    std::thread::scope(|scope| {
-                        let net = &net;
-                        let mut rest: &mut [SnapshotFragment] = &mut frags;
-                        let mut base = 0usize;
-                        for w in 0..snap_workers {
-                            let n = (w + 1) * snapshot_shards / snap_workers
-                                - w * snapshot_shards / snap_workers;
-                            let (chunk, tail) = rest.split_at_mut(n);
-                            rest = tail;
-                            let start = base;
-                            base += n;
-                            scope.spawn(move || {
-                                for (k, frag) in chunk.iter_mut().enumerate() {
-                                    net.wait_snapshot_fragment(start + k, frag);
-                                }
-                            });
-                        }
-                    });
-                } else {
-                    for (s, frag) in frags.iter_mut().enumerate() {
-                        net.wait_snapshot_fragment(s, frag);
-                    }
+            // Incremental mode can prove this epoch identical to a
+            // previously verified clean one straight from the live
+            // fingerprint — skip the snapshot capture entirely (the real
+            // per-epoch saving; snapshot mode must capture to learn the
+            // same thing). Census epochs always capture: the cycle census
+            // reads the rebuilt graph.
+            let captured = match dwg.as_ref() {
+                Some(d) => {
+                    !(cfg.fingerprint_skip
+                        && !census_due
+                        && clean_fingerprint == Some(d.fingerprint()))
                 }
-                arena.assemble(&frags);
-            } else {
-                net.wait_snapshot_into(&mut arena);
+                None => true,
+            };
+            if captured {
+                if snapshot_shards > 1 {
+                    if snap_workers > 1 {
+                        std::thread::scope(|scope| {
+                            let net = &net;
+                            let mut rest: &mut [SnapshotFragment] = &mut frags;
+                            let mut base = 0usize;
+                            for w in 0..snap_workers {
+                                let n = (w + 1) * snapshot_shards / snap_workers
+                                    - w * snapshot_shards / snap_workers;
+                                let (chunk, tail) = rest.split_at_mut(n);
+                                rest = tail;
+                                let start = base;
+                                base += n;
+                                scope.spawn(move || {
+                                    for (k, frag) in chunk.iter_mut().enumerate() {
+                                        net.wait_snapshot_fragment(start + k, frag);
+                                    }
+                                });
+                            }
+                        });
+                    } else {
+                        for (s, frag) in frags.iter_mut().enumerate() {
+                            net.wait_snapshot_fragment(s, frag);
+                        }
+                    }
+                    arena.assemble(&frags);
+                } else {
+                    net.wait_snapshot_into(&mut arena);
+                }
+                if let Some(d) = dwg.as_ref() {
+                    // The lockstep invariant behind every incremental skip:
+                    // the event-patched state hashes identically to a fresh
+                    // capture, at any shard count.
+                    debug_assert_eq!(
+                        d.fingerprint(),
+                        arena.fingerprint(),
+                        "incremental wait-state diverged from the snapshot"
+                    );
+                }
             }
 
             // Fast paths: with nothing blocked there are no dashed arcs, so
             // neither knots nor resource cycles can exist; and when the
             // blocked wait-state fingerprint matches a previous verified
-            // clean epoch, the verdict carries over unchanged.
-            let skip = arena.num_blocked() == 0
+            // clean epoch, the verdict carries over unchanged. An
+            // uncaptured epoch already proved the latter.
+            let skip = !captured
+                || arena.num_blocked() == 0
                 || (cfg.fingerprint_skip && clean_fingerprint == Some(arena.fingerprint()));
 
             // The graph is needed for a full analysis, and also when a
@@ -348,16 +434,42 @@ fn run_impl(cfg: &RunConfig, obs: &mut dyn RunObserver, stepper: Stepper) -> Run
                 Analysis {
                     deadlocks: Vec::new(),
                     dependent: Vec::new(),
-                    num_blocked: arena.num_blocked(),
+                    num_blocked: match dwg.as_ref() {
+                        Some(d) if !captured => d.num_blocked(),
+                        _ => arena.num_blocked(),
+                    },
                 }
             } else {
                 graph.analyze_with(cfg.density_cap, &mut scratch)
             };
-            clean_fingerprint = if analysis.has_deadlock() {
-                None
-            } else {
-                Some(arena.fingerprint())
-            };
+            if captured {
+                clean_fingerprint = if analysis.has_deadlock() {
+                    None
+                } else {
+                    Some(arena.fingerprint())
+                };
+            }
+            // (On an uncaptured epoch the fingerprint matched
+            // `clean_fingerprint` by construction — nothing to update.)
+
+            // Exact formation cycle per knot, identical in both detection
+            // modes: a knot exists only once every member is blocked, so
+            // its formation is the latest member block stamp. (The dynamic
+            // CWG's first-true cycle can be later still — a foreign message
+            // taking the last escape VC closes the knot without any member
+            // re-blocking — which is why `knot_live_since` is reported to
+            // observers but kept out of the digest.)
+            let formation: Vec<u64> = analysis
+                .deadlocks
+                .iter()
+                .map(|d| {
+                    d.deadlock_set
+                        .iter()
+                        .filter_map(|&m| net.blocked_since(m))
+                        .max()
+                        .unwrap_or(net.cycle())
+                })
+                .collect();
 
             // Cyclic non-deadlock census count, taken before recovery
             // mutates the graph. On a full-analysis epoch the scratch CSR
@@ -381,6 +493,8 @@ fn run_impl(cfg: &RunConfig, obs: &mut dyn RunObserver, stepper: Stepper) -> Run
                     arena: &arena,
                     analysis: &analysis,
                     skipped: skip,
+                    captured,
+                    knot_live_since,
                     net: &net,
                 };
                 if obs.on_epoch(&view).is_break() {
@@ -451,6 +565,7 @@ fn run_impl(cfg: &RunConfig, obs: &mut dyn RunObserver, stepper: Stepper) -> Run
                     &analysis,
                     &epoch_victims,
                     net.cycle(),
+                    &formation,
                     &mut res,
                 );
             }
@@ -459,7 +574,7 @@ fn run_impl(cfg: &RunConfig, obs: &mut dyn RunObserver, stepper: Stepper) -> Run
                 res.blocked.record(net.blocked_count() as f64);
                 res.in_network.record(net.in_network() as f64);
                 res.source_queued.record(net.source_queued() as f64);
-                for d in &analysis.deadlocks {
+                for (i, d) in analysis.deadlocks.iter().enumerate() {
                     res.deadlocks += 1;
                     match d.kind() {
                         DeadlockKind::SingleCycle => res.single_cycle_deadlocks += 1,
@@ -468,12 +583,14 @@ fn run_impl(cfg: &RunConfig, obs: &mut dyn RunObserver, stepper: Stepper) -> Run
                     res.deadlock_set.record(d.deadlock_set.len() as u64);
                     res.resource_set.record(d.resource_set.len() as u64);
                     res.knot_density.record(d.cycle_density.value());
+                    res.detection_lag.record(net.cycle() - formation[i]);
                     if d.cycle_density.is_capped() {
                         res.cycles_capped = true;
                     }
                     if res.incidents.len() < RunResult::MAX_INCIDENTS {
                         res.incidents.push(crate::result::Incident {
                             cycle: net.cycle(),
+                            formation_cycle: formation[i],
                             deadlock_set_size: d.deadlock_set.len(),
                             resource_set_size: d.resource_set.len(),
                             knot_cycle_density: d.cycle_density.value(),
@@ -552,6 +669,22 @@ mod tests {
 
     fn quick(cfg: &RunConfig) -> RunResult {
         run(cfg)
+    }
+
+    #[test]
+    fn log_once_fires_once_per_key() {
+        let calls = std::cell::Cell::new(0u32);
+        let msg = || {
+            calls.set(calls.get() + 1);
+            String::from("notice")
+        };
+        assert!(log_once("test-key-log-once-a", msg));
+        assert!(!log_once("test-key-log-once-a", msg));
+        assert!(!log_once("test-key-log-once-a", msg));
+        assert_eq!(calls.get(), 1, "message must be rendered only on first use");
+        // Distinct keys are independent.
+        assert!(log_once("test-key-log-once-b", msg));
+        assert_eq!(calls.get(), 2);
     }
 
     #[test]

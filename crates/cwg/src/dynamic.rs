@@ -1,0 +1,1029 @@
+//! Incrementally maintained channel wait-for state.
+//!
+//! The snapshot detector rebuilds a [`WaitGraph`] from scratch at every
+//! detection epoch. [`DynamicWaitGraph`] instead *persists* the blocked
+//! wait-state across cycles and is patched by the engine's own
+//! block/acquire/release event stream, so "is there a knot right now?" is
+//! answerable every cycle at near-zero marginal cost when nothing blocked
+//! has changed.
+//!
+//! # What is tracked — and why only blocked messages
+//!
+//! A record exists per **blocked** message: its settled ownership chain and
+//! its request targets (possibly empty for fault-stranded messages).
+//! Moving messages are deliberately absent. This is lossless for knot
+//! detection:
+//!
+//! * A moving message's chain is a path of solid arcs ending at its head,
+//!   which has no dashed out-arcs — a sink path. No vertex of it can lie on
+//!   a cycle, so none can belong to a (non-trivial) knot SCC.
+//! * An unowned vertex has no out-arcs at all in either graph.
+//! * Blocked-owned vertices have *identical* out-arcs in the full and the
+//!   blocked-only graph (solid arcs along the blocked chain, dashed arcs
+//!   from its head), so the non-trivial SCCs among them — and their
+//!   terminal status — coincide.
+//!
+//! Hence the blocked-only graph has exactly the full graph's knots, and the
+//! per-knot deadlock sets match [`WaitGraph::knot_deadlock_sets`] on a
+//! fresh full snapshot (set-for-set; emission order may differ when
+//! several independent knots coexist).
+//!
+//! # Maintenance invariants
+//!
+//! Between [`commit`](DynamicWaitGraph::commit)s the structure maintains:
+//!
+//! 1. `records[m]` = the settled chain + requests of every blocked message
+//!    `m`, verbatim from the engine's snapshot extraction rules.
+//! 2. `owner[v] = m` iff `v` is on `records[m].chain` (blocked owners
+//!    only; each vertex has at most one).
+//! 3. `records[m].unowned` = the number of `m`'s request targets *not*
+//!    owned by any blocked message.
+//! 4. `s0` = the number of records with a non-empty request set and
+//!    `unowned == 0`.
+//! 5. `fp_partial` = the commutative sum of per-record hashes, identical
+//!    to the simulator snapshot fingerprint's partial sum (same FNV-1a +
+//!    SplitMix64 construction), so
+//!    [`fingerprint`](DynamicWaitGraph::fingerprint) equals
+//!    `SnapshotArena::fingerprint()` for the same wait-state.
+//!
+//! Invariant 3/4 give an O(1) **no-knot certificate**: every deadlock-set
+//! member of a knot has all of its request targets owned by blocked
+//! messages (a free or moving-owned target would be an arc leaving the
+//! terminal component), so `s0 == 0` proves the graph knot-free without
+//! touching any adjacency. Knots moreover live *entirely* among S0
+//! records — a vertex whose owner has an escape reaches that escape — so
+//! the lazy verdicts go stale only when a commit touches an S0 record or
+//! moves a record across the S0 boundary; all other churn (the busy
+//! frontier of a congestion tree) leaves both the boolean verdict and the
+//! exact deadlock sets untouched.
+//!
+//! The boolean verdict is further kept *directionally*: commits can only
+//! grow the knot candidates (records entering S0, S0 insertions) or
+//! shrink them (S0 removals and exits), and each direction is one-sided.
+//! Growth never removes ownership or arcs from surviving records, so a
+//! `true` verdict carries over untouched; it is guarded by a stamped
+//! **witness core** and only a shrink hitting that core forces a full
+//! worklist reduction (greatest fixpoint of "requests fully owned by
+//! surviving records" — non-empty ⟺ knot, no graph build). Shrinks can
+//! never create a core, so a `false` verdict carries over too; records
+//! entering S0 are queued as a **delta**, and a newly formed core must
+//! contain one of them (a core of previously-S0 records with unchanged
+//! arcs would have existed before), so probing each delta record's
+//! forward target-owner closure — escape found, or a closed all-S0 core —
+//! re-certifies the verdict in O(delta) instead of O(state). Only a
+//! demand for the exact sets rebuilds the (small) blocked-only graph and
+//! runs the Tarjan knot decomposition.
+//!
+//! # Update protocol
+//!
+//! Edits arrive as staged per-message states and are applied by
+//! [`commit`](DynamicWaitGraph::commit) in two phases: all removals of
+//! staged messages' old records first, then all insertions of their new
+//! states. Within one engine cycle a VC can migrate between two staged
+//! messages (released by one, acquired by another); removing every stale
+//! record before inserting any new one makes the ownership index
+//! transiently consistent regardless of staging order.
+
+use crate::analysis::DetectorScratch;
+use crate::graph::{MessageId, VertexId, WaitGraph};
+use std::collections::HashMap;
+
+/// Per-blocked-message record.
+#[derive(Clone, Debug)]
+struct Rec {
+    chain: Vec<VertexId>,
+    requests: Vec<VertexId>,
+    /// Request targets currently not owned by any blocked message.
+    unowned: u32,
+    /// Finalized per-record hash (see [`record_hash`]).
+    hash: u64,
+    /// Scratch: last reduction/probe pass that visited this record.
+    red_gen: u64,
+    /// Witness stamp: equals `wit_epoch` iff this record belongs to the
+    /// core certifying the cached `true` verdict.
+    wit_gen: u64,
+}
+
+impl Rec {
+    #[inline]
+    fn in_s0(&self) -> bool {
+        !self.requests.is_empty() && self.unowned == 0
+    }
+}
+
+/// One staged edit: the message's new state, or its removal.
+#[derive(Clone, Debug)]
+enum Staged {
+    /// `(chain_len, pool range start)` — chain then requests, contiguous.
+    Blocked {
+        start: u32,
+        chain_len: u32,
+        len: u32,
+    },
+    Clear,
+}
+
+/// FNV-1a over a word stream (same constants as the simulator snapshot).
+#[inline]
+fn fnv1a_words(mut h: u64, words: impl IntoIterator<Item = u64>) -> u64 {
+    for w in words {
+        h ^= w;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// SplitMix64 finalizer (same as the simulator snapshot).
+#[inline]
+fn mix(mut z: u64) -> u64 {
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// The per-record hash of the blocked fingerprint: FNV-1a over
+/// `(id, chain, separator, requests)`, SplitMix64-finalized. Must stay
+/// bit-compatible with the simulator's `SnapshotArena` hashing — the
+/// equality is locked by the cross-crate differential tests.
+fn record_hash(id: MessageId, chain: &[VertexId], requests: &[VertexId]) -> u64 {
+    let mut h = fnv1a_words(0xcbf2_9ce4_8422_2325, [id]);
+    h = fnv1a_words(h, chain.iter().map(|&v| v as u64));
+    h = fnv1a_words(h, [u64::MAX]);
+    h = fnv1a_words(h, requests.iter().map(|&v| v as u64));
+    mix(h)
+}
+
+/// Owner-index sentinel: the vertex is not held by any blocked message.
+const NO_OWNER: MessageId = MessageId::MAX;
+
+/// SplitMix64-based hasher for the id-keyed record table. Message ids
+/// are sequence numbers; SipHash resistance is wasted on them, and the
+/// record table sits on the per-cycle hot path.
+#[derive(Default, Clone)]
+struct IdHasher(u64);
+
+impl std::hash::Hasher for IdHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.0
+    }
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 = mix(self.0 ^ b as u64);
+        }
+    }
+    #[inline]
+    fn write_u64(&mut self, n: u64) {
+        self.0 = mix(self.0 ^ n);
+    }
+    #[inline]
+    fn write_u32(&mut self, n: u32) {
+        self.0 = mix(self.0 ^ n as u64);
+    }
+    #[inline]
+    fn write_usize(&mut self, n: usize) {
+        self.0 = mix(self.0 ^ n as u64);
+    }
+}
+
+type IdMap<V> = HashMap<MessageId, V, std::hash::BuildHasherDefault<IdHasher>>;
+
+/// Persistent, event-patched blocked wait-state with per-cycle knot
+/// verdicts. See the module docs for the maintenance invariants.
+#[derive(Clone, Debug, Default)]
+pub struct DynamicWaitGraph {
+    num_vertices: usize,
+    records: IdMap<Rec>,
+    /// Vertex -> owning *blocked* message, dense ([`NO_OWNER`] = free).
+    owner: Vec<MessageId>,
+    /// Vertex -> blocked messages requesting it (reverse request index).
+    waiters: Vec<Vec<MessageId>>,
+    /// Records with a non-empty request set fully owned by blocked
+    /// messages — the knot candidates. 0 certifies "no knot".
+    s0: usize,
+    /// Commutative per-record hash sum (population fold applied at query).
+    fp_partial: u64,
+    // Staged edits awaiting commit.
+    staged: Vec<(MessageId, Staged)>,
+    staged_pool: Vec<VertexId>,
+    // Lazy verdict caches, invalidated only by commits that touch
+    // S0-relevant state (see `mark_grow` / `mark_shrink`): `live` is the
+    // boolean reduction verdict, `verdict_sets` the exact decomposition.
+    live_stale: bool,
+    live: bool,
+    sets_stale: bool,
+    verdict_sets: Vec<Vec<MessageId>>,
+    // Scratch for the worklist reduction behind `has_knot`:
+    // `red_epoch` stamps `Rec::red_gen` so no per-pass map is needed.
+    red_epoch: u64,
+    red_stack: Vec<MessageId>,
+    red_chain: Vec<VertexId>,
+    // Witness generation: records stamped `wit_gen == wit_epoch` form
+    // the core certifying a cached `true` verdict. Bumped whenever a
+    // verdict is re-established, so stale stamps can never match.
+    wit_epoch: u64,
+    // Records that entered S0 since the last verified `false` verdict —
+    // any newly formed core must contain one of them (see `has_knot`).
+    delta: Vec<MessageId>,
+    probe_members: Vec<MessageId>,
+    // Ids staged more than once in the current commit (rare; API-only).
+    dup_buf: Vec<MessageId>,
+    // Scratch for the lazy exact decomposition.
+    graph: WaitGraph,
+    scratch: DetectorScratch,
+    sort_buf: Vec<MessageId>,
+}
+
+impl DynamicWaitGraph {
+    /// An empty wait-state over `num_vertices` CWG vertices.
+    pub fn new(num_vertices: usize) -> Self {
+        DynamicWaitGraph {
+            num_vertices,
+            owner: vec![NO_OWNER; num_vertices],
+            waiters: vec![Vec::new(); num_vertices],
+            ..Default::default()
+        }
+    }
+
+    /// Total vertex count (folds into the fingerprint).
+    pub fn num_vertices(&self) -> usize {
+        self.num_vertices
+    }
+
+    /// Number of blocked messages currently tracked.
+    pub fn num_blocked(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Order-independent 64-bit hash of the blocked wait-state —
+    /// bit-identical to `SnapshotArena::fingerprint()` for the same state.
+    pub fn fingerprint(&self) -> u64 {
+        self.fp_partial
+            ^ mix((self.records.len() as u64) << 32
+                ^ self.num_vertices as u64
+                ^ 0x9e37_79b9_7f4a_7c15)
+    }
+
+    /// The tracked `(settled chain, requests)` of `id`, if blocked.
+    pub fn record(&self, id: MessageId) -> Option<(&[VertexId], &[VertexId])> {
+        self.records
+            .get(&id)
+            .map(|r| (r.chain.as_slice(), r.requests.as_slice()))
+    }
+
+    /// Tracked blocked message ids, ascending.
+    pub fn blocked_ids(&self) -> Vec<MessageId> {
+        let mut ids: Vec<MessageId> = self.records.keys().copied().collect();
+        ids.sort_unstable();
+        ids
+    }
+
+    /// Stages the new state of a blocked message (chain must be
+    /// non-empty; requests may be empty for fault-stranded messages).
+    /// Takes effect at [`commit`](Self::commit).
+    pub fn stage_blocked(&mut self, id: MessageId, chain: &[VertexId], requests: &[VertexId]) {
+        debug_assert!(!chain.is_empty(), "a blocked message owns its head VC");
+        let start = self.staged_pool.len() as u32;
+        self.staged_pool.extend_from_slice(chain);
+        self.staged_pool.extend_from_slice(requests);
+        self.staged.push((
+            id,
+            Staged::Blocked {
+                start,
+                chain_len: chain.len() as u32,
+                len: (chain.len() + requests.len()) as u32,
+            },
+        ));
+    }
+
+    /// Stages the removal of `id` (delivered, recovering, ejecting, or
+    /// simply no longer blocked). Unknown ids are fine — the engine marks
+    /// conservatively. Takes effect at [`commit`](Self::commit).
+    pub fn stage_clear(&mut self, id: MessageId) {
+        self.staged.push((id, Staged::Clear));
+    }
+
+    /// Applies every staged edit: phase 1 removes the old records of all
+    /// staged messages, phase 2 inserts the new blocked states. At most
+    /// one staged entry per id per commit (the engine's drain dedups).
+    pub fn commit(&mut self) {
+        if self.staged.is_empty() {
+            return;
+        }
+        let mut staged = std::mem::take(&mut self.staged);
+        let pool = std::mem::take(&mut self.staged_pool);
+        // Drop reconciliation no-ops before touching any index: the
+        // engine re-resolves conservatively-marked messages (fault
+        // transitions mark *everything*), and an identical re-staging
+        // must neither churn the indices nor invalidate the verdicts.
+        //
+        // The per-entry no-op test compares against pre-commit state
+        // only, so an id staged more than once (a Clear + re-Block pair
+        // in one commit — never from the engine's drain, but legal for
+        // direct API users) must bypass the filter: dropping the Block
+        // as "identical" while keeping its paired Clear would wrongly
+        // remove the record.
+        self.dup_buf.clear();
+        self.dup_buf.extend(staged.iter().map(|(id, _)| *id));
+        self.dup_buf.sort_unstable();
+        let mut dups = 0;
+        for i in 1..self.dup_buf.len() {
+            if self.dup_buf[i] == self.dup_buf[i - 1]
+                && (dups == 0 || self.dup_buf[dups - 1] != self.dup_buf[i])
+            {
+                self.dup_buf[dups] = self.dup_buf[i];
+                dups += 1;
+            }
+        }
+        self.dup_buf.truncate(dups);
+        staged.retain(|(id, st)| match *st {
+            _ if self.dup_buf.binary_search(id).is_ok() => true,
+            Staged::Blocked {
+                start,
+                chain_len,
+                len,
+            } => {
+                let s = start as usize;
+                let c = s + chain_len as usize;
+                self.records.get(id).is_none_or(|rec| {
+                    rec.chain.as_slice() != &pool[s..c]
+                        || rec.requests.as_slice() != &pool[c..s + len as usize]
+                })
+            }
+            Staged::Clear => self.records.contains_key(id),
+        });
+        for (id, _) in &staged {
+            self.remove_record(*id);
+        }
+        for (id, st) in &staged {
+            if let Staged::Blocked {
+                start,
+                chain_len,
+                len,
+            } = *st
+            {
+                let s = start as usize;
+                let c = s + chain_len as usize;
+                self.insert_record(*id, &pool[s..c], &pool[c..s + len as usize]);
+            }
+        }
+        self.staged_pool = pool;
+        self.staged_pool.clear();
+        self.staged = staged;
+        self.staged.clear();
+    }
+
+    /// Removes `id`'s record and repairs the ownership / waiter indices
+    /// and the S0 counters. No-op for untracked ids.
+    ///
+    /// Staleness: knots live entirely among S0 records (a vertex owned
+    /// by a record with an escape can reach that escape, so it is never
+    /// in a terminal component), so only S0-boundary events matter.
+    /// Removals and S0-exits delete records or arcs, which cannot create
+    /// a core from nothing — a `false` verdict survives every shrink,
+    /// and a `true` verdict survives shrinks that miss the stamped
+    /// witness core (its members and their mutual ownership are intact).
+    fn remove_record(&mut self, id: MessageId) {
+        let Some(rec) = self.records.remove(&id) else {
+            return;
+        };
+        self.fp_partial = self.fp_partial.wrapping_sub(rec.hash);
+        let mut touched = false;
+        let mut wit_hit = false;
+        if rec.in_s0() {
+            self.s0 -= 1;
+            touched = true;
+            wit_hit |= rec.wit_gen == self.wit_epoch;
+        }
+        for &t in &rec.requests {
+            self.waiters[t as usize].retain(|&w| w != id);
+        }
+        for &v in &rec.chain {
+            // Only release vertices this record still owns: a same-commit
+            // overwrite (or a mid-commit migration) may have reassigned one.
+            if self.owner[v as usize] != id {
+                continue;
+            }
+            self.owner[v as usize] = NO_OWNER;
+            for i in 0..self.waiters[v as usize].len() {
+                let w = self.waiters[v as usize][i];
+                if let Some(r2) = self.records.get_mut(&w) {
+                    if r2.in_s0() {
+                        self.s0 -= 1;
+                        touched = true;
+                        wit_hit |= r2.wit_gen == self.wit_epoch;
+                    }
+                    r2.unowned += 1;
+                }
+            }
+        }
+        if touched {
+            self.sets_stale = true;
+            if self.live && wit_hit {
+                self.live_stale = true;
+                self.delta.clear();
+            }
+        }
+    }
+
+    /// Inserts a fresh record for `id` and repairs all indices.
+    ///
+    /// Staleness: insertions never remove ownership or arcs from
+    /// surviving records (chains are owner-disjoint), so an existing
+    /// core stays a core and a `true` verdict survives every grow. A
+    /// `false` verdict is re-established by probing only the records
+    /// that entered S0 (collected in `delta`) — any newly formed core
+    /// must contain one of them (see [`has_knot`](Self::has_knot)).
+    fn insert_record(&mut self, id: MessageId, chain: &[VertexId], requests: &[VertexId]) {
+        // Defensive: a duplicate stage for one id keeps the last state.
+        self.remove_record(id);
+        let mut touched = false;
+        let track_delta = !self.live_stale && !self.live;
+        for &v in chain {
+            let prev = std::mem::replace(&mut self.owner[v as usize], id);
+            debug_assert!(
+                prev == NO_OWNER,
+                "vertex {v} owned by two blocked messages ({prev} and {id})"
+            );
+            for i in 0..self.waiters[v as usize].len() {
+                let w = self.waiters[v as usize][i];
+                if let Some(r2) = self.records.get_mut(&w) {
+                    debug_assert!(r2.unowned > 0, "unowned counter underflow");
+                    r2.unowned -= 1;
+                    if r2.in_s0() {
+                        self.s0 += 1;
+                        touched = true;
+                        if track_delta {
+                            self.delta.push(w);
+                        }
+                    }
+                }
+            }
+        }
+        let mut unowned = 0u32;
+        for &t in requests {
+            if self.owner[t as usize] == NO_OWNER {
+                unowned += 1;
+            }
+            self.waiters[t as usize].push(id);
+        }
+        let rec = Rec {
+            chain: chain.to_vec(),
+            requests: requests.to_vec(),
+            unowned,
+            hash: record_hash(id, chain, requests),
+            red_gen: 0,
+            wit_gen: 0,
+        };
+        self.fp_partial = self.fp_partial.wrapping_add(rec.hash);
+        if rec.in_s0() {
+            self.s0 += 1;
+            touched = true;
+            if track_delta {
+                self.delta.push(id);
+            }
+        }
+        self.records.insert(id, rec);
+        if touched {
+            self.sets_stale = true;
+            // Runaway delta (e.g. a long no-verdict edit session through
+            // the direct API): fall back to one full reduction.
+            if self.delta.len() > 128 {
+                self.live_stale = true;
+                self.delta.clear();
+            }
+        }
+    }
+
+    /// Whether a knot (true deadlock) exists right now.
+    ///
+    /// Cost: O(1) when nothing S0-relevant changed since the last
+    /// verdict (including every cycle of a frozen wedge — deadlocked
+    /// messages emit no events), when `s0 == 0`, or when the change was
+    /// one-sided in the verdict's favor (see the module docs); O(delta)
+    /// when a `false` verdict only needs the new S0 entrants probed; and
+    /// one full worklist reduction over the record table — no graph
+    /// build — only when a shrink damaged the witness core. The
+    /// reduction computes the greatest fixpoint of "records whose
+    /// request targets are all owned by surviving records": that core is
+    /// closed (no arcs leave it), every core vertex has an out-arc, so a
+    /// non-empty core contains a non-trivial terminal SCC — and any knot's
+    /// deadlock set is itself such a core. Core non-empty ⟺ knot.
+    pub fn has_knot(&mut self) -> bool {
+        if !self.sets_stale {
+            debug_assert!(self.delta.is_empty());
+            return !self.verdict_sets.is_empty();
+        }
+        if self.live_stale {
+            self.live = self.compute_live();
+            self.live_stale = false;
+            self.delta.clear();
+            if !self.live {
+                // Kill lingering witness stamps from an older `true`.
+                self.wit_epoch = self.wit_epoch.wrapping_add(1);
+            }
+        } else if !self.live && !self.delta.is_empty() {
+            self.live = self.probe_delta();
+        }
+        self.live
+    }
+
+    /// The greatest-fixpoint reduction behind [`has_knot`](Self::has_knot).
+    fn compute_live(&mut self) -> bool {
+        if self.s0 == 0 {
+            return false;
+        }
+        let gen = self.red_epoch.wrapping_add(1);
+        self.red_epoch = gen;
+        self.red_stack.clear();
+        let mut alive = self.s0;
+        // Seed: every record with an escape (an unowned request target,
+        // or no requests at all) is reducible.
+        for (&id, rec) in &self.records {
+            if !rec.in_s0() {
+                self.red_stack.push(id);
+            }
+        }
+        // Reducing a record virtually frees its chain; a waiter on those
+        // vertices gains a virtual escape and reduces in turn (one freed
+        // target is enough — only the first touch matters).
+        while let Some(id) = self.red_stack.pop() {
+            self.red_chain.clear();
+            self.red_chain.extend_from_slice(&self.records[&id].chain);
+            for i in 0..self.red_chain.len() {
+                let v = self.red_chain[i];
+                for j in 0..self.waiters[v as usize].len() {
+                    let w = self.waiters[v as usize][j];
+                    let Some(rec) = self.records.get_mut(&w) else {
+                        continue;
+                    };
+                    if !rec.in_s0() || rec.red_gen == gen {
+                        continue; // seeded or already reduced
+                    }
+                    rec.red_gen = gen;
+                    alive -= 1;
+                    if alive == 0 {
+                        return false; // whole S0 set reduced
+                    }
+                    self.red_stack.push(w);
+                }
+            }
+        }
+        // Fixpoint with survivors: stamp the unreduced S0 records as the
+        // witness core so shrink-time invalidation can test membership.
+        self.wit_epoch = self.wit_epoch.wrapping_add(1);
+        let we = self.wit_epoch;
+        for rec in self.records.values_mut() {
+            if rec.red_gen != gen && rec.in_s0() {
+                rec.wit_gen = we;
+            }
+        }
+        true
+    }
+
+    /// Probes whether any record that entered S0 since the last verified
+    /// `false` verdict now sits in a core. Sound and complete for that
+    /// transition: a core's members' records and their mutual ownership
+    /// are immutable while the core exists, so a core made only of
+    /// records that were already in S0 (with unchanged arcs) at the last
+    /// `false` verdict would have been a core back then. The probe walks
+    /// the forward target-owner closure of each delta record: hitting a
+    /// non-S0 owner proves an escape is reachable (not in any core);
+    /// closing entirely inside S0 exhibits a core — a knot.
+    fn probe_delta(&mut self) -> bool {
+        'outer: for i in 0..self.delta.len() {
+            let d = self.delta[i];
+            match self.records.get_mut(&d) {
+                Some(rec) if rec.in_s0() => {}
+                _ => continue, // removed or left S0 again since
+            }
+            let gen = self.red_epoch.wrapping_add(1);
+            self.red_epoch = gen;
+            self.records.get_mut(&d).unwrap().red_gen = gen;
+            self.red_stack.clear();
+            self.red_stack.push(d);
+            self.probe_members.clear();
+            self.probe_members.push(d);
+            while let Some(r) = self.red_stack.pop() {
+                self.red_chain.clear();
+                self.red_chain.extend_from_slice(&self.records[&r].requests);
+                for j in 0..self.red_chain.len() {
+                    let t = self.red_chain[j];
+                    let o = self.owner[t as usize];
+                    debug_assert!(o != NO_OWNER, "S0 closure with an unowned target");
+                    let Some(orec) = self.records.get_mut(&o) else {
+                        debug_assert!(false, "owned vertex without a live record");
+                        continue 'outer;
+                    };
+                    if !orec.in_s0() {
+                        continue 'outer; // escape reachable: d is in no core
+                    }
+                    if orec.red_gen != gen {
+                        orec.red_gen = gen;
+                        self.red_stack.push(o);
+                        self.probe_members.push(o);
+                    }
+                }
+            }
+            // Closed all-S0 forward closure: a core. Stamp it as the
+            // witness and report the knot.
+            self.wit_epoch = self.wit_epoch.wrapping_add(1);
+            let we = self.wit_epoch;
+            for j in 0..self.probe_members.len() {
+                let m = self.probe_members[j];
+                if let Some(rec) = self.records.get_mut(&m) {
+                    rec.wit_gen = we;
+                }
+            }
+            self.delta.clear();
+            return true;
+        }
+        self.delta.clear();
+        false
+    }
+
+    /// The deadlock set of every current knot. Sets match
+    /// [`WaitGraph::knot_deadlock_sets`] on a fresh full snapshot; with
+    /// several coexisting knots the sets are ordered by their smallest
+    /// member for determinism (the snapshot path orders by component
+    /// emission instead).
+    ///
+    /// Cost: O(1) when nothing S0-relevant changed since the last
+    /// decomposition or when `s0 == 0`; otherwise one Tarjan pass over
+    /// the blocked-only graph.
+    pub fn knot_deadlock_sets(&mut self) -> &[Vec<MessageId>] {
+        if self.sets_stale {
+            self.verdict_sets = self.compute_sets();
+            self.sets_stale = false;
+            debug_assert!(
+                self.live_stale
+                    || !self.delta.is_empty()
+                    || self.live != self.verdict_sets.is_empty(),
+                "reduction verdict disagrees with the exact decomposition"
+            );
+            self.live = !self.verdict_sets.is_empty();
+            self.live_stale = false;
+            self.delta.clear();
+            // Re-establish the witness from the exact decomposition:
+            // every deadlock set is a terminal SCC, hence itself a core.
+            self.wit_epoch = self.wit_epoch.wrapping_add(1);
+            if self.live {
+                let we = self.wit_epoch;
+                for s in &self.verdict_sets {
+                    for m in s {
+                        if let Some(rec) = self.records.get_mut(m) {
+                            rec.wit_gen = we;
+                        }
+                    }
+                }
+            }
+        }
+        &self.verdict_sets
+    }
+
+    /// Exact knot decomposition of the blocked-only graph.
+    fn compute_sets(&mut self) -> Vec<Vec<MessageId>> {
+        if self.s0 == 0 {
+            return Vec::new();
+        }
+        // Deterministic rebuild order (HashMap iteration is not).
+        self.sort_buf.clear();
+        self.sort_buf.extend(self.records.keys().copied());
+        self.sort_buf.sort_unstable();
+        self.graph.reset(self.num_vertices);
+        for &id in &self.sort_buf {
+            let rec = &self.records[&id];
+            self.graph.add_chain(id, &rec.chain);
+        }
+        for &id in &self.sort_buf {
+            let rec = &self.records[&id];
+            if !rec.requests.is_empty() {
+                self.graph.add_requests(id, &rec.requests);
+            }
+        }
+        let mut sets = self.graph.knot_deadlock_sets(&mut self.scratch);
+        sets.sort_unstable_by_key(|s| s.first().copied());
+        sets
+    }
+
+    /// Compares this incrementally maintained state against a freshly
+    /// built full-snapshot [`WaitGraph`], returning human-readable
+    /// mismatches (empty = lockstep). The full graph also carries moving
+    /// messages; agreement is defined on the blocked subset plus the knot
+    /// verdict.
+    pub fn diff_against_snapshot(&mut self, full: &WaitGraph) -> Vec<String> {
+        let mut out = Vec::new();
+        // Every blocked message of the snapshot (non-empty requests) must
+        // be tracked verbatim. Blocked messages with empty request sets
+        // are indistinguishable from moving ones in the bare graph; the
+        // fingerprint equality in the engine-level tests covers those.
+        let mut snapshot_blocked = 0usize;
+        for m in full.blocked_messages() {
+            snapshot_blocked += 1;
+            match self.records.get(&m) {
+                None => out.push(format!("blocked message {m} missing from dynamic state")),
+                Some(rec) => {
+                    if full.chain(m) != Some(rec.chain.as_slice()) {
+                        out.push(format!(
+                            "message {m} chain: snapshot={:?} dynamic={:?}",
+                            full.chain(m),
+                            rec.chain
+                        ));
+                    }
+                    if full.requests_of(m) != Some(rec.requests.as_slice()) {
+                        out.push(format!(
+                            "message {m} requests: snapshot={:?} dynamic={:?}",
+                            full.requests_of(m),
+                            rec.requests
+                        ));
+                    }
+                }
+            }
+        }
+        for (&m, rec) in &self.records {
+            if !rec.requests.is_empty() && full.requests_of(m).is_none() {
+                out.push(format!(
+                    "dynamic tracks {m} but the snapshot does not block it"
+                ));
+            }
+        }
+        let _ = snapshot_blocked;
+        // Verdicts must agree set-for-set (order-independently).
+        let mut fresh = DetectorScratch::new();
+        let mut want: Vec<Vec<MessageId>> = full
+            .knot_deadlock_sets(&mut fresh)
+            .into_iter()
+            .map(|mut s| {
+                s.sort_unstable();
+                s
+            })
+            .collect();
+        want.sort_unstable();
+        let mut got: Vec<Vec<MessageId>> = self
+            .knot_deadlock_sets()
+            .iter()
+            .map(|s| {
+                let mut s = s.clone();
+                s.sort_unstable();
+                s
+            })
+            .collect();
+        got.sort_unstable();
+        if want != got {
+            out.push(format!(
+                "knot deadlock sets: snapshot={want:?} dynamic={got:?}"
+            ));
+        }
+        out
+    }
+
+    /// Verifies invariants 2–5 against the record table from scratch
+    /// (tests; O(state)).
+    pub fn check_invariants(&self) {
+        let mut s0 = 0usize;
+        let mut fp = 0u64;
+        for (&id, rec) in &self.records {
+            assert!(!rec.chain.is_empty(), "record {id} with an empty chain");
+            for &v in &rec.chain {
+                assert_eq!(self.owner[v as usize], id, "owner index out of sync");
+            }
+            let unowned = rec
+                .requests
+                .iter()
+                .filter(|&&t| self.owner[t as usize] == NO_OWNER)
+                .count() as u32;
+            assert_eq!(rec.unowned, unowned, "unowned counter drifted for {id}");
+            for &t in &rec.requests {
+                assert!(
+                    self.waiters[t as usize].contains(&id),
+                    "waiter index missing {id} -> {t}"
+                );
+            }
+            assert_eq!(rec.hash, record_hash(id, &rec.chain, &rec.requests));
+            fp = fp.wrapping_add(rec.hash);
+            if rec.in_s0() {
+                s0 += 1;
+            }
+        }
+        for (v, &m) in self.owner.iter().enumerate() {
+            assert!(
+                m == NO_OWNER
+                    || self
+                        .records
+                        .get(&m)
+                        .is_some_and(|r| r.chain.contains(&(v as VertexId))),
+                "owner index holds a stale vertex {v}"
+            );
+        }
+        for (t, ws) in self.waiters.iter().enumerate() {
+            for w in ws {
+                assert!(
+                    self.records
+                        .get(w)
+                        .is_some_and(|r| r.requests.contains(&(t as VertexId))),
+                    "waiter index holds a stale edge {w} -> {t}"
+                );
+            }
+        }
+        assert_eq!(self.s0, s0, "s0 counter drifted");
+        assert_eq!(self.fp_partial, fp, "fingerprint partial sum drifted");
+
+        // Independent greatest-fixpoint core (naive iteration): non-empty
+        // iff a knot exists. Any fresh cached verdict must agree.
+        let mut removed: std::collections::HashSet<MessageId> = std::collections::HashSet::new();
+        loop {
+            let mut changed = false;
+            for (&id, rec) in &self.records {
+                if removed.contains(&id) {
+                    continue;
+                }
+                let escape = rec.requests.is_empty()
+                    || rec.requests.iter().any(|&t| {
+                        let m = self.owner[t as usize];
+                        m == NO_OWNER || removed.contains(&m)
+                    });
+                if escape {
+                    removed.insert(id);
+                    changed = true;
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+        let core_live = removed.len() < self.records.len();
+        if !self.live_stale {
+            if self.live {
+                // A cached `true` survives commits untouched by probes.
+                assert!(core_live, "cached true verdict drifted");
+            } else if self.delta.is_empty() {
+                // A cached `false` is only authoritative once the
+                // pending S0-entry probes have been consumed.
+                assert!(!core_live, "cached false verdict drifted");
+            }
+        }
+        if !self.sets_stale {
+            assert_eq!(
+                !self.verdict_sets.is_empty(),
+                core_live,
+                "cached deadlock sets drifted from the live core"
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Builds the Figure-1 ring both ways and checks lockstep.
+    fn figure1_full() -> WaitGraph {
+        let mut g = WaitGraph::new(10);
+        g.add_chain(1, &[1, 2]);
+        g.add_chain(2, &[3, 4, 5]);
+        g.add_chain(3, &[6, 7, 0]);
+        g.add_chain(4, &[8]); // moving
+        g.add_chain(5, &[9]); // moving
+        g.add_requests(1, &[3]);
+        g.add_requests(2, &[6]);
+        g.add_requests(3, &[1]);
+        g
+    }
+
+    fn stage_figure1(d: &mut DynamicWaitGraph) {
+        d.stage_blocked(1, &[1, 2], &[3]);
+        d.stage_blocked(2, &[3, 4, 5], &[6]);
+        d.stage_blocked(3, &[6, 7, 0], &[1]);
+        d.commit();
+    }
+
+    #[test]
+    fn figure1_knot_detected_incrementally() {
+        let mut d = DynamicWaitGraph::new(10);
+        stage_figure1(&mut d);
+        d.check_invariants();
+        assert_eq!(d.num_blocked(), 3);
+        assert!(d.has_knot());
+        assert_eq!(d.knot_deadlock_sets(), &[vec![1, 2, 3]]);
+        assert!(d.diff_against_snapshot(&figure1_full()).is_empty());
+    }
+
+    #[test]
+    fn s0_certificate_blocks_free_targets() {
+        let mut d = DynamicWaitGraph::new(10);
+        // m3 has an escape to free vertex 9: no knot, and s0 == 0 proves
+        // it without any graph work.
+        d.stage_blocked(1, &[1, 2], &[3]);
+        d.stage_blocked(2, &[3, 4, 5], &[6]);
+        d.stage_blocked(3, &[6, 7, 0], &[1, 9]);
+        d.commit();
+        d.check_invariants();
+        assert_eq!(d.s0, 2, "m1 and m2 wait only on blocked-owned targets");
+        assert!(!d.has_knot());
+    }
+
+    #[test]
+    fn unblock_breaks_the_knot() {
+        let mut d = DynamicWaitGraph::new(10);
+        stage_figure1(&mut d);
+        assert!(d.has_knot());
+        // m2 acquires vertex 6 (recovery or a freed VC): it stops being
+        // blocked from the detector's point of view for a cycle.
+        d.stage_clear(2);
+        d.commit();
+        d.check_invariants();
+        assert!(!d.has_knot());
+        assert_eq!(d.num_blocked(), 2);
+        // ... and re-blocks one hop further along, now waiting on the
+        // free vertex 8: its escape keeps the graph knot-free.
+        d.stage_blocked(2, &[3, 4, 5, 9], &[8]);
+        d.commit();
+        d.check_invariants();
+        assert!(!d.has_knot(), "m2 escapes to the free vertex 8");
+    }
+
+    #[test]
+    fn same_cycle_vc_migration_is_order_insensitive() {
+        // Vertex 4 migrates from m1 (released, shorter chain) to m2
+        // (acquired) within one commit, staged in both orders.
+        for flip in [false, true] {
+            let mut d = DynamicWaitGraph::new(8);
+            d.stage_blocked(1, &[3, 4], &[5]);
+            d.stage_blocked(2, &[5, 6], &[4]);
+            d.commit();
+            assert!(d.has_knot());
+            let stage_a = |d: &mut DynamicWaitGraph| d.stage_blocked(1, &[3], &[5]);
+            let stage_b = |d: &mut DynamicWaitGraph| d.stage_blocked(2, &[5, 6, 4], &[7]);
+            if flip {
+                stage_b(&mut d);
+                stage_a(&mut d);
+            } else {
+                stage_a(&mut d);
+                stage_b(&mut d);
+            }
+            d.commit();
+            d.check_invariants();
+            assert!(!d.has_knot());
+            assert_eq!(d.record(2).unwrap().0, &[5, 6, 4]);
+        }
+    }
+
+    #[test]
+    fn fingerprint_matches_identical_rebuild() {
+        let mut a = DynamicWaitGraph::new(16);
+        let mut b = DynamicWaitGraph::new(16);
+        a.stage_blocked(7, &[0, 1], &[4, 5]);
+        a.stage_blocked(9, &[4], &[]);
+        a.commit();
+        // Same state reached along a different history.
+        b.stage_blocked(9, &[2], &[3]);
+        b.stage_blocked(7, &[0, 1], &[4, 5]);
+        b.commit();
+        b.stage_blocked(9, &[4], &[]);
+        b.commit();
+        assert_eq!(a.fingerprint(), b.fingerprint());
+        a.check_invariants();
+        b.check_invariants();
+        // Different population ⇒ different fingerprint.
+        b.stage_clear(9);
+        b.commit();
+        assert_ne!(a.fingerprint(), b.fingerprint());
+    }
+
+    #[test]
+    fn verdict_cache_is_invalidated_by_edits() {
+        let mut d = DynamicWaitGraph::new(6);
+        d.stage_blocked(1, &[0, 1], &[2]);
+        d.stage_blocked(2, &[2, 3], &[0]);
+        d.commit();
+        assert!(d.has_knot());
+        d.stage_clear(1);
+        d.commit();
+        assert!(!d.has_knot());
+        d.stage_blocked(1, &[0, 1], &[2]);
+        d.commit();
+        assert!(d.has_knot());
+    }
+
+    #[test]
+    fn empty_requests_count_toward_population_not_knots() {
+        let mut d = DynamicWaitGraph::new(8);
+        // A fault-stranded blocked message: chain only, a CWG sink.
+        d.stage_blocked(3, &[1, 2], &[]);
+        d.commit();
+        d.check_invariants();
+        assert_eq!(d.num_blocked(), 1);
+        assert!(!d.has_knot());
+    }
+
+    #[test]
+    fn two_independent_knots_ordered_by_smallest_member() {
+        let mut d = DynamicWaitGraph::new(12);
+        d.stage_blocked(5, &[4, 5], &[6]);
+        d.stage_blocked(6, &[6, 7], &[4]);
+        d.stage_blocked(1, &[0, 1], &[2]);
+        d.stage_blocked(2, &[2, 3], &[0]);
+        d.commit();
+        assert_eq!(d.knot_deadlock_sets(), &[vec![1, 2], vec![5, 6]]);
+    }
+}

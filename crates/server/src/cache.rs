@@ -34,13 +34,16 @@ fn fnv1a(bytes: &[u8], basis: u64) -> u64 {
 }
 
 /// The canonical config text a cache key digests: config JSON with
-/// `transfer_threads` and `shards` pinned to 1, plus the engine version.
-/// Both knobs are digest-neutral parallelism controls, so leaving either
-/// in the key would fragment the cache with duplicate results.
+/// `transfer_threads` and `shards` pinned to 1 and `detection` pinned to
+/// snapshot, plus the engine version. All three knobs are digest-neutral
+/// (parallelism controls and the incremental detector produce
+/// byte-identical results), so leaving any in the key would fragment the
+/// cache with duplicate results.
 pub fn canonical_config(cfg: &RunConfig) -> String {
     let mut c = cfg.clone();
     c.transfer_threads = 1;
     c.shards = 1;
+    c.detection = flexsim::DetectionMode::Snapshot;
     format!("{}\u{0}{ENGINE_VERSION}", config_to_json(&c))
 }
 

@@ -31,13 +31,13 @@ struct Pending {
 /// compact away by advancing `base`. Lookup, insert, and removal are O(1)
 /// (amortized), with no hashing on the injection hot path.
 #[derive(Debug, Default)]
-struct IdMap {
+pub(crate) struct IdMap {
     base: MessageId,
     slots: VecDeque<u32>,
 }
 
 impl IdMap {
-    fn get(&self, id: MessageId) -> Option<u32> {
+    pub(crate) fn get(&self, id: MessageId) -> Option<u32> {
         let idx = id.checked_sub(self.base)?;
         self.slots
             .get(usize::try_from(idx).ok()?)
@@ -229,7 +229,7 @@ pub struct Network {
     pub(crate) active: Vec<u32>,
     /// Slot → index in [`active`](Self::active), or [`NO_OWNER`].
     active_idx: Vec<u32>,
-    id_map: IdMap,
+    pub(crate) id_map: IdMap,
     next_id: MessageId,
     /// Scratch: active slots sorted by id (age order), rebuilt per step
     /// (dense reference stepper only).
@@ -351,6 +351,28 @@ pub struct Network {
     release_flag: Vec<bool>,
     /// Count of active messages with `blocked` set (both steppers).
     blocked_ctr: usize,
+
+    /// When set, every event that can change a message's blocked
+    /// wait-state (block/unblock, chain growth or release while blocked,
+    /// recovery, drop, delivery) appends its id to
+    /// [`Self::wait_dirty`]. Drained by
+    /// [`Self::drain_wait_updates`](crate::snapshot) for the incremental
+    /// detector. Off by default: a single `Vec` push per event, no
+    /// other cost.
+    pub(crate) wait_tracking: bool,
+    /// Message ids whose wait-state may have changed since the last
+    /// drain. Over-marking is fine (the drain re-extracts ground truth
+    /// per id); duplicates are deduped at drain time.
+    pub(crate) wait_dirty: Vec<MessageId>,
+    /// Set when a fault transition changes the failed-channel map: the
+    /// routing candidates of *every* blocked message may change, so the
+    /// next drain re-extracts all of them.
+    pub(crate) wait_dirty_all: bool,
+    /// Scratch for [`drain_wait_updates`](Self::drain_wait_updates):
+    /// one message's chain+requests.
+    pub(crate) wait_buf: Vec<u32>,
+    /// Scratch for the drain's candidate recomputation.
+    pub(crate) wait_cand: Vec<Candidate>,
 
     /// Scratch: start-of-cycle occupancies.
     occ_start: Vec<u16>,
@@ -619,6 +641,11 @@ impl Network {
             release_deferred: Vec::new(),
             release_flag: vec![],
             blocked_ctr: 0,
+            wait_tracking: false,
+            wait_dirty: Vec::new(),
+            wait_dirty_all: false,
+            wait_buf: Vec::new(),
+            wait_cand: Vec::new(),
             occ_start: vec![0; n_vcs],
             cand_buf: Vec::new(),
             tracer: None,
@@ -736,6 +763,11 @@ impl Network {
             );
         }
         self.failed[ch.idx()] = true;
+        // Any blocked header may have held this channel's VCs in its
+        // candidate set, so every wait record is suspect.
+        if self.wait_tracking {
+            self.wait_dirty_all = true;
+        }
     }
 
     /// Sets the number of decide partitions for the activity transfer
@@ -882,6 +914,9 @@ impl Network {
             return;
         }
         self.failed[ch] = true;
+        // Every blocked message's fault-filtered candidate set may have
+        // shrunk: re-extract all of them at the next drain.
+        self.wait_dirty_all = true;
         let vcs_per = self.vcs_per();
         let base = ch * vcs_per;
         let mut victims: Vec<u32> = (base..base + vcs_per)
@@ -907,6 +942,8 @@ impl Network {
             return;
         }
         self.failed[ch] = false;
+        // Blocked candidate sets may have grown back.
+        self.wait_dirty_all = true;
         if self.mode == StepMode::Dense {
             return;
         }
@@ -1023,6 +1060,9 @@ impl Network {
         if was_blocked {
             self.blocked_ctr -= 1;
         }
+        if self.wait_tracking {
+            self.wait_dirty.push(id);
+        }
         if held_injection {
             let node = src.idx();
             self.injecting_count[node] -= 1;
@@ -1093,6 +1133,9 @@ impl Network {
                     id,
                 });
             }
+        }
+        if self.wait_tracking {
+            self.wait_dirty.push(id);
         }
         if self.mode != StepMode::Dense {
             // Pull the message out of the allocation machinery and onto the
@@ -1456,6 +1499,9 @@ impl Network {
                     msg.phase = MsgPhase::Ejecting;
                     if msg.blocked {
                         self.blocked_ctr -= 1;
+                        if self.wait_tracking {
+                            self.wait_dirty.push(msg.id);
+                        }
                     }
                     msg.blocked = false;
                     msg.blocked_since = None;
@@ -1469,6 +1515,9 @@ impl Network {
                     msg.blocked = true;
                     msg.blocked_since = Some(self.cycle);
                     self.blocked_ctr += 1;
+                    if self.wait_tracking {
+                        self.wait_dirty.push(msg.id);
+                    }
                     if let Some(t) = self.tracer.as_mut() {
                         // Waiting on the destination's reception channels,
                         // not on any link.
@@ -1495,6 +1544,9 @@ impl Network {
                 Some(vc_idx) => {
                     if msg.blocked {
                         self.blocked_ctr -= 1;
+                        if self.wait_tracking {
+                            self.wait_dirty.push(msg.id);
+                        }
                     }
                     acquire_vc(
                         VcState {
@@ -1524,6 +1576,9 @@ impl Network {
                         msg.blocked = true;
                         msg.blocked_since = Some(self.cycle);
                         self.blocked_ctr += 1;
+                        if self.wait_tracking {
+                            self.wait_dirty.push(msg.id);
+                        }
                         if let Some(t) = self.tracer.as_mut() {
                             t.push(crate::TraceEvent::Blocked {
                                 cycle: self.cycle,
@@ -1640,6 +1695,11 @@ impl Network {
     fn finish_slot(&mut self, slot: u32) {
         let msg = self.messages[slot as usize].take().expect("finished slot");
         debug_assert!(!msg.blocked, "draining messages are never blocked");
+        if self.wait_tracking {
+            // Conservative: the id leaves the network entirely; the drain
+            // resolves it to a clear (id_map lookup misses).
+            self.wait_dirty.push(msg.id);
+        }
         self.id_map.remove(msg.id);
         let i = self.active_idx[slot as usize] as usize;
         debug_assert_eq!(self.active[i], slot);
@@ -1683,6 +1743,10 @@ impl Network {
                     self.owned_per_channel[front as usize / self.cfg.vcs_per_channel] -= 1;
                     msg.chain.pop_front();
                     msg.front_seq += 1;
+                    if self.wait_tracking && msg.blocked {
+                        // A blocked message's settled chain shrank.
+                        self.wait_dirty.push(msg.id);
+                    }
                     if let Some(&nf) = msg.chain.front() {
                         // The new front is now fed straight from the source
                         // (which is drained: releases need uninjected == 0).
@@ -2158,6 +2222,9 @@ impl Network {
                 msg.phase = MsgPhase::Ejecting;
                 if msg.blocked {
                     self.blocked_ctr -= 1;
+                    if self.wait_tracking {
+                        self.wait_dirty.push(msg.id);
+                    }
                 }
                 msg.blocked = false;
                 msg.blocked_since = None;
@@ -2177,6 +2244,9 @@ impl Network {
                         msg.blocked = true;
                         msg.blocked_since = Some(self.cycle);
                         self.blocked_ctr += 1;
+                        if self.wait_tracking {
+                            self.wait_dirty.push(msg.id);
+                        }
                         let id = msg.id;
                         if let Some(t) = self.tracer.as_mut() {
                             // Waiting on the destination's reception
@@ -2227,6 +2297,9 @@ impl Network {
                     self.cand_cache_valid[s] = false;
                     if msg.blocked {
                         self.blocked_ctr -= 1;
+                        if self.wait_tracking {
+                            self.wait_dirty.push(msg.id);
+                        }
                     }
                     acquire_vc(
                         VcState {
@@ -2258,6 +2331,9 @@ impl Network {
                         msg.blocked = true;
                         msg.blocked_since = Some(self.cycle);
                         self.blocked_ctr += 1;
+                        if self.wait_tracking {
+                            self.wait_dirty.push(msg.id);
+                        }
                         let id = msg.id;
                         if let Some(t) = self.tracer.as_mut() {
                             t.push(crate::TraceEvent::Blocked {
@@ -2787,6 +2863,10 @@ impl Network {
                 let msg = self.messages[s].as_mut().expect("release slot");
                 msg.chain.pop_front();
                 msg.front_seq += 1;
+                if self.wait_tracking && msg.blocked {
+                    // A blocked message's settled chain shrank.
+                    self.wait_dirty.push(msg.id);
+                }
                 if let Some(&nf) = msg.chain.front() {
                     // The new front is fed straight from the (drained)
                     // source.
