@@ -6,6 +6,8 @@
 //! repro validate [--configs N] [--cwgs N] [--seed N] [--shards N] [--incremental] [--store DIR] [--no-explore]
 //! repro faults [--seed N] [--expect-stall]
 //! repro serve [--addr HOST:PORT] [--data DIR] [--workers N] [--smoke]
+//!             [--port-file PATH] [--lease-ms N] [--scan-ms N]
+//! repro chaos [--iterations N] [--workers N]
 //! ```
 //!
 //! With no experiment named, runs `all`. `--small` switches to the
@@ -38,14 +40,31 @@
 //! `repro serve` starts the campaign server (see `icn-server`): an HTTP
 //! job API over the supervised sweep engine with per-job checkpoints, a
 //! content-addressed result cache, and a read-only incident browser.
-//! Ctrl-C and `POST /shutdown` both take the graceful path — in-flight
+//! Any number of `repro serve` processes may share one `--data` dir —
+//! they form a fleet arbitrated by per-config lease files, so a killed
+//! member's work is reclaimed by the survivors. `--port-file` writes the
+//! bound address (useful with an ephemeral `--addr ...:0`); `--lease-ms`
+//! and `--scan-ms` tune the fleet's failure-detection latency. Ctrl-C
+//! and `POST /shutdown` both take the graceful path — in-flight
 //! configurations finish and checkpoint, queued ones resume on the next
 //! start. With `--smoke` it instead runs a one-shot self-check against
 //! an ephemeral port: submit a small grid, poll it to completion, verify
 //! every streamed result digest-matches a direct `sweep_supervised` of
 //! the same grid, resubmit and verify the whole job is answered from the
-//! cache without a single new simulation, then shut down. Exits non-zero
-//! on any divergence, which makes it CI-able without network egress.
+//! cache without a single new simulation, then spawn a *second server
+//! process* on the same data dir and verify a third submission is served
+//! entirely from the shared cache across the process boundary. Exits
+//! non-zero on any divergence, which makes it CI-able without network
+//! egress.
+//!
+//! `repro chaos` is the crash-tolerance harness: each iteration runs a
+//! small grid on a two-process fleet sharing one data dir, SIGKILLs one
+//! member mid-sweep (on odd iterations the replacement is started with a
+//! rename-time crash injected into its durable cache writes, so it
+//! aborts itself mid-sweep too), garbles the quiescent checkpoint tail
+//! between lives, and asserts the survivors converge to results
+//! digest-identical to a clean in-process `sweep_supervised` of the same
+//! grid. Exits non-zero on the first divergence.
 //!
 //! `repro validate` runs the validation layer: the production detector
 //! is differentially checked against the independent naive oracle and
@@ -557,7 +576,125 @@ fn smoke_grid() -> icn_server::SweepGrid {
         base,
         seeds: vec![11, 12],
         loads: vec![0.15, 0.25],
+        timeout_ms: None,
     }
+}
+
+/// Spawns a sibling `repro serve` process on `dir` with an ephemeral
+/// port (published through `<dir>/<tag>.port`) and fleet knobs tightened
+/// for fast failure detection. Returns the child and its port file.
+fn spawn_serve(
+    dir: &std::path::Path,
+    tag: &str,
+    workers: usize,
+    crash_plan: Option<&str>,
+) -> Result<(std::process::Child, std::path::PathBuf), String> {
+    let exe = std::env::current_exe().map_err(|e| format!("current_exe: {e}"))?;
+    let port_file = dir.join(format!("{tag}.port"));
+    let _ = std::fs::remove_file(&port_file);
+    let mut cmd = std::process::Command::new(exe);
+    cmd.args(["serve", "--addr", "127.0.0.1:0", "--data"])
+        .arg(dir)
+        .args([
+            "--workers",
+            &workers.to_string(),
+            "--lease-ms",
+            "1500",
+            "--scan-ms",
+            "120",
+            "--port-file",
+        ])
+        .arg(&port_file)
+        .stdout(std::process::Stdio::null())
+        .stderr(std::process::Stdio::null());
+    if let Some(plan) = crash_plan {
+        cmd.env("ICN_DURABLE_CRASH", plan);
+    }
+    cmd.spawn()
+        .map(|child| (child, port_file))
+        .map_err(|e| format!("spawning {tag}: {e}"))
+}
+
+/// Polls a sibling's port file until it holds a bindable address.
+fn wait_addr(
+    child: &mut std::process::Child,
+    port_file: &std::path::Path,
+    timeout: std::time::Duration,
+) -> Result<std::net::SocketAddr, String> {
+    let deadline = Instant::now() + timeout;
+    loop {
+        if let Ok(text) = std::fs::read_to_string(port_file) {
+            if let Ok(addr) = text.trim().parse() {
+                return Ok(addr);
+            }
+        }
+        if let Ok(Some(status)) = child.try_wait() {
+            return Err(format!("sibling server exited before binding: {status}"));
+        }
+        if Instant::now() > deadline {
+            return Err(format!(
+                "sibling server never published {}",
+                port_file.display()
+            ));
+        }
+        std::thread::sleep(std::time::Duration::from_millis(20));
+    }
+}
+
+/// Waits for a child to exit on its own (e.g. by injected crash).
+fn wait_exit(child: &mut std::process::Child, timeout: std::time::Duration) -> Result<(), String> {
+    let deadline = Instant::now() + timeout;
+    loop {
+        match child.try_wait() {
+            Ok(Some(_)) => return Ok(()),
+            Ok(None) if Instant::now() > deadline => {
+                return Err("injected crash never fired".to_string())
+            }
+            Ok(None) => std::thread::sleep(std::time::Duration::from_millis(20)),
+            Err(e) => return Err(format!("waiting for sibling: {e}")),
+        }
+    }
+}
+
+/// Submits `grid` to a server and returns the job id.
+fn submit_grid(addr: std::net::SocketAddr, grid: &icn_server::SweepGrid) -> Result<u64, String> {
+    let (status, body) =
+        icn_server::http_request(addr, "POST", "/jobs", Some(&grid.to_json().to_string()))
+            .map_err(|e| format!("submit: {e}"))?;
+    if status != 200 {
+        return Err(format!("submit returned HTTP {status}: {body}"));
+    }
+    flexsim::jsonio::parse(&body)
+        .ok()
+        .and_then(|v| v.get("id").and_then(flexsim::jsonio::Json::as_u64))
+        .ok_or_else(|| format!("submit body lacks an id: {body}"))
+}
+
+/// Fetches `/jobs/:id/results` and returns the per-slot digests.
+fn fetch_digests(addr: std::net::SocketAddr, id: u64, n: usize) -> Result<Vec<String>, String> {
+    use flexsim::jsonio::Json;
+    let (status, stream) =
+        icn_server::http_request(addr, "GET", &format!("/jobs/{id}/results"), None)
+            .map_err(|e| format!("results: {e}"))?;
+    if status != 200 {
+        return Err(format!("results returned HTTP {status}"));
+    }
+    let mut got = vec![String::new(); n];
+    for line in stream.lines().filter(|l| !l.trim().is_empty()) {
+        let v = flexsim::jsonio::parse(line).map_err(|e| format!("bad result line: {e}"))?;
+        let idx = v
+            .get("index")
+            .and_then(Json::as_u64)
+            .ok_or("result line lacks an index")? as usize;
+        let r = v
+            .get("result")
+            .ok_or("result line lacks a result")
+            .and_then(|r| flexsim::decode_result(r).map_err(|_| "undecodable result"))?;
+        if idx < n {
+            got[idx] = r.digest();
+        }
+    }
+    Ok(got)
 }
 
 /// Polls `GET /jobs/:id` until the job settles. Returns the final status
@@ -636,25 +773,7 @@ fn serve_smoke(data_dir: &std::path::Path, workers: usize) -> Result<(), String>
         // the direct sweep digest-for-digest.
         let id = submit("first")?;
         poll_job(addr, id, std::time::Duration::from_secs(300))?;
-        let (status, stream) =
-            icn_server::http_request(addr, "GET", &format!("/jobs/{id}/results"), None)
-                .map_err(|e| format!("results: {e}"))?;
-        if status != 200 {
-            return Err(format!("results returned HTTP {status}"));
-        }
-        let mut got = vec![String::new(); configs.len()];
-        for line in stream.lines().filter(|l| !l.trim().is_empty()) {
-            let v = flexsim::jsonio::parse(line).map_err(|e| format!("bad result line: {e}"))?;
-            let idx = v
-                .get("index")
-                .and_then(Json::as_u64)
-                .ok_or("result line lacks an index")? as usize;
-            let r = v
-                .get("result")
-                .ok_or("result line lacks a result")
-                .and_then(|r| flexsim::decode_result(r).map_err(|_| "undecodable result"))?;
-            got[idx] = r.digest();
-        }
+        let got = fetch_digests(addr, id, configs.len())?;
         if got != want {
             return Err(format!(
                 "digest mismatch vs direct sweep_supervised:\n  server: {got:?}\n  direct: {want:?}"
@@ -667,11 +786,11 @@ fn serve_smoke(data_dir: &std::path::Path, workers: usize) -> Result<(), String>
 
         // Round 2: identical resubmission must be answered entirely from
         // the cache — zero new simulations.
-        let sims_before = stats_field(addr, "sims_run")?;
+        let sims_before = stats_path(addr, &["sims_run"])?;
         let id2 = submit("second")?;
         let status2 = poll_job(addr, id2, std::time::Duration::from_secs(60))?;
         let cached = status2.get("cached").and_then(Json::as_u64).unwrap_or(0);
-        let sims_after = stats_field(addr, "sims_run")?;
+        let sims_after = stats_path(addr, &["sims_run"])?;
         if sims_after != sims_before {
             return Err(format!(
                 "resubmission ran {} new simulations (want 0)",
@@ -685,22 +804,299 @@ fn serve_smoke(data_dir: &std::path::Path, workers: usize) -> Result<(), String>
             ));
         }
         println!("   resubmission: {cached} cache hits, 0 new simulations");
+
+        // Round 3: a second server *process* joins the same data dir and
+        // takes a third identical submission — the content-addressed
+        // cache written by this process must answer across the process
+        // boundary, still without a single new simulation anywhere in
+        // the fleet.
+        let (mut sibling, port_file) = spawn_serve(data_dir, "smoke-sibling", 2, None)?;
+        let round3 = (|| -> Result<(), String> {
+            let addr2 = wait_addr(&mut sibling, &port_file, std::time::Duration::from_secs(30))?;
+            let id3 = submit_grid(addr2, &grid)?;
+            poll_job(addr2, id3, std::time::Duration::from_secs(60))?;
+            let got3 = fetch_digests(addr2, id3, configs.len())?;
+            if got3 != want {
+                return Err(format!(
+                    "second process served divergent digests:\n  fleet: {got3:?}\n  direct: {want:?}"
+                ));
+            }
+            // /stats is per-process; either member may have answered any
+            // slot (both scan the shared job), so the invariants are on
+            // the fleet-wide sums.
+            let sims = stats_path(addr, &["sims_run"])? + stats_path(addr2, &["sims_run"])?;
+            if sims != configs.len() as u64 {
+                return Err(format!(
+                    "fleet ran {sims} total simulations (want {} — the third \
+                     submission must be pure cache hits)",
+                    configs.len()
+                ));
+            }
+            let hits =
+                stats_path(addr, &["cache", "hits"])? + stats_path(addr2, &["cache", "hits"])?;
+            if hits < 2 * configs.len() as u64 {
+                return Err(format!(
+                    "fleet reports {hits} cache hits (want at least {})",
+                    2 * configs.len()
+                ));
+            }
+            let (st, _) = icn_server::http_request(addr2, "POST", "/shutdown", None)
+                .map_err(|e| format!("sibling shutdown: {e}"))?;
+            if st != 200 {
+                return Err(format!("sibling shutdown returned HTTP {st}"));
+            }
+            Ok(())
+        })();
+        if round3.is_err() {
+            let _ = sibling.kill();
+        }
+        let _ = sibling.wait();
+        round3?;
+        println!("   second process: cross-process cache hits, 0 new simulations");
         Ok(())
     })();
     finish(check)
 }
 
-/// Reads one `u64` leaf out of `GET /stats` (`sims_run` level only).
-fn stats_field(addr: std::net::SocketAddr, key: &str) -> Result<u64, String> {
+/// Reads one `u64` leaf out of `GET /stats` by key path.
+fn stats_path(addr: std::net::SocketAddr, path: &[&str]) -> Result<u64, String> {
     let (status, body) =
         icn_server::http_request(addr, "GET", "/stats", None).map_err(|e| format!("stats: {e}"))?;
     if status != 200 {
         return Err(format!("stats returned HTTP {status}"));
     }
-    flexsim::jsonio::parse(&body)
-        .ok()
-        .and_then(|v| v.get(key).and_then(flexsim::jsonio::Json::as_u64))
-        .ok_or_else(|| format!("stats body lacks `{key}`: {body}"))
+    let v = flexsim::jsonio::parse(&body).map_err(|e| format!("bad stats JSON: {e}"))?;
+    let mut cur = &v;
+    for key in path {
+        cur = cur
+            .get(key)
+            .ok_or_else(|| format!("stats body lacks `{}`: {body}", path.join(".")))?;
+    }
+    cur.as_u64()
+        .ok_or_else(|| format!("stats `{}` is not a u64: {body}", path.join(".")))
+}
+
+/// The grid used by `repro chaos`: 3 loads × 3 seeds, wide enough that a
+/// kill reliably lands mid-sweep.
+fn chaos_grid() -> icn_server::SweepGrid {
+    let mut base = RunConfig::small_default();
+    base.warmup = 200;
+    base.measure = 600;
+    icn_server::SweepGrid {
+        base,
+        seeds: vec![31, 32, 33],
+        loads: vec![0.15, 0.2, 0.25],
+        timeout_ms: None,
+    }
+}
+
+/// Counts the newline-terminated, non-empty checkpoint lines (the torn
+/// tail, if any, is excluded).
+fn full_line_count(ckpt: &std::path::Path) -> usize {
+    let Ok(text) = std::fs::read_to_string(ckpt) else {
+        return 0;
+    };
+    let Some(end) = text.rfind('\n') else {
+        return 0;
+    };
+    text[..=end]
+        .lines()
+        .filter(|l| !l.trim().is_empty())
+        .count()
+}
+
+/// Waits until the checkpoint holds at least `want` full lines.
+fn wait_lines(
+    ckpt: &std::path::Path,
+    want: usize,
+    timeout: std::time::Duration,
+) -> Result<usize, String> {
+    let deadline = Instant::now() + timeout;
+    loop {
+        let have = full_line_count(ckpt);
+        if have >= want {
+            return Ok(have);
+        }
+        if Instant::now() > deadline {
+            return Err(format!(
+                "checkpoint never reached {want} records (have {have})"
+            ));
+        }
+        std::thread::sleep(std::time::Duration::from_millis(20));
+    }
+}
+
+/// Flips one byte in the middle of the last full checkpoint record —
+/// corruption at rest that the CRC framing must detect (quarantine the
+/// line, re-run the slot).
+fn garble_last_record(ckpt: &std::path::Path) -> Result<(), String> {
+    let text = std::fs::read_to_string(ckpt).map_err(|e| format!("reading checkpoint: {e}"))?;
+    let end = text
+        .rfind('\n')
+        .ok_or("checkpoint has no full line to garble")?;
+    let start = text[..end].rfind('\n').map(|i| i + 1).unwrap_or(0);
+    if end <= start {
+        return Err("last checkpoint line is empty".to_string());
+    }
+    let mut bytes = text.into_bytes();
+    bytes[start + (end - start) / 2] ^= 0x01;
+    std::fs::write(ckpt, bytes).map_err(|e| format!("garbling checkpoint: {e}"))
+}
+
+/// Appends an unterminated framed fragment — the exact signature of a
+/// writer killed mid-append. Recovery must detect the torn tail and seal
+/// it with a guard newline.
+fn append_torn_fragment(ckpt: &std::path::Path) -> Result<(), String> {
+    use std::io::Write;
+    let mut f = std::fs::OpenOptions::new()
+        .append(true)
+        .open(ckpt)
+        .map_err(|e| format!("opening checkpoint: {e}"))?;
+    f.write_all(b"~2a:00000000:{\"index\":99,\"resul")
+        .map_err(|e| format!("tearing checkpoint tail: {e}"))
+}
+
+/// One chaos iteration. Returns a one-line summary on success.
+fn chaos_iteration(
+    iter: usize,
+    dir: &std::path::Path,
+    grid: &icn_server::SweepGrid,
+    want: &[String],
+    workers: usize,
+) -> Result<String, String> {
+    use flexsim::jsonio::Json;
+    use std::time::Duration;
+
+    // Life 1: one fleet member alone, pinned to a single worker so the
+    // injected crash point is deterministic — with two workers the
+    // second store's abort-at-rename can land before the first worker's
+    // checkpoint append, leaving zero durable records. Odd iterations
+    // die by a rename-time crash injected into the durable cache writes
+    // (the process aborts itself mid-sweep); even iterations are
+    // SIGKILLed from outside once the first checkpoint record lands.
+    let crash = (iter % 2 == 1).then_some("cache/:2");
+    let (mut w1, pf1) = spawn_serve(dir, "w1", 1, crash)?;
+    let life1 = (|| -> Result<u64, String> {
+        let addr1 = wait_addr(&mut w1, &pf1, Duration::from_secs(30))?;
+        let id = submit_grid(addr1, grid)?;
+        let ckpt = dir.join("jobs").join(format!("job-{id}.ckpt.jsonl"));
+        wait_lines(&ckpt, 1, Duration::from_secs(120))?;
+        if crash.is_some() {
+            wait_exit(&mut w1, Duration::from_secs(120))?;
+        } else {
+            let _ = w1.kill();
+        }
+        Ok(id)
+    })();
+    let _ = w1.kill();
+    let _ = w1.wait();
+    let id = life1?;
+
+    // Quiescent tampering: garble the last durable record and tear the
+    // tail the way a writer killed mid-append would.
+    let ckpt = dir.join("jobs").join(format!("job-{id}.ckpt.jsonl"));
+    garble_last_record(&ckpt)?;
+    append_torn_fragment(&ckpt)?;
+    // Recovery seals the torn fragment into one (garbage) full line, so
+    // real progress in life 2 starts past `baseline + 1`.
+    let baseline = full_line_count(&ckpt);
+
+    // Life 2: two members race to finish the job; one is SIGKILLed as
+    // soon as the fleet makes progress, and the survivor converges.
+    let (mut w2, pf2) = spawn_serve(dir, "w2", workers, None)?;
+    let (mut w3, pf3) = spawn_serve(dir, "w3", workers, None)?;
+    let verdict = (|| -> Result<String, String> {
+        wait_addr(&mut w2, &pf2, Duration::from_secs(30))?;
+        let addr3 = wait_addr(&mut w3, &pf3, Duration::from_secs(30))?;
+        let _ = wait_lines(&ckpt, baseline + 2, Duration::from_secs(120));
+        let _ = w2.kill();
+        let _ = w2.wait();
+        let status = poll_job(addr3, id, Duration::from_secs(300))?;
+        let got = fetch_digests(addr3, id, want.len())?;
+        if got != want {
+            return Err(format!(
+                "digest mismatch after chaos:\n  fleet: {got:?}\n  direct: {want:?}"
+            ));
+        }
+        // The loss accounting must be surfaced in the job status, and
+        // the garbled record must have been detected.
+        let ckrep = status
+            .get("checkpoint")
+            .ok_or("status lacks checkpoint accounting")?;
+        let corrupt = ckrep
+            .get("corrupt_frames")
+            .and_then(Json::as_u64)
+            .ok_or("status lacks checkpoint.corrupt_frames")?;
+        if corrupt == 0 {
+            return Err("the garbled record went undetected".to_string());
+        }
+        let reclaimed = status
+            .get("reclaimed_leases")
+            .and_then(Json::as_u64)
+            .ok_or("status lacks reclaimed_leases")?;
+        let _ = icn_server::http_request(addr3, "POST", "/shutdown", None);
+        Ok(format!(
+            "corrupt_frames={corrupt} reclaimed_leases={reclaimed}"
+        ))
+    })();
+    let _ = w2.kill();
+    let _ = w2.wait();
+    if verdict.is_err() {
+        let _ = w3.kill();
+    }
+    let _ = w3.wait();
+    verdict
+}
+
+/// The `repro chaos` subcommand. Returns the process exit code.
+fn chaos_main(args: &[String]) -> i32 {
+    let iterations: usize = flag_value(args, "--iterations").map_or(3, |v| {
+        v.parse().unwrap_or_else(|_| {
+            eprintln!("--iterations wants an integer, got `{v}`");
+            std::process::exit(2);
+        })
+    });
+    let workers: usize = flag_value(args, "--workers").map_or(2, |v| {
+        v.parse().unwrap_or_else(|_| {
+            eprintln!("--workers wants an integer, got `{v}`");
+            std::process::exit(2);
+        })
+    });
+
+    let grid = chaos_grid();
+    let configs = grid.expand();
+    println!("== chaos: direct sweep of {} configs ==", configs.len());
+    let direct = flexsim::sweep_supervised(&configs, &flexsim::SweepOptions::default());
+    let want: Vec<String> = direct
+        .iter()
+        .map(|r| r.as_ref().map(|x| x.digest()).unwrap_or_default())
+        .collect();
+
+    let root = std::env::temp_dir().join(format!("campaign-chaos-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&root);
+    let mut failures = 0usize;
+    for iter in 0..iterations {
+        let dir = root.join(format!("iter-{iter}"));
+        if let Err(e) = std::fs::create_dir_all(&dir) {
+            eprintln!("cannot create {}: {e}", dir.display());
+            return 1;
+        }
+        match chaos_iteration(iter, &dir, &grid, &want, workers) {
+            Ok(summary) => println!("== chaos iteration {iter}: PASS ({summary}) =="),
+            Err(e) => {
+                eprintln!("== chaos iteration {iter}: FAIL — {e} ==");
+                failures += 1;
+            }
+        }
+    }
+    let _ = std::fs::remove_dir_all(&root);
+    if failures == 0 {
+        println!("chaos: PASS ({iterations} iterations)");
+        0
+    } else {
+        eprintln!("chaos: FAIL ({failures}/{iterations} iterations)");
+        1
+    }
 }
 
 /// The `repro serve` subcommand. Returns the process exit code.
@@ -741,6 +1137,24 @@ fn serve_main(args: &[String]) -> i32 {
     let mut opts = icn_server::ServerOptions::new(data);
     opts.workers = workers;
     opts.handle_sigint = true;
+    if let Some(ms) = flag_value(args, "--lease-ms") {
+        match ms.parse::<u64>() {
+            Ok(ms) if ms > 0 => opts.lease_expiry = std::time::Duration::from_millis(ms),
+            _ => {
+                eprintln!("--lease-ms wants a positive integer, got `{ms}`");
+                return 2;
+            }
+        }
+    }
+    if let Some(ms) = flag_value(args, "--scan-ms") {
+        match ms.parse::<u64>() {
+            Ok(ms) if ms > 0 => opts.scan_interval = std::time::Duration::from_millis(ms),
+            _ => {
+                eprintln!("--scan-ms wants a positive integer, got `{ms}`");
+                return 2;
+            }
+        }
+    }
     let server = match icn_server::CampaignServer::bind(addr, &opts) {
         Ok(s) => s,
         Err(e) => {
@@ -748,12 +1162,23 @@ fn serve_main(args: &[String]) -> i32 {
             return 1;
         }
     };
+    if let Some(path) = flag_value(args, "--port-file") {
+        // Atomic write: a parent polling the file never reads a torn
+        // address.
+        if let Err(e) = flexsim::jsonio::durable::write_atomic(
+            std::path::Path::new(path),
+            server.addr().to_string().as_bytes(),
+        ) {
+            eprintln!("cannot write --port-file {path}: {e}");
+            return 1;
+        }
+    }
     println!(
         "campaign server on http://{} ({} workers, data in `{data}`)",
         server.addr(),
         workers
     );
-    println!("endpoints: POST /jobs  GET /jobs/:id[/results]  GET /stats  GET /incidents  POST /shutdown");
+    println!("endpoints: POST /jobs  GET /jobs/:id[/results]  POST /jobs/:id/cancel  GET /stats  GET /incidents  POST /shutdown");
     match server.serve() {
         Ok(()) => {
             println!("campaign server: clean shutdown");
@@ -773,6 +1198,9 @@ fn main() {
     }
     if args.first().map(String::as_str) == Some("serve") {
         std::process::exit(serve_main(&args[1..]));
+    }
+    if args.first().map(String::as_str) == Some("chaos") {
+        std::process::exit(chaos_main(&args[1..]));
     }
     if args.first().map(String::as_str) == Some("faults") {
         std::process::exit(faults_main(&args[1..]));

@@ -7,14 +7,17 @@ use std::path::{Path, PathBuf};
 
 use icn_cwg::jsonio::{obj, parse, u64_arr, Json};
 
+use crate::jsonio::durable;
+
 use super::DeadlockIncident;
 
 /// A directory of persisted incidents.
 ///
 /// Layout: `incident-NNNNN.json` (the full record), `incident-NNNNN.dot`
 /// (knot-highlighted Graphviz rendering), and `index.json` summarizing
-/// every stored incident. The index is rewritten atomically-enough for a
-/// single writer; stores are per-run artifacts, not shared databases.
+/// every stored incident. All files are written via
+/// [`crate::jsonio::durable::write_atomic`], so a crash mid-save never
+/// leaves a torn record or index behind.
 pub struct IncidentStore {
     dir: PathBuf,
 }
@@ -61,8 +64,8 @@ impl IncidentStore {
         let stem = format!("incident-{:05}", entries.len());
         let json_path = self.dir.join(format!("{stem}.json"));
         let dot_path = self.dir.join(format!("{stem}.dot"));
-        fs::write(&json_path, inc.to_json_string())?;
-        fs::write(&dot_path, inc.to_dot())?;
+        durable::write_atomic(&json_path, inc.to_json_string().as_bytes())?;
+        durable::write_atomic(&dot_path, inc.to_dot().as_bytes())?;
         entries.push(IndexEntry {
             file: format!("{stem}.json"),
             seq: inc.seq,
@@ -142,6 +145,6 @@ impl IncidentStore {
             })
             .collect();
         let index = obj(vec![("incidents", Json::Arr(arr))]);
-        fs::write(self.dir.join("index.json"), index.to_string())
+        durable::write_atomic(&self.dir.join("index.json"), index.to_string().as_bytes())
     }
 }

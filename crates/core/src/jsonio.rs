@@ -12,6 +12,8 @@
 
 pub use icn_cwg::jsonio::{obj, parse, u64_arr, Json, ParseError};
 
+pub mod durable;
+
 /// A parse error with no meaningful offset (field-level validation).
 pub fn bad(message: &str) -> ParseError {
     ParseError {
@@ -135,6 +137,144 @@ pub fn scan_lines(text: &str) -> LineScan {
     scan
 }
 
+/// CRC-32 (IEEE, reflected) over `bytes` — the integrity check behind
+/// framed checkpoint records. Bitwise (no table): record frames are a few
+/// kilobytes written once per completed simulation, so throughput is
+/// irrelevant and the zero-state implementation is the auditable one.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut crc = !0u32;
+    for &b in bytes {
+        crc ^= b as u32;
+        for _ in 0..8 {
+            let mask = (crc & 1).wrapping_neg();
+            crc = (crc >> 1) ^ (0xedb8_8320 & mask);
+        }
+    }
+    !crc
+}
+
+/// The sentinel that opens a framed record line.
+pub const FRAME_MARK: char = '~';
+
+/// Wraps one JSON-lines payload in a length-prefixed, CRC-guarded frame:
+/// `~<len-hex>:<crc32-hex>:<payload>`. The payload stays readable text on
+/// its own line; the header lets [`scan_records`] distinguish *verified*
+/// records from silently corrupted ones — a flipped byte anywhere in a
+/// bare JSON line can still parse (numbers, strings), but it cannot still
+/// match the CRC.
+pub fn frame_record(payload: &str) -> String {
+    debug_assert!(
+        !payload.contains('\n'),
+        "a framed record is one line by construction"
+    );
+    format!(
+        "{FRAME_MARK}{:x}:{:08x}:{payload}",
+        payload.len(),
+        crc32(payload.as_bytes())
+    )
+}
+
+/// What one line of a record stream turned out to be.
+enum Frame<'a> {
+    /// A framed record whose length and CRC both verify.
+    Verified(&'a str),
+    /// A line that opens like a frame but fails verification — length
+    /// mismatch, CRC mismatch, or a mangled header.
+    Corrupt,
+    /// Not a frame at all: legacy bare-JSON checkpoint lines.
+    Bare(&'a str),
+}
+
+fn unframe(line: &str) -> Frame<'_> {
+    let Some(rest) = line.strip_prefix(FRAME_MARK) else {
+        return Frame::Bare(line);
+    };
+    let parsed = (|| {
+        let (len_hex, rest) = rest.split_once(':')?;
+        let (crc_hex, payload) = rest.split_once(':')?;
+        let len = usize::from_str_radix(len_hex, 16).ok()?;
+        let crc = u32::from_str_radix(crc_hex, 16).ok()?;
+        (payload.len() == len && crc32(payload.as_bytes()) == crc).then_some(payload)
+    })();
+    match parsed {
+        Some(payload) => Frame::Verified(payload),
+        None => Frame::Corrupt,
+    }
+}
+
+/// Extracts the streamable payload of one record line: the CRC-verified
+/// payload of a framed line, or a bare line that parses as JSON (legacy
+/// format). `None` for corrupt frames and garbage — a damaged line never
+/// reaches a results-stream client.
+pub fn record_payload(line: &str) -> Option<&str> {
+    match unframe(line) {
+        Frame::Verified(p) => Some(p),
+        Frame::Bare(p) => parse(p).ok().map(|_| p),
+        Frame::Corrupt => None,
+    }
+}
+
+/// Outcome of scanning a checkpoint record stream: framed lines verified
+/// against their CRC, legacy bare JSON lines parsed as before, and every
+/// damaged line accounted for instead of silently dropped.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct RecordScan {
+    /// Payload values that parsed (and, when framed, verified), in file
+    /// order, with their 0-based line number.
+    pub values: Vec<(usize, Json)>,
+    /// Interior lines that were neither verifiable frames nor parseable
+    /// bare JSON — data loss worth surfacing.
+    pub skipped: usize,
+    /// Interior framed lines whose length or CRC failed verification —
+    /// *detected* corruption, distinct from `skipped` because the frame
+    /// proves the writer intended a record there.
+    pub corrupt_frames: usize,
+    /// Raw text of each damaged interior line (corrupt frame or unparsable
+    /// bare line), for quarantining by the caller.
+    pub damaged_lines: Vec<String>,
+    /// The document ends in a torn (partially written) line — the
+    /// signature of a writer killed mid-append. Never counted as loss.
+    pub torn_tail: bool,
+}
+
+/// Scans a JSON-lines record stream that may mix CRC-framed records (the
+/// current append format) with bare JSON lines (legacy checkpoints).
+/// Empty lines are ignored. A final non-empty line with no trailing
+/// newline that fails to verify/parse is a torn tail; any interior
+/// failure is counted (`corrupt_frames` for broken frames, `skipped` for
+/// bare garbage) and captured in `damaged_lines`.
+pub fn scan_records(text: &str) -> RecordScan {
+    let mut scan = RecordScan::default();
+    let ends_with_newline = text.is_empty() || text.ends_with('\n');
+    let last_line = text.lines().filter(|l| !l.trim().is_empty()).count();
+    let mut seen = 0usize;
+    for (lineno, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        seen += 1;
+        let is_tail = seen == last_line && !ends_with_newline;
+        let (payload, framed) = match unframe(line) {
+            Frame::Verified(p) => (Some(p), true),
+            Frame::Bare(p) => (Some(p), false),
+            Frame::Corrupt => (None, true),
+        };
+        match payload.and_then(|p| parse(p).ok()) {
+            Some(v) => scan.values.push((lineno, v)),
+            None if is_tail => scan.torn_tail = true,
+            None => {
+                if framed {
+                    scan.corrupt_frames += 1;
+                } else {
+                    scan.skipped += 1;
+                }
+                scan.damaged_lines.push(line.to_string());
+            }
+        }
+    }
+    scan
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -201,6 +341,126 @@ mod tests {
         let s = scan_lines("{\"a\":1}\ngarbage\n");
         assert_eq!(s.skipped, 1);
         assert!(!s.torn_tail);
+    }
+
+    #[test]
+    fn scan_lines_empty_file() {
+        let s = scan_lines("");
+        assert!(s.values.is_empty());
+        assert_eq!(s.skipped, 0);
+        assert!(!s.torn_tail);
+    }
+
+    #[test]
+    fn scan_lines_only_a_torn_line() {
+        // A file holding nothing but a partial record (writer killed during
+        // its very first append) is a torn tail, not interior loss.
+        let s = scan_lines("{\"a\":1,\"tr");
+        assert!(s.values.is_empty());
+        assert_eq!(s.skipped, 0);
+        assert!(s.torn_tail);
+    }
+
+    #[test]
+    fn scan_lines_crlf_tails() {
+        // CRLF-terminated records parse normally (`lines()` strips the \r
+        // that precedes a \n)...
+        let s = scan_lines("{\"a\":1}\r\n{\"a\":2}\r\n");
+        assert_eq!(s.values.len(), 2);
+        assert_eq!(s.skipped, 0);
+        assert!(!s.torn_tail);
+        // ...and a final record cut after its \r but before its \n is a
+        // torn tail: the bare \r stays attached to the last line and the
+        // document does not end in \n.
+        let s = scan_lines("{\"a\":1}\r\n{\"a\":2,\"tr\r");
+        assert_eq!(s.values.len(), 1);
+        assert_eq!(s.skipped, 0);
+        assert!(s.torn_tail);
+    }
+
+    #[test]
+    fn scan_lines_multi_torn_append() {
+        // Repeated kill-and-resume cycles: each dead writer leaves a torn
+        // tail, each resumed writer guards with a newline and appends after
+        // it. Only the *final* partial line is a torn tail; earlier torn
+        // fragments became interior lines and count as skipped.
+        let s = scan_lines("{\"a\":1}\n{\"a\":2,\"tr\n{\"a\":2}\n{\"a\":3,\"xy");
+        assert_eq!(s.values.len(), 2);
+        assert_eq!(s.skipped, 1);
+        assert!(s.torn_tail);
+    }
+
+    #[test]
+    fn frame_round_trips_and_detects_flips() {
+        let payload = "{\"index\":3,\"label\":\"s7\"}";
+        let framed = frame_record(payload);
+        assert!(framed.starts_with(FRAME_MARK));
+        match unframe(&framed) {
+            Frame::Verified(p) => assert_eq!(p, payload),
+            _ => panic!("fresh frame must verify"),
+        }
+        // Any single-byte flip in the payload breaks the CRC.
+        let garbled = framed.replace("s7", "s8");
+        assert!(matches!(unframe(&garbled), Frame::Corrupt));
+        // A truncated frame (torn append) fails the length check.
+        let torn = &framed[..framed.len() - 4];
+        assert!(matches!(unframe(torn), Frame::Corrupt));
+        // Lines not starting with the mark are legacy bare records.
+        assert!(matches!(unframe(payload), Frame::Bare(_)));
+    }
+
+    #[test]
+    fn crc32_known_vector() {
+        // The classic IEEE check value.
+        assert_eq!(crc32(b"123456789"), 0xcbf4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn scan_records_mixes_framed_and_bare() {
+        let mut doc = String::new();
+        doc.push_str(&frame_record("{\"a\":1}"));
+        doc.push('\n');
+        doc.push_str("{\"a\":2}\n"); // legacy bare line
+        let mut bad = frame_record("{\"a\":3}");
+        bad.truncate(bad.len() - 2); // garbled interior frame
+        doc.push_str(&bad);
+        doc.push('\n');
+        doc.push_str("plain garbage\n");
+        doc.push_str(&frame_record("{\"a\":4}"));
+        doc.push('\n');
+        let s = scan_records(&doc);
+        let vals: Vec<u64> = s
+            .values
+            .iter()
+            .map(|(_, v)| get_u64(v, "a").unwrap())
+            .collect();
+        assert_eq!(vals, [1, 2, 4]);
+        assert_eq!(s.corrupt_frames, 1);
+        assert_eq!(s.skipped, 1);
+        assert_eq!(s.damaged_lines.len(), 2);
+        assert!(!s.torn_tail);
+    }
+
+    #[test]
+    fn scan_records_torn_framed_tail() {
+        let mut doc = format!("{}\n", frame_record("{\"a\":1}"));
+        let tail = frame_record("{\"a\":2}");
+        doc.push_str(&tail[..tail.len() - 3]); // killed mid-append
+        let s = scan_records(&doc);
+        assert_eq!(s.values.len(), 1);
+        assert_eq!(s.corrupt_frames, 0);
+        assert_eq!(s.skipped, 0);
+        assert!(s.torn_tail);
+        assert!(s.damaged_lines.is_empty());
+    }
+
+    #[test]
+    fn scan_records_empty_and_blank() {
+        let s = scan_records("");
+        assert_eq!(s, RecordScan::default());
+        let s = scan_records("\n\n");
+        assert_eq!(s, RecordScan::default());
     }
 
     #[test]

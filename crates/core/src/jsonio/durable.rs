@@ -1,0 +1,219 @@
+//! Durable on-disk writes for campaign artifacts.
+//!
+//! Every artifact the campaign fleet persists — cache entries, job specs,
+//! checkpoints, incident indexes, lease files — goes through this module so
+//! the crash-safety discipline lives in exactly one place:
+//!
+//! * [`write_atomic`]: temp file in the destination directory, full write,
+//!   `fsync`, atomic `rename`, then `fsync` of the parent directory. A
+//!   reader never observes a half-written file, and a crash between any
+//!   two steps leaves either the old content or the new — never a blend.
+//! * [`append_line`]: a single `write_all` of one newline-terminated buffer
+//!   to an `O_APPEND` handle, then `fsync`. POSIX makes small `O_APPEND`
+//!   writes atomic with respect to other appenders, so checkpoint lines
+//!   from sibling processes can interleave but never tear each other.
+//! * [`create_exclusive`]: `O_CREAT|O_EXCL` claim of a path with initial
+//!   content — the primitive under lease acquisition and cross-process job
+//!   id allocation. Exactly one claimant wins; losers get `AlreadyExists`.
+//!
+//! For the chaos harness, the module carries a crash-injection hook: set
+//! `ICN_DURABLE_CRASH=<path-substring>:<n>` and the process calls
+//! [`std::process::abort`] immediately *before* the rename of the n-th
+//! (1-based) atomic write whose destination path contains the substring —
+//! simulating a power cut at the worst moment (temp file fully written,
+//! destination untouched).
+
+use std::fs::{self, File, OpenOptions};
+use std::io::{self, Write};
+use std::path::{Component, Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::OnceLock;
+
+/// Monotonic suffix so concurrent writers in one process never collide on
+/// a temp name; the pid disambiguates across processes.
+static TEMP_SEQ: AtomicU64 = AtomicU64::new(0);
+
+fn temp_path(dest: &Path) -> PathBuf {
+    let seq = TEMP_SEQ.fetch_add(1, Ordering::Relaxed);
+    let name = dest
+        .file_name()
+        .map(|n| n.to_string_lossy().into_owned())
+        .unwrap_or_else(|| "artifact".to_string());
+    dest.with_file_name(format!(".{name}.tmp.{}-{seq}", std::process::id()))
+}
+
+/// Crash-injection plan parsed once from `ICN_DURABLE_CRASH`.
+struct CrashPlan {
+    substring: String,
+    /// Abort on the n-th (1-based) matching atomic write.
+    nth: u64,
+    hits: AtomicU64,
+}
+
+fn crash_plan() -> Option<&'static CrashPlan> {
+    static PLAN: OnceLock<Option<CrashPlan>> = OnceLock::new();
+    PLAN.get_or_init(|| {
+        let spec = std::env::var("ICN_DURABLE_CRASH").ok()?;
+        let (substring, nth) = spec.rsplit_once(':')?;
+        let nth: u64 = nth.parse().ok()?;
+        (!substring.is_empty() && nth > 0).then(|| CrashPlan {
+            substring: substring.to_string(),
+            nth,
+            hits: AtomicU64::new(0),
+        })
+    })
+    .as_ref()
+}
+
+/// Called with the temp file written and synced but the rename not yet
+/// issued — the injected "power cut" leaves a fully durable temp file and
+/// an untouched (or stale) destination, exactly the window atomic rename
+/// exists to protect.
+fn maybe_crash_before_rename(dest: &Path) {
+    let Some(plan) = crash_plan() else { return };
+    if !dest.to_string_lossy().contains(&plan.substring) {
+        return;
+    }
+    if plan.hits.fetch_add(1, Ordering::SeqCst) + 1 == plan.nth {
+        // abort(), not exit(): no atexit handlers, no unwinding — the
+        // closest std-only stand-in for SIGKILL-at-the-syscall-boundary.
+        std::process::abort();
+    }
+}
+
+fn fsync_dir(dir: &Path) -> io::Result<()> {
+    // Directory fsync is what makes the *rename itself* durable. Windows
+    // cannot open directories as files; the fleet targets unix.
+    #[cfg(unix)]
+    {
+        File::open(dir)?.sync_all()?;
+    }
+    #[cfg(not(unix))]
+    {
+        let _ = dir;
+    }
+    Ok(())
+}
+
+fn parent_of(path: &Path) -> PathBuf {
+    match path.parent() {
+        Some(p) if p.components().next().is_some() => p.to_path_buf(),
+        _ => PathBuf::from(Component::CurDir.as_os_str()),
+    }
+}
+
+/// Atomically replaces `dest` with `bytes`: same-directory temp file,
+/// write, fsync, rename over `dest`, fsync of the parent directory. After
+/// this returns, the content is durable; if the process dies at any point
+/// inside, readers see either the previous content or none — never a
+/// torn file.
+pub fn write_atomic(dest: &Path, bytes: &[u8]) -> io::Result<()> {
+    let tmp = temp_path(dest);
+    let mut file = File::create(&tmp)?;
+    file.write_all(bytes)?;
+    file.sync_all()?;
+    drop(file);
+    maybe_crash_before_rename(dest);
+    if let Err(e) = fs::rename(&tmp, dest) {
+        let _ = fs::remove_file(&tmp);
+        return Err(e);
+    }
+    fsync_dir(&parent_of(dest))
+}
+
+/// Appends `line` (a newline is added if missing) to `path` as one
+/// `write_all` on an `O_APPEND` handle, then fsyncs. The single buffered
+/// write is what keeps concurrent appenders from interleaving mid-record:
+/// each process's record lands contiguously or not at all (a torn tail,
+/// which the scanners detect).
+pub fn append_line(path: &Path, line: &str) -> io::Result<()> {
+    let mut buf = Vec::with_capacity(line.len() + 1);
+    buf.extend_from_slice(line.as_bytes());
+    if !line.ends_with('\n') {
+        buf.push(b'\n');
+    }
+    let mut file = OpenOptions::new().create(true).append(true).open(path)?;
+    file.write_all(&buf)?;
+    file.sync_all()
+}
+
+/// Creates `path` with `bytes` if and only if it does not already exist
+/// (`O_CREAT|O_EXCL`), fsyncing file and directory on success. This is the
+/// mutual-exclusion primitive for leases and job-id claims: of any number
+/// of concurrent claimants, exactly one succeeds; the rest receive
+/// [`io::ErrorKind::AlreadyExists`].
+///
+/// The initial content is written through the exclusive handle itself, so
+/// a winner that dies mid-write leaves a short/empty file — callers treat
+/// unparseable lease content as a stale claim.
+pub fn create_exclusive(path: &Path, bytes: &[u8]) -> io::Result<()> {
+    let mut file = OpenOptions::new().write(true).create_new(true).open(path)?;
+    file.write_all(bytes)?;
+    file.sync_all()?;
+    drop(file);
+    fsync_dir(&parent_of(path))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "icn-durable-{tag}-{}-{}",
+            std::process::id(),
+            TEMP_SEQ.fetch_add(1, Ordering::Relaxed)
+        ));
+        fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn write_atomic_replaces_content_and_leaves_no_temp() {
+        let dir = temp_dir("atomic");
+        let dest = dir.join("artifact.json");
+        write_atomic(&dest, b"{\"v\":1}").unwrap();
+        assert_eq!(fs::read(&dest).unwrap(), b"{\"v\":1}");
+        write_atomic(&dest, b"{\"v\":2}").unwrap();
+        assert_eq!(fs::read(&dest).unwrap(), b"{\"v\":2}");
+        let leftovers: Vec<_> = fs::read_dir(&dir)
+            .unwrap()
+            .map(|e| e.unwrap().file_name().to_string_lossy().into_owned())
+            .filter(|n| n.contains(".tmp."))
+            .collect();
+        assert!(
+            leftovers.is_empty(),
+            "temp files left behind: {leftovers:?}"
+        );
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn append_line_adds_exactly_one_newline() {
+        let dir = temp_dir("append");
+        let path = dir.join("log.jsonl");
+        append_line(&path, "{\"a\":1}").unwrap();
+        append_line(&path, "{\"b\":2}\n").unwrap();
+        assert_eq!(fs::read_to_string(&path).unwrap(), "{\"a\":1}\n{\"b\":2}\n");
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn create_exclusive_single_winner() {
+        let dir = temp_dir("excl");
+        let path = dir.join("claim");
+        create_exclusive(&path, b"one").unwrap();
+        let err = create_exclusive(&path, b"two").unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::AlreadyExists);
+        assert_eq!(fs::read(&path).unwrap(), b"one");
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn write_atomic_into_missing_dir_errors_cleanly() {
+        let dir = temp_dir("missing");
+        let dest = dir.join("nope").join("artifact.json");
+        assert!(write_atomic(&dest, b"x").is_err());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -62,9 +62,10 @@ pub use runner::{
 };
 pub use spec::{DetectionMode, RecoveryPolicy, RoutingSpec, TopologySpec};
 pub use sweep::{
-    backoff_for, checkpoint_line, replicate, replication_summary, restore_checkpoint,
-    run_supervised, sweep, sweep_supervised, sweep_supervised_report, CheckpointRestore,
-    ReplicationSummary, SweepError, SweepOptions, SweepReport,
+    backoff_for, checkpoint_line, checkpoint_status_line, replicate, replication_summary,
+    restore_checkpoint, run_supervised, run_supervised_cancellable, sweep, sweep_supervised,
+    sweep_supervised_report, CancelToken, CheckpointRestore, ReplicationSummary, SweepError,
+    SweepOptions, SweepReport,
 };
 
 /// Version tag of the simulation semantics, baked into the campaign

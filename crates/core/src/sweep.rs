@@ -9,14 +9,16 @@
 //! failed slot panics *after* every sibling has completed.
 
 use crate::checkpoint::{decode_result, encode_result};
-use crate::jsonio::{obj, scan_lines, Json};
+use crate::jsonio::{durable, frame_record, obj, scan_records, Json};
+use crate::runner::{run_with, RunObserver};
 use crate::{run, RunConfig, RunResult};
-use std::io::Write as _;
+use icn_sim::{Network, StepEvents};
+use std::ops::ControlFlow;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::mpsc;
-use std::time::Duration;
+use std::sync::atomic::{AtomicBool, AtomicU8, AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc};
+use std::time::{Duration, Instant};
 
 /// Why a sweep slot has no result.
 #[derive(Clone, Debug)]
@@ -36,6 +38,16 @@ pub enum SweepError {
         /// Label of the configuration that went unreported.
         label: String,
     },
+    /// The run was stopped by a cancellation token or a wall-clock
+    /// deadline before completing. Terminal: a cancelled slot is never
+    /// retried, and the decision persists through checkpoints.
+    Cancelled {
+        /// Label of the cancelled configuration.
+        label: String,
+        /// `true` when the per-config deadline expired; `false` when an
+        /// explicit cancel request stopped the run.
+        timed_out: bool,
+    },
 }
 
 impl std::fmt::Display for SweepError {
@@ -50,7 +62,40 @@ impl std::fmt::Display for SweepError {
                 "`{label}` panicked on all {attempts} attempts: {message}"
             ),
             SweepError::Missing { label } => write!(f, "`{label}` was never reported"),
+            SweepError::Cancelled { label, timed_out } => {
+                if *timed_out {
+                    write!(f, "`{label}` exceeded its wall-clock deadline")
+                } else {
+                    write!(f, "`{label}` was cancelled")
+                }
+            }
         }
+    }
+}
+
+/// Cooperative cancellation handle shared between a controller (HTTP
+/// cancel endpoint, timeout watchdog) and the runs it governs. Cloning
+/// shares the underlying flag; cancellation is one-way and permanent.
+#[derive(Clone, Debug, Default)]
+pub struct CancelToken {
+    flag: Arc<AtomicBool>,
+}
+
+impl CancelToken {
+    /// A fresh, un-cancelled token.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Requests cancellation. Every run holding a clone of this token
+    /// stops at its next observer check (once per simulation cycle).
+    pub fn cancel(&self) {
+        self.flag.store(true, Ordering::SeqCst);
+    }
+
+    /// Whether cancellation has been requested.
+    pub fn is_cancelled(&self) -> bool {
+        self.flag.load(Ordering::SeqCst)
     }
 }
 
@@ -149,6 +194,90 @@ pub fn run_supervised(cfg: &RunConfig, opts: &SweepOptions) -> Result<RunResult,
     run_guarded_with(cfg, opts, run)
 }
 
+/// How a cancellable run was interrupted, if it was.
+const INTERRUPT_NONE: u8 = 0;
+const INTERRUPT_CANCELLED: u8 = 1;
+const INTERRUPT_TIMED_OUT: u8 = 2;
+
+/// Observer that stops a run when its token is cancelled (checked every
+/// cycle — an atomic load, negligible next to a simulation step) or its
+/// deadline passes (checked every 256 cycles — `Instant::now` is a
+/// syscall on some platforms, and sub-millisecond deadline precision is
+/// meaningless for wall-clock budgets measured in seconds).
+struct CancelObserver<'a> {
+    token: &'a CancelToken,
+    deadline: Option<Instant>,
+    cycles: u64,
+    interrupt: u8,
+}
+
+impl RunObserver for CancelObserver<'_> {
+    fn on_cycle(&mut self, _net: &Network, _ev: &StepEvents) -> ControlFlow<()> {
+        if self.token.is_cancelled() {
+            self.interrupt = INTERRUPT_CANCELLED;
+            return ControlFlow::Break(());
+        }
+        self.cycles = self.cycles.wrapping_add(1);
+        if self.cycles & 0xff == 0 {
+            if let Some(deadline) = self.deadline {
+                if Instant::now() >= deadline {
+                    self.interrupt = INTERRUPT_TIMED_OUT;
+                    return ControlFlow::Break(());
+                }
+            }
+        }
+        ControlFlow::Continue(())
+    }
+}
+
+/// [`run_supervised`] with cooperative cancellation: the run stops at the
+/// next cycle boundary after `token` is cancelled or after `budget`
+/// wall-clock time elapses, returning [`SweepError::Cancelled`] instead
+/// of a (truncated, digest-meaningless) result. An uninterrupted run is
+/// byte-identical to [`run_supervised`] — the observer only loads an
+/// atomic, it never perturbs simulation state.
+pub fn run_supervised_cancellable(
+    cfg: &RunConfig,
+    opts: &SweepOptions,
+    token: &CancelToken,
+    budget: Option<Duration>,
+) -> Result<RunResult, SweepError> {
+    if token.is_cancelled() {
+        return Err(SweepError::Cancelled {
+            label: cfg.label(),
+            timed_out: false,
+        });
+    }
+    let deadline = budget.map(|b| Instant::now() + b);
+    // The retry loop's runner is `Fn`, so the observer's interrupt
+    // verdict escapes through an atomic. Only the final attempt's verdict
+    // matters: an interrupt ends the attempt without a panic, so no
+    // further attempts follow it.
+    let interrupted = AtomicU8::new(INTERRUPT_NONE);
+    let result = run_guarded_with(cfg, opts, |c| {
+        let mut obs = CancelObserver {
+            token,
+            deadline,
+            cycles: 0,
+            interrupt: INTERRUPT_NONE,
+        };
+        let r = run_with(c, &mut obs);
+        interrupted.store(obs.interrupt, Ordering::SeqCst);
+        r
+    });
+    match (result, interrupted.load(Ordering::SeqCst)) {
+        (Ok(_), INTERRUPT_CANCELLED) => Err(SweepError::Cancelled {
+            label: cfg.label(),
+            timed_out: false,
+        }),
+        (Ok(_), INTERRUPT_TIMED_OUT) => Err(SweepError::Cancelled {
+            label: cfg.label(),
+            timed_out: true,
+        }),
+        (r, _) => r,
+    }
+}
+
 /// What a checkpoint restore found on disk.
 ///
 /// The zero value (`restored == 0`, `skipped_lines == 0`,
@@ -165,6 +294,15 @@ pub struct CheckpointRestore {
     /// should surface; a nonzero count on a file this sweep wrote itself
     /// means corruption.
     pub skipped_lines: usize,
+    /// Interior CRC-framed lines whose frame failed verification —
+    /// *detected* corruption, counted separately from `skipped_lines`
+    /// because the frame proves a record was intended there. These slots
+    /// simply re-run; the count is surfaced so operators see the loss.
+    pub corrupt_frames: usize,
+    /// Slots restored as terminally cancelled/timed-out from persisted
+    /// status lines. These are not re-run: the cancellation decision
+    /// survives restarts.
+    pub cancelled: usize,
     /// The file ends in a partially written line — the signature of a
     /// writer killed mid-append. Tolerated explicitly (the interrupted
     /// slot simply re-runs) and reported so callers can distinguish
@@ -174,7 +312,10 @@ pub struct CheckpointRestore {
 
 /// Restores completed slots from a checkpoint file, reporting exactly
 /// what was kept and what was lost. See [`CheckpointRestore`] for the
-/// accounting semantics.
+/// accounting semantics. Accepts both CRC-framed records (the current
+/// append format) and legacy bare JSON lines; damaged framed lines are
+/// quarantined to `<path>.quarantine` so the evidence survives the next
+/// clean rewrite of the checkpoint.
 pub fn restore_checkpoint(
     path: &std::path::Path,
     configs: &[RunConfig],
@@ -183,28 +324,53 @@ pub fn restore_checkpoint(
     let Ok(text) = std::fs::read_to_string(path) else {
         return CheckpointRestore::default();
     };
-    let scan = scan_lines(&text);
+    let scan = scan_records(&text);
     let mut report = CheckpointRestore {
         restored: 0,
         skipped_lines: scan.skipped,
+        corrupt_frames: scan.corrupt_frames,
+        cancelled: 0,
         torn_tail: scan.torn_tail,
     };
+    if !scan.damaged_lines.is_empty() {
+        // Quarantine, not delete: keep the damaged bytes inspectable.
+        let _ = durable::append_line(
+            &path.with_extension("quarantine"),
+            &scan.damaged_lines.join("\n"),
+        );
+    }
     for (_, v) in &scan.values {
+        // A `status` line persists a terminal cancel/timeout decision for
+        // its slot. Later lines win (a status after a result should not
+        // happen, but the scan is order-faithful either way).
         let restorable = (|| {
             let i = v.get("index").and_then(Json::as_u64)? as usize;
             if i >= configs.len() {
                 return None;
             }
-            if v.get("label").and_then(Json::as_str) != Some(&configs[i].label()) {
+            let label = configs[i].label();
+            if v.get("label").and_then(Json::as_str) != Some(&label) {
                 return None;
             }
+            if let Some(status) = v.get("status").and_then(Json::as_str) {
+                let timed_out = match status {
+                    "cancelled" => false,
+                    "timed_out" => true,
+                    _ => return None,
+                };
+                return Some((i, Err(SweepError::Cancelled { label, timed_out })));
+            }
             let r = v.get("result").and_then(|r| decode_result(r).ok())?;
-            Some((i, r))
+            Some((i, Ok(r)))
         })();
         match restorable {
             Some((i, r)) => {
-                report.restored += 1;
-                slots[i] = Some(Ok(r));
+                if r.is_ok() {
+                    report.restored += 1;
+                } else {
+                    report.cancelled += 1;
+                }
+                slots[i] = Some(r);
             }
             None => report.skipped_lines += 1,
         }
@@ -220,6 +386,22 @@ pub fn checkpoint_line(index: usize, label: &str, result: &RunResult) -> String 
         ("index", Json::U64(index as u64)),
         ("label", Json::Str(label.to_string())),
         ("result", encode_result(result)),
+    ])
+    .to_string()
+}
+
+/// Renders one checkpoint *status* line persisting a terminal
+/// cancellation decision: `{"index":i,"label":...,"status":"cancelled"}`
+/// (or `"timed_out"`). [`restore_checkpoint`] restores such slots as
+/// [`SweepError::Cancelled`] so they are not re-run after a restart.
+pub fn checkpoint_status_line(index: usize, label: &str, timed_out: bool) -> String {
+    obj(vec![
+        ("index", Json::U64(index as u64)),
+        ("label", Json::Str(label.to_string())),
+        (
+            "status",
+            Json::Str(if timed_out { "timed_out" } else { "cancelled" }.to_string()),
+        ),
     ])
     .to_string()
 }
@@ -265,6 +447,13 @@ pub fn sweep_supervised_report(configs: &[RunConfig], opts: &SweepOptions) -> Sw
         .checkpoint
         .as_ref()
         .map(|path| restore_checkpoint(path, configs, &mut slots));
+    // A torn tail means the previous writer died mid-append; one guard
+    // newline seals the partial line off so fresh appends start clean.
+    if let (Some(path), Some(ck)) = (opts.checkpoint.as_ref(), checkpoint.as_ref()) {
+        if ck.torn_tail {
+            let _ = durable::append_line(path, "");
+        }
+    }
     let pending: Vec<usize> = (0..configs.len()).filter(|&i| slots[i].is_none()).collect();
 
     if !pending.is_empty() {
@@ -273,15 +462,10 @@ pub fn sweep_supervised_report(configs: &[RunConfig], opts: &SweepOptions) -> Sw
             .unwrap_or(1)
             .min(pending.len());
 
-        // The checkpoint writer is the receiving thread — a single
-        // appender, so interleaved half-lines cannot happen.
-        let mut ckpt = opts.checkpoint.as_ref().and_then(|path| {
-            std::fs::OpenOptions::new()
-                .create(true)
-                .append(true)
-                .open(path)
-                .ok()
-        });
+        // Finished results append through `durable::append_line` — one
+        // CRC-framed line per record, a single O_APPEND write each, so a
+        // record from any process lands contiguously or tears detectably.
+        let ckpt = opts.checkpoint.as_deref();
 
         let next = AtomicUsize::new(0);
         let (tx, rx) = mpsc::channel::<(usize, Result<RunResult, SweepError>)>();
@@ -307,8 +491,9 @@ pub fn sweep_supervised_report(configs: &[RunConfig], opts: &SweepOptions) -> Sw
             // finish, the channel closes and this drain ends.
             drop(tx);
             for (i, r) in rx {
-                if let (Some(file), Ok(result)) = (ckpt.as_mut(), &r) {
-                    let _ = writeln!(file, "{}", checkpoint_line(i, &configs[i].label(), result));
+                if let (Some(path), Ok(result)) = (ckpt, &r) {
+                    let line = frame_record(&checkpoint_line(i, &configs[i].label(), result));
+                    let _ = durable::append_line(path, &line);
                 }
                 slots[i] = Some(r);
             }
@@ -694,12 +879,140 @@ mod tests {
         let resumed = sweep_supervised_report(&configs, &opts);
         let ck = resumed.checkpoint.unwrap();
         assert_eq!(ck.restored, 1);
-        assert_eq!(ck.skipped_lines, 1, "the corrupted line is accounted for");
+        assert_eq!(
+            ck.corrupt_frames, 1,
+            "the garbled frame is detected corruption, not silent skip"
+        );
+        assert_eq!(ck.skipped_lines, 0);
         assert!(!ck.torn_tail);
+        // The damaged line was quarantined for inspection.
+        let quarantine = path.with_extension("quarantine");
+        assert!(
+            std::fs::read_to_string(&quarantine)
+                .unwrap()
+                .trim()
+                .starts_with(crate::jsonio::FRAME_MARK),
+            "damaged frame preserved in quarantine"
+        );
         // The damaged slot re-ran; results still match a fresh sweep.
         let fresh = sweep(&configs);
         for (r, f) in resumed.results.iter().zip(fresh.iter()) {
             assert_eq!(r.as_ref().unwrap().digest(), f.digest());
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// Satellite regression: a checkpoint whose final record is cleanly
+    /// newline-terminated must restore with zero skipped lines and no
+    /// torn tail — the trailing newline must not manufacture a phantom
+    /// empty "line" in the loss accounting.
+    #[test]
+    fn trailing_newline_is_not_counted_as_skipped() {
+        let configs = vec![quick_cfg(0.2), quick_cfg(0.4)];
+        let dir = std::env::temp_dir().join(format!(
+            "icn-sweep-newline-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("sweep.jsonl");
+        let _ = std::fs::remove_file(&path);
+        let opts = SweepOptions {
+            checkpoint: Some(path.clone()),
+            ..SweepOptions::default()
+        };
+        let _ = sweep_supervised(&configs, &opts);
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.ends_with('\n'), "appends are newline-terminated");
+
+        let mut slots: Vec<Option<Result<RunResult, SweepError>>> = vec![None, None];
+        let ck = restore_checkpoint(&path, &configs, &mut slots);
+        assert_eq!(ck.restored, 2);
+        assert_eq!(
+            ck.skipped_lines, 0,
+            "no phantom line after the final newline"
+        );
+        assert_eq!(ck.corrupt_frames, 0);
+        assert!(!ck.torn_tail);
+
+        // Same with extra blank lines appended (kill-guard newlines).
+        std::fs::write(&path, format!("{text}\n\n")).unwrap();
+        let mut slots: Vec<Option<Result<RunResult, SweepError>>> = vec![None, None];
+        let ck = restore_checkpoint(&path, &configs, &mut slots);
+        assert_eq!(ck.restored, 2);
+        assert_eq!(ck.skipped_lines, 0);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// A pre-cancelled token short-circuits without running anything; a
+    /// token cancelled mid-run stops the run and reports `Cancelled`
+    /// rather than returning a truncated result.
+    #[test]
+    fn cancellation_stops_runs() {
+        let cfg = quick_cfg(0.2);
+        let opts = SweepOptions::default();
+
+        let token = CancelToken::new();
+        token.cancel();
+        match run_supervised_cancellable(&cfg, &opts, &token, None) {
+            Err(SweepError::Cancelled { label, timed_out }) => {
+                assert_eq!(label, cfg.label());
+                assert!(!timed_out);
+            }
+            other => panic!("expected Cancelled, got {other:?}"),
+        }
+
+        // An uncancelled token leaves the run byte-identical to the
+        // plain supervised path.
+        let token = CancelToken::new();
+        let r = run_supervised_cancellable(&cfg, &opts, &token, None).unwrap();
+        assert_eq!(r.digest(), run(&cfg).digest());
+    }
+
+    /// A zero wall-clock budget trips the deadline at the first check and
+    /// surfaces as `timed_out: true`.
+    #[test]
+    fn zero_budget_times_out() {
+        let mut cfg = quick_cfg(0.2);
+        // Enough cycles that the 256-cycle deadline check must fire.
+        cfg.warmup = 200;
+        cfg.measure = 2000;
+        let token = CancelToken::new();
+        match run_supervised_cancellable(
+            &cfg,
+            &SweepOptions::default(),
+            &token,
+            Some(Duration::ZERO),
+        ) {
+            Err(SweepError::Cancelled { timed_out, .. }) => assert!(timed_out),
+            other => panic!("expected timeout, got {other:?}"),
+        }
+    }
+
+    /// Persisted status lines restore as terminal `Cancelled` slots: the
+    /// decision survives a restart and the slot is not re-run.
+    #[test]
+    fn status_lines_restore_as_cancelled() {
+        let configs = vec![quick_cfg(0.2), quick_cfg(0.4)];
+        let dir = std::env::temp_dir().join(format!(
+            "icn-sweep-status-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("sweep.jsonl");
+        let line =
+            crate::jsonio::frame_record(&checkpoint_status_line(1, &configs[1].label(), true));
+        std::fs::write(&path, format!("{line}\n")).unwrap();
+
+        let mut slots: Vec<Option<Result<RunResult, SweepError>>> = vec![None, None];
+        let ck = restore_checkpoint(&path, &configs, &mut slots);
+        assert_eq!(ck.cancelled, 1);
+        assert_eq!(ck.restored, 0);
+        assert!(slots[0].is_none(), "unrelated slot untouched");
+        match &slots[1] {
+            Some(Err(SweepError::Cancelled { timed_out, .. })) => assert!(timed_out),
+            other => panic!("expected restored Cancelled, got {other:?}"),
         }
         let _ = std::fs::remove_dir_all(&dir);
     }

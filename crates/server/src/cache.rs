@@ -99,9 +99,11 @@ impl ResultCache {
         hit
     }
 
-    /// Stores a result. Writes to a temp file and renames, so readers
-    /// never observe a half-written entry; a same-key race ends with one
-    /// winner and identical content either way (the engine is
+    /// Stores a result through the durable atomic-write path (temp file,
+    /// fsync, rename, directory fsync), so readers — in this process or a
+    /// sibling sharing the cache dir — never observe a half-written
+    /// entry and a crash never leaves one at rest. A same-key race ends
+    /// with one winner and identical content either way (the engine is
     /// deterministic).
     pub fn store(&self, cfg: &RunConfig, result: &RunResult) -> io::Result<()> {
         let key = config_key(cfg);
@@ -111,13 +113,7 @@ impl ResultCache {
             ("label", Json::Str(cfg.label())),
             ("result", encode_result(result)),
         ]);
-        let tmp = self.dir.join(format!(
-            "{key}.tmp.{}-{:?}",
-            std::process::id(),
-            std::thread::current().id()
-        ));
-        fs::write(&tmp, entry.to_string())?;
-        fs::rename(&tmp, self.path_for(&key))
+        flexsim::jsonio::durable::write_atomic(&self.path_for(&key), entry.to_string().as_bytes())
     }
 
     /// Number of entries on disk.

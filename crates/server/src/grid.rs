@@ -20,6 +20,11 @@ pub struct SweepGrid {
     pub seeds: Vec<u64>,
     /// Load axis. Defaults to `[base.load]`.
     pub loads: Vec<f64>,
+    /// Optional per-config wall-clock budget in milliseconds. A config
+    /// that exceeds it is marked `timed_out` (terminal) instead of
+    /// completing. Persisted with the grid so every fleet member applies
+    /// the same deadline after recovery.
+    pub timeout_ms: Option<u64>,
 }
 
 impl SweepGrid {
@@ -51,19 +56,40 @@ impl SweepGrid {
         if !loads.iter().all(|l| l.is_finite() && *l > 0.0) {
             return Err(bad("`loads` must be finite and positive"));
         }
-        Ok(SweepGrid { base, seeds, loads })
+        let timeout_ms = match v.get("timeout_ms") {
+            None => None,
+            Some(t) => {
+                let ms = t
+                    .as_u64()
+                    .ok_or_else(|| bad("`timeout_ms` must be a u64"))?;
+                if ms == 0 {
+                    return Err(bad("`timeout_ms` must be positive"));
+                }
+                Some(ms)
+            }
+        };
+        Ok(SweepGrid {
+            base,
+            seeds,
+            loads,
+            timeout_ms,
+        })
     }
 
     /// Renders the grid back to its canonical submission form.
     pub fn to_json(&self) -> Json {
-        obj(vec![
+        let mut fields = vec![
             ("base", config_to_json(&self.base)),
             ("seeds", u64_arr(self.seeds.iter().copied())),
             (
                 "loads",
                 Json::Arr(self.loads.iter().map(|l| Json::F64(*l)).collect()),
             ),
-        ])
+        ];
+        if let Some(ms) = self.timeout_ms {
+            fields.push(("timeout_ms", Json::U64(ms)));
+        }
+        obj(fields)
     }
 
     /// Expands to concrete configurations: outer loop over loads, inner
@@ -104,6 +130,7 @@ mod tests {
             base,
             seeds: vec![1, 2],
             loads: vec![0.1, 0.2],
+            timeout_ms: Some(120_000),
         };
         let cfgs = grid.expand();
         let points: Vec<(f64, u64)> = cfgs.iter().map(|c| (c.load, c.seed)).collect();
@@ -111,6 +138,11 @@ mod tests {
         // Round-trip through JSON preserves the expansion exactly.
         grid.base.seed = 7;
         let again = SweepGrid::from_json(&grid.to_json().to_string()).unwrap();
+        assert_eq!(
+            again.timeout_ms,
+            Some(120_000),
+            "timeout survives round-trip"
+        );
         let digests: Vec<String> = again
             .expand()
             .iter()
@@ -136,5 +168,14 @@ mod tests {
         .to_string();
         assert!(SweepGrid::from_json(&body).is_err());
         assert!(SweepGrid::from_json("{\"no\":\"base\"}").is_err());
+        let body = obj(vec![
+            ("base", config_to_json(&base)),
+            ("timeout_ms", Json::U64(0)),
+        ])
+        .to_string();
+        assert!(
+            SweepGrid::from_json(&body).is_err(),
+            "zero timeout rejected"
+        );
     }
 }

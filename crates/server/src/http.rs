@@ -91,13 +91,31 @@ pub fn respond(
     content_type: &str,
     body: &[u8],
 ) -> io::Result<()> {
-    let head = format!(
-        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+    respond_with_headers(stream, status, content_type, &[], body)
+}
+
+/// [`respond`] with additional response headers (name, value pairs).
+pub fn respond_with_headers(
+    stream: &mut TcpStream,
+    status: u16,
+    content_type: &str,
+    extra: &[(&str, &str)],
+    body: &[u8],
+) -> io::Result<()> {
+    let mut head = format!(
+        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\n",
         status,
         reason(status),
         content_type,
         body.len()
     );
+    for (name, value) in extra {
+        head.push_str(name);
+        head.push_str(": ");
+        head.push_str(value);
+        head.push_str("\r\n");
+    }
+    head.push_str("Connection: close\r\n\r\n");
     stream.write_all(head.as_bytes())?;
     stream.write_all(body)?;
     stream.flush()
@@ -127,6 +145,22 @@ pub fn http_request(
     path: &str,
     body: Option<&str>,
 ) -> io::Result<(u16, String)> {
+    let (status, _, payload) = http_request_full(addr, method, path, body)?;
+    Ok((status, payload))
+}
+
+/// Full client response: `(status, lowercase headers, body)`.
+pub type FullResponse = (u16, Vec<(String, String)>, String);
+
+/// [`http_request`] that also returns the response headers as
+/// lowercase-name `(name, value)` pairs — the fleet tests read
+/// `x-job-complete` from partial results streams.
+pub fn http_request_full(
+    addr: impl ToSocketAddrs,
+    method: &str,
+    path: &str,
+    body: Option<&str>,
+) -> io::Result<FullResponse> {
     let mut stream = TcpStream::connect(addr)?;
     stream.set_read_timeout(Some(Duration::from_secs(120)))?;
     let body = body.unwrap_or("");
@@ -149,7 +183,15 @@ pub fn http_request(
         .nth(1)
         .and_then(|s| s.parse().ok())
         .ok_or_else(|| bad_input("bad status line"))?;
-    Ok((status, payload.to_string()))
+    let headers = head
+        .lines()
+        .skip(1)
+        .filter_map(|l| {
+            let (name, value) = l.split_once(':')?;
+            Some((name.trim().to_ascii_lowercase(), value.trim().to_string()))
+        })
+        .collect();
+    Ok((status, headers, payload.to_string()))
 }
 
 #[cfg(test)]
@@ -192,6 +234,35 @@ mod tests {
         let (status, body) = http_request(addr, "GET", "/stats", None).unwrap();
         assert_eq!(status, 404);
         assert_eq!(body, "nope");
+        server.join().unwrap();
+    }
+
+    #[test]
+    fn extra_headers_round_trip() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let server = std::thread::spawn(move || {
+            let (stream, _) = listener.accept().unwrap();
+            let _ = read_request(&stream).unwrap();
+            let mut stream = stream;
+            respond_with_headers(
+                &mut stream,
+                200,
+                "application/x-ndjson",
+                &[("X-Job-Complete", "false")],
+                b"{}\n",
+            )
+            .unwrap();
+        });
+        let (status, headers, body) =
+            http_request_full(addr, "GET", "/jobs/1/results", None).unwrap();
+        assert_eq!(status, 200);
+        assert_eq!(body, "{}\n");
+        let complete = headers
+            .iter()
+            .find(|(n, _)| n == "x-job-complete")
+            .map(|(_, v)| v.as_str());
+        assert_eq!(complete, Some("false"));
         server.join().unwrap();
     }
 

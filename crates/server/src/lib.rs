@@ -11,10 +11,12 @@
 //! * [`grid`] — sweep-grid submissions (`base × seeds × loads`).
 //! * [`cache`] — content-addressed result cache keyed on canonical
 //!   config digests and [`flexsim::ENGINE_VERSION`].
+//! * [`lease`] — per-config lease files arbitrating ownership across
+//!   fleet members sharing one data dir.
 //! * [`state`] — job table, work-stealing worker pool, per-job
 //!   checkpoint appends in the core sweep format.
 //! * [`server`] — [`CampaignServer`]: endpoints, crash recovery,
-//!   graceful shutdown.
+//!   fleet reconciliation, graceful shutdown.
 //!
 //! Results served over the API are digest-identical to direct
 //! [`flexsim::sweep_supervised`] calls on the same grid: the workers run
@@ -26,11 +28,13 @@
 pub mod cache;
 pub mod grid;
 pub mod http;
+pub mod lease;
 pub mod server;
 pub mod signal;
 pub mod state;
 
 pub use cache::{config_key, ResultCache};
 pub use grid::SweepGrid;
-pub use http::http_request;
+pub use http::{http_request, http_request_full};
+pub use lease::LeaseDir;
 pub use server::{CampaignServer, ServerOptions};

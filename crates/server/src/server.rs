@@ -6,7 +6,8 @@
 //! |--------|----------------------|------------------------------------------------|
 //! | POST   | `/jobs`              | Submit a sweep grid; returns `{"id", "configs"}` |
 //! | GET    | `/jobs/:id`          | Job status with per-config progress            |
-//! | GET    | `/jobs/:id/results`  | Completed results as JSON lines                |
+//! | GET    | `/jobs/:id/results`  | Completed results as JSON lines (partial while running; `X-Job-Complete` header) |
+//! | POST   | `/jobs/:id/cancel`   | Cancel a job (durable, fleet-wide)             |
 //! | GET    | `/stats`             | Engine version, worker/job/cache counters      |
 //! | POST   | `/shutdown`          | Graceful shutdown (in-flight configs finish)   |
 //! | GET    | `/incidents`         | Deadlock-incident index                        |
@@ -16,13 +17,25 @@
 //! # Durability
 //!
 //! Everything lives under `data_dir`: `jobs/job-<id>.json` (the canonical
-//! submitted grid), `jobs/job-<id>.ckpt.jsonl` (completed results in the
-//! core checkpoint format — this file *is* the results stream), and
-//! `cache/` (content-addressed results). A killed server recovers on the
-//! next [`CampaignServer::bind`]: grids are re-expanded, checkpoints
-//! restored with the core [`flexsim::restore_checkpoint`] (digest-exact,
-//! torn final lines tolerated and surfaced), and unfinished
+//! submitted grid, claimed cross-process with an exclusive create),
+//! `jobs/job-<id>.ckpt.jsonl` (CRC-framed completed results in the core
+//! checkpoint format — this file *is* the results stream),
+//! `jobs/job-<id>.ckpt.cancel` (durable cancellation marker), `leases/`
+//! (per-config ownership), and `cache/` (content-addressed results). A
+//! killed server recovers on the next [`CampaignServer::bind`]: grids are
+//! re-expanded, checkpoints restored with the core
+//! [`flexsim::restore_checkpoint`] (digest-exact, torn final lines
+//! tolerated and surfaced, corrupt frames quarantined), and unfinished
 //! configurations re-enter the queues.
+//!
+//! # Fleet
+//!
+//! Any number of servers may share one `data_dir`. A scanner thread
+//! discovers jobs submitted through siblings and reconciles checkpoint
+//! progress; per-config leases (renewed by a heartbeat thread) arbitrate
+//! ownership, so a `kill -9`'d member's configs are reclaimed by the
+//! survivors once its leases expire — with its completed records adopted,
+//! never recomputed.
 
 use std::fs;
 use std::io::{self, ErrorKind};
@@ -34,19 +47,21 @@ use std::thread::{self, JoinHandle};
 use std::time::Duration;
 
 use flexsim::forensics::IncidentStore;
-use flexsim::jsonio::{obj, scan_lines, u64_arr, Json};
+use flexsim::jsonio::{durable, obj, record_payload, u64_arr, Json};
 use flexsim::{restore_checkpoint, RunResult, SweepError, SweepOptions, ENGINE_VERSION};
 
 use crate::cache::ResultCache;
 use crate::grid::SweepGrid;
-use crate::http::{read_request, respond, respond_error, respond_json, Request};
+use crate::http::{read_request, respond_error, respond_json, respond_with_headers, Request};
+use crate::lease::LeaseDir;
 use crate::signal;
 use crate::state::{Job, Shared, SlotState};
 
 /// Server configuration.
 #[derive(Clone, Debug)]
 pub struct ServerOptions {
-    /// Root of all durable state (`jobs/`, `cache/`, `incidents/`).
+    /// Root of all durable state (`jobs/`, `cache/`, `incidents/`,
+    /// `leases/`).
     pub data_dir: PathBuf,
     /// Simulation workers (the work-stealing pool size).
     pub workers: usize,
@@ -57,6 +72,13 @@ pub struct ServerOptions {
     pub sweep: SweepOptions,
     /// Install a SIGINT handler so Ctrl-C takes the graceful path.
     pub handle_sigint: bool,
+    /// Lease expiry window: a fleet member whose leases go unrenewed this
+    /// long is presumed dead and its configs are reclaimed. (A provably
+    /// dead pid on Linux is reclaimed immediately.)
+    pub lease_expiry: Duration,
+    /// Fleet scan interval: how often the scanner discovers sibling jobs
+    /// and reconciles checkpoint progress.
+    pub scan_interval: Duration,
 }
 
 impl ServerOptions {
@@ -69,6 +91,8 @@ impl ServerOptions {
             http_threads: 2,
             sweep: SweepOptions::default(),
             handle_sigint: false,
+            lease_expiry: Duration::from_secs(5),
+            scan_interval: Duration::from_millis(300),
         }
     }
 }
@@ -101,13 +125,14 @@ impl CampaignServer {
         fs::create_dir_all(&jobs_dir)?;
         let cache = ResultCache::open(opts.data_dir.join("cache"))?;
         let incidents = IncidentStore::open(opts.data_dir.join("incidents"))?;
+        let leases = LeaseDir::open(opts.data_dir.join("leases"), opts.lease_expiry)?;
 
         let mut sweep = opts.sweep.clone();
         sweep.checkpoint = None;
-        let shared = Shared::new(opts.workers, sweep, cache);
+        let shared = Shared::new(opts.workers, sweep, cache, leases);
         recover_jobs(&shared, &jobs_dir);
 
-        let workers = (0..opts.workers.max(1))
+        let mut workers: Vec<JoinHandle<()>> = (0..opts.workers.max(1))
             .map(|w| {
                 let s = Arc::clone(&shared);
                 thread::Builder::new()
@@ -116,6 +141,43 @@ impl CampaignServer {
                     .expect("spawn worker")
             })
             .collect();
+
+        // Fleet scanner: discovers jobs submitted through siblings and
+        // reconciles checkpoint progress / cancellation markers.
+        {
+            let s = Arc::clone(&shared);
+            let dir = jobs_dir.clone();
+            let interval = opts.scan_interval;
+            workers.push(
+                thread::Builder::new()
+                    .name("campaign-scanner".into())
+                    .spawn(move || {
+                        while !s.shutdown.load(Ordering::SeqCst) {
+                            scan_sibling_jobs(&s, &dir);
+                            s.reconcile();
+                            thread::sleep(interval);
+                        }
+                    })
+                    .expect("spawn scanner"),
+            );
+        }
+        // Lease heartbeat: renews this process's held leases several
+        // times per expiry window so live work is never reclaimed.
+        {
+            let s = Arc::clone(&shared);
+            let tick = (opts.lease_expiry / 4).max(Duration::from_millis(50));
+            workers.push(
+                thread::Builder::new()
+                    .name("campaign-heartbeat".into())
+                    .spawn(move || {
+                        while !s.shutdown.load(Ordering::SeqCst) {
+                            s.heartbeat();
+                            thread::sleep(tick);
+                        }
+                    })
+                    .expect("spawn heartbeat"),
+            );
+        }
 
         let listener = TcpListener::bind(addr)?;
         listener.set_nonblocking(true)?;
@@ -197,10 +259,10 @@ impl CampaignServer {
     }
 }
 
-/// Re-creates every job found in `jobs_dir` and restores its checkpoint.
-fn recover_jobs(shared: &Arc<Shared>, jobs_dir: &std::path::Path) {
+/// Lists the job ids with a grid file in `jobs_dir`.
+fn job_ids_on_disk(jobs_dir: &std::path::Path) -> Vec<u64> {
     let Ok(rd) = fs::read_dir(jobs_dir) else {
-        return;
+        return Vec::new();
     };
     let mut ids: Vec<u64> = rd
         .filter_map(Result::ok)
@@ -213,49 +275,112 @@ fn recover_jobs(shared: &Arc<Shared>, jobs_dir: &std::path::Path) {
         })
         .collect();
     ids.sort_unstable();
+    ids
+}
 
-    let mut inner = shared.inner.lock().unwrap();
-    for id in ids {
-        let grid_path = jobs_dir.join(format!("job-{id}.json"));
-        let Ok(text) = fs::read_to_string(&grid_path) else {
-            continue;
-        };
-        let Ok(grid) = SweepGrid::from_json(&text) else {
+/// Builds the in-memory [`Job`] for `id` from its on-disk grid and
+/// checkpoint. Restores completed and cancelled slots, applies the
+/// durable cancel marker, and seals a torn checkpoint tail with a guard
+/// newline so fresh appends start clean.
+fn load_job_from_disk(jobs_dir: &std::path::Path, id: u64) -> Option<Job> {
+    let grid_path = jobs_dir.join(format!("job-{id}.json"));
+    let text = fs::read_to_string(&grid_path).ok()?;
+    let grid = match SweepGrid::from_json(&text) {
+        Ok(g) => g,
+        Err(_) => {
             eprintln!(
                 "campaign: ignoring unparseable grid {}",
                 grid_path.display()
             );
+            return None;
+        }
+    };
+    let configs = grid.expand();
+    let ckpt = jobs_dir.join(format!("job-{id}.ckpt.jsonl"));
+    let mut raw: Vec<Option<Result<RunResult, SweepError>>> = Vec::new();
+    raw.resize_with(configs.len(), || None);
+    let restore = restore_checkpoint(&ckpt, &configs, &mut raw);
+    if restore.torn_tail {
+        let _ = durable::append_line(&ckpt, "");
+    }
+    let slots: Vec<SlotState> = raw
+        .iter()
+        .map(|s| match s {
+            Some(Ok(_)) => SlotState::Done {
+                cached: false,
+                restored: true,
+            },
+            Some(Err(SweepError::Cancelled { timed_out, .. })) => SlotState::Cancelled {
+                timed_out: *timed_out,
+            },
+            _ => SlotState::Pending,
+        })
+        .collect();
+    let cancel = flexsim::CancelToken::new();
+    if ckpt.with_extension("cancel").exists() {
+        cancel.cancel();
+    }
+    Some(Job {
+        id,
+        configs,
+        slots,
+        ckpt,
+        restored: restore.restored,
+        ckpt_skipped: restore.skipped_lines,
+        ckpt_corrupt: restore.corrupt_frames,
+        torn_tail: restore.torn_tail,
+        cancel,
+        timeout: grid.timeout_ms.map(Duration::from_millis),
+        reclaimed_leases: 0,
+    })
+}
+
+/// Re-creates every job found in `jobs_dir` and restores its checkpoint.
+fn recover_jobs(shared: &Arc<Shared>, jobs_dir: &std::path::Path) {
+    let mut inner = shared.inner.lock().unwrap();
+    for id in job_ids_on_disk(jobs_dir) {
+        let Some(mut job) = load_job_from_disk(jobs_dir, id) else {
             continue;
         };
-        let configs = grid.expand();
-        let ckpt = jobs_dir.join(format!("job-{id}.ckpt.jsonl"));
-        let mut raw: Vec<Option<Result<RunResult, SweepError>>> = Vec::new();
-        raw.resize_with(configs.len(), || None);
-        let restore = restore_checkpoint(&ckpt, &configs, &mut raw);
-        let slots: Vec<SlotState> = raw
-            .iter()
-            .map(|s| match s {
-                Some(Ok(_)) => SlotState::Done {
-                    cached: false,
-                    restored: true,
-                },
-                _ => SlotState::Pending,
-            })
-            .collect();
-        let job = Job {
-            id,
-            configs,
-            slots,
-            ckpt,
-            restored: restore.restored,
-            ckpt_skipped: restore.skipped_lines,
-            torn_tail: restore.torn_tail,
-            needs_newline_guard: restore.torn_tail,
-        };
+        if job.cancel.is_cancelled() {
+            for slot in &mut job.slots {
+                if *slot == SlotState::Pending {
+                    *slot = SlotState::Cancelled { timed_out: false };
+                }
+            }
+        }
         inner.jobs.insert(id, job);
         Shared::enqueue_pending(&mut inner, id);
         inner.next_job_id = inner.next_job_id.max(id + 1);
         shared.stats.jobs_resumed.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+/// Fleet discovery: loads jobs that appeared in `jobs_dir` after startup
+/// (submitted through a sibling process).
+fn scan_sibling_jobs(shared: &Arc<Shared>, jobs_dir: &std::path::Path) {
+    let ids = job_ids_on_disk(jobs_dir);
+    let new: Vec<u64> = {
+        let inner = shared.inner.lock().unwrap();
+        ids.into_iter()
+            .filter(|id| !inner.jobs.contains_key(id))
+            .collect()
+    };
+    for id in new {
+        // Load outside the lock (grid parse + checkpoint scan do I/O).
+        let Some(job) = load_job_from_disk(jobs_dir, id) else {
+            continue;
+        };
+        let mut inner = shared.inner.lock().unwrap();
+        // Double-checked: the HTTP thread may have inserted it meanwhile.
+        if inner.jobs.contains_key(&id) {
+            continue;
+        }
+        inner.jobs.insert(id, job);
+        Shared::enqueue_pending(&mut inner, id);
+        inner.next_job_id = inner.next_job_id.max(id + 1);
+        drop(inner);
+        shared.work_cv.notify_all();
     }
 }
 
@@ -278,8 +403,19 @@ fn handle_connection(ctx: &Arc<Ctx>, stream: TcpStream) {
         return;
     }
     match dispatch(ctx, &req) {
-        Ok((status, content_type, body)) => {
-            let _ = respond(&mut stream, status, content_type, body.as_bytes());
+        Ok(reply) => {
+            let extra: Vec<(&str, &str)> = reply
+                .headers
+                .iter()
+                .map(|(n, v)| (*n, v.as_str()))
+                .collect();
+            let _ = respond_with_headers(
+                &mut stream,
+                reply.status,
+                reply.content_type,
+                &extra,
+                reply.body.as_bytes(),
+            );
         }
         Err((status, msg)) => {
             let _ = respond_error(&mut stream, status, &msg);
@@ -287,7 +423,26 @@ fn handle_connection(ctx: &Arc<Ctx>, stream: TcpStream) {
     }
 }
 
-type Reply = Result<(u16, &'static str, String), (u16, String)>;
+/// A successful handler response.
+struct Response {
+    status: u16,
+    content_type: &'static str,
+    headers: Vec<(&'static str, String)>,
+    body: String,
+}
+
+impl Response {
+    fn json(body: String) -> Response {
+        Response {
+            status: 200,
+            content_type: "application/json",
+            headers: Vec::new(),
+            body,
+        }
+    }
+}
+
+type Reply = Result<Response, (u16, String)>;
 
 fn dispatch(ctx: &Arc<Ctx>, req: &Request) -> Reply {
     let segments: Vec<&str> = req.path.split('/').filter(|s| !s.is_empty()).collect();
@@ -295,6 +450,7 @@ fn dispatch(ctx: &Arc<Ctx>, req: &Request) -> Reply {
         ("POST", ["jobs"]) => submit_job(ctx, &req.body),
         ("GET", ["jobs", id]) => job_status(ctx, parse_id(id)?),
         ("GET", ["jobs", id, "results"]) => job_results(ctx, parse_id(id)?),
+        ("POST", ["jobs", id, "cancel"]) => cancel_job(ctx, parse_id(id)?),
         ("GET", ["stats"]) => stats(ctx),
         ("GET", ["incidents"]) => incident_index(ctx),
         ("GET", ["incidents", n]) => incident_file(ctx, parse_id(n)?, "json"),
@@ -313,13 +469,22 @@ fn submit_job(ctx: &Arc<Ctx>, body: &[u8]) -> Reply {
     let grid = SweepGrid::from_json(text).map_err(|e| (400, format!("bad grid: {e}")))?;
     let configs = grid.expand();
     let n = configs.len();
+    let grid_json = grid.to_json().to_string();
 
     let mut inner = ctx.shared.inner.lock().unwrap();
-    let id = inner.next_job_id;
-    inner.next_job_id += 1;
-    let grid_path = ctx.jobs_dir.join(format!("job-{id}.json"));
-    fs::write(&grid_path, grid.to_json().to_string())
-        .map_err(|e| (500, format!("persisting grid: {e}")))?;
+    // Claim a job id fleet-wide: the grid file is created with
+    // `O_CREAT|O_EXCL`, so an id a sibling already took (our counter can
+    // lag theirs) fails cleanly and we advance to the next free one.
+    let id = loop {
+        let id = inner.next_job_id;
+        inner.next_job_id += 1;
+        let grid_path = ctx.jobs_dir.join(format!("job-{id}.json"));
+        match durable::create_exclusive(&grid_path, grid_json.as_bytes()) {
+            Ok(()) => break id,
+            Err(e) if e.kind() == ErrorKind::AlreadyExists => continue,
+            Err(e) => return Err((500, format!("persisting grid: {e}"))),
+        }
+    };
     let job = Job {
         id,
         configs,
@@ -327,8 +492,11 @@ fn submit_job(ctx: &Arc<Ctx>, body: &[u8]) -> Reply {
         ckpt: ctx.jobs_dir.join(format!("job-{id}.ckpt.jsonl")),
         restored: 0,
         ckpt_skipped: 0,
+        ckpt_corrupt: 0,
         torn_tail: false,
-        needs_newline_guard: false,
+        cancel: flexsim::CancelToken::new(),
+        timeout: grid.timeout_ms.map(Duration::from_millis),
+        reclaimed_leases: 0,
     };
     inner.jobs.insert(id, job);
     Shared::enqueue_pending(&mut inner, id);
@@ -343,7 +511,50 @@ fn submit_job(ctx: &Arc<Ctx>, body: &[u8]) -> Reply {
         ("id", Json::U64(id)),
         ("configs", Json::U64(n as u64)),
     ]);
-    Ok((200, "application/json", body.to_string()))
+    Ok(Response::json(body.to_string()))
+}
+
+/// `POST /jobs/:id/cancel`: raises the job's cancellation token, writes
+/// the durable fleet-wide marker, settles every not-yet-running slot, and
+/// persists status records for the slots this process owns. Running
+/// configs (here or on siblings) stop at their next observer check.
+fn cancel_job(ctx: &Arc<Ctx>, id: u64) -> Reply {
+    let mut inner = ctx.shared.inner.lock().unwrap();
+    let job = inner
+        .jobs
+        .get_mut(&id)
+        .ok_or_else(|| (404, format!("no job {id}")))?;
+    // The marker first: once this returns, the decision survives any
+    // crash and reaches every fleet member via its scanner.
+    let marker = job.ckpt.with_extension("cancel");
+    durable::write_atomic(&marker, b"cancelled\n")
+        .map_err(|e| (500, format!("persisting cancel marker: {e}")))?;
+    job.cancel.cancel();
+    let mut newly_cancelled = 0usize;
+    for (index, slot) in job.slots.iter_mut().enumerate() {
+        // Status records are appended only for slots queued *here*: a
+        // `Pending` slot may be lease-owned by a sibling whose cancelled
+        // run will persist its own record — the marker already makes the
+        // decision durable for everyone else.
+        let queued_here = *slot == SlotState::Queued;
+        if matches!(*slot, SlotState::Pending | SlotState::Queued) {
+            *slot = SlotState::Cancelled { timed_out: false };
+            newly_cancelled += 1;
+            if queued_here {
+                let line =
+                    flexsim::checkpoint_status_line(index, &job.configs[index].label(), false);
+                let _ = durable::append_line(&job.ckpt, &flexsim::jsonio::frame_record(&line));
+            }
+        }
+    }
+    let t = job.tally();
+    let body = obj(vec![
+        ("id", Json::U64(id)),
+        ("cancelled", Json::Bool(true)),
+        ("newly_cancelled", Json::U64(newly_cancelled as u64)),
+        ("still_running", Json::U64(t.running as u64)),
+    ]);
+    Ok(Response::json(body.to_string()))
 }
 
 fn job_status(ctx: &Arc<Ctx>, id: u64) -> Reply {
@@ -352,10 +563,10 @@ fn job_status(ctx: &Arc<Ctx>, id: u64) -> Reply {
         .jobs
         .get(&id)
         .ok_or_else(|| (404, format!("no job {id}")))?;
-    let (pending, running, done, cached, restored, failed) = job.tally();
+    let t = job.tally();
     let state = if job.is_settled() {
         "done"
-    } else if running > 0 || done > 0 {
+    } else if t.running > 0 || t.done > 0 {
         "running"
     } else {
         "queued"
@@ -365,12 +576,14 @@ fn job_status(ctx: &Arc<Ctx>, id: u64) -> Reply {
         .iter()
         .map(|s| {
             Json::Str(match s {
-                SlotState::Pending => "pending".to_string(),
+                SlotState::Pending | SlotState::Queued => "pending".to_string(),
                 SlotState::Running => "running".to_string(),
                 SlotState::Done { cached: true, .. } => "done:cached".to_string(),
                 SlotState::Done { restored: true, .. } => "done:restored".to_string(),
                 SlotState::Done { .. } => "done".to_string(),
                 SlotState::Failed(msg) => format!("failed: {msg}"),
+                SlotState::Cancelled { timed_out: true } => "timed_out".to_string(),
+                SlotState::Cancelled { timed_out: false } => "cancelled".to_string(),
             })
         })
         .collect();
@@ -378,49 +591,72 @@ fn job_status(ctx: &Arc<Ctx>, id: u64) -> Reply {
         ("id", Json::U64(id)),
         ("state", Json::Str(state.to_string())),
         ("configs", Json::U64(job.slots.len() as u64)),
-        ("pending", Json::U64(pending as u64)),
-        ("running", Json::U64(running as u64)),
-        ("completed", Json::U64(done as u64)),
-        ("cached", Json::U64(cached as u64)),
-        ("restored", Json::U64(restored as u64)),
-        ("failed", Json::U64(failed as u64)),
+        ("pending", Json::U64(t.pending as u64)),
+        ("running", Json::U64(t.running as u64)),
+        ("completed", Json::U64(t.done as u64)),
+        ("cached", Json::U64(t.cached as u64)),
+        ("restored", Json::U64(t.restored as u64)),
+        ("failed", Json::U64(t.failed as u64)),
+        ("cancelled", Json::U64(t.cancelled as u64)),
+        ("reclaimed_leases", Json::U64(job.reclaimed_leases)),
         (
             "checkpoint",
             obj(vec![
                 ("restored", Json::U64(job.restored as u64)),
                 ("skipped_lines", Json::U64(job.ckpt_skipped as u64)),
+                ("corrupt_frames", Json::U64(job.ckpt_corrupt as u64)),
                 ("torn_tail", Json::Bool(job.torn_tail)),
             ]),
         ),
         ("slots", Json::Arr(slots)),
     ]);
-    Ok((200, "application/json", body.to_string()))
+    Ok(Response::json(body.to_string()))
 }
 
+/// `GET /jobs/:id/results`. Valid while the job is still running: the
+/// body holds only whole, CRC-verified result records (a torn tail, a
+/// damaged line, or a cancellation status record never reaches a
+/// client), and the `X-Job-Complete` header says whether the stream is
+/// the final word (`true`) or a partial snapshot worth re-fetching
+/// (`false`).
 fn job_results(ctx: &Arc<Ctx>, id: u64) -> Reply {
-    let ckpt = {
+    let (ckpt, settled) = {
         let inner = ctx.shared.inner.lock().unwrap();
-        inner
+        let job = inner
             .jobs
             .get(&id)
-            .ok_or_else(|| (404, format!("no job {id}")))?
-            .ckpt
-            .clone()
+            .ok_or_else(|| (404, format!("no job {id}")))?;
+        (job.ckpt.clone(), job.is_settled())
     };
     let text = match fs::read_to_string(&ckpt) {
         Ok(t) => t,
         Err(e) if e.kind() == ErrorKind::NotFound => String::new(),
         Err(e) => return Err((500, format!("reading results: {e}"))),
     };
-    // Stream only whole, parseable lines — a torn tail or a damaged line
-    // never reaches a client.
-    let lines: Vec<&str> = text.lines().collect();
     let mut body = String::with_capacity(text.len());
-    for (lineno, _) in scan_lines(&text).values {
-        body.push_str(lines[lineno]);
-        body.push('\n');
+    for line in text.lines() {
+        let Some(payload) = record_payload(line) else {
+            continue;
+        };
+        // Status records (cancelled / timed-out markers) are job
+        // bookkeeping, not results.
+        if flexsim::jsonio::parse(payload)
+            .ok()
+            .is_some_and(|v| v.get("result").is_some())
+        {
+            body.push_str(payload);
+            body.push('\n');
+        }
     }
-    Ok((200, "application/x-ndjson", body))
+    Ok(Response {
+        status: 200,
+        content_type: "application/x-ndjson",
+        headers: vec![(
+            "X-Job-Complete",
+            if settled { "true" } else { "false" }.to_string(),
+        )],
+        body,
+    })
 }
 
 fn stats(ctx: &Arc<Ctx>) -> Reply {
@@ -457,8 +693,12 @@ fn stats(ctx: &Arc<Ctx>) -> Reply {
             ]),
         ),
         ("sims_run", Json::U64(s.sims_run.load(Ordering::Relaxed))),
+        (
+            "leases_reclaimed",
+            Json::U64(s.leases_reclaimed.load(Ordering::Relaxed)),
+        ),
     ]);
-    Ok((200, "application/json", body.to_string()))
+    Ok(Response::json(body.to_string()))
 }
 
 fn incident_index(ctx: &Arc<Ctx>) -> Reply {
@@ -480,21 +720,22 @@ fn incident_index(ctx: &Arc<Ctx>) -> Reply {
         })
         .collect();
     let body = obj(vec![("incidents", Json::Arr(arr))]);
-    Ok((200, "application/json", body.to_string()))
+    Ok(Response::json(body.to_string()))
 }
 
 fn incident_file(ctx: &Arc<Ctx>, n: u64, ext: &str) -> Reply {
     let path = ctx.incidents.dir().join(format!("incident-{n:05}.{ext}"));
     match fs::read_to_string(&path) {
-        Ok(text) => Ok((
-            200,
-            if ext == "dot" {
+        Ok(text) => Ok(Response {
+            status: 200,
+            content_type: if ext == "dot" {
                 "text/vnd.graphviz"
             } else {
                 "application/json"
             },
-            text,
-        )),
+            headers: Vec::new(),
+            body: text,
+        }),
         Err(e) if e.kind() == ErrorKind::NotFound => Err((404, format!("no incident {n}"))),
         Err(e) => Err((500, format!("reading incident: {e}"))),
     }

@@ -9,22 +9,36 @@
 //! trivially correct.
 //!
 //! Results are never kept in memory: a completed unit is appended to its
-//! job's checkpoint file in the exact [`checkpoint_line`] format the core
-//! sweep writes, so `GET /jobs/:id/results` is a file read and a
-//! restarted server resumes with the core [`restore_checkpoint`] — the
-//! same machinery, digest-exact.
+//! job's checkpoint file as a CRC-framed [`checkpoint_line`] via the
+//! durable append path, so `GET /jobs/:id/results` is a file read and a
+//! restarted server resumes with the core [`flexsim::restore_checkpoint`]
+//! — the same machinery, digest-exact.
+//!
+//! # Multi-process fleet
+//!
+//! Any number of server processes may share one data dir. Before running
+//! a unit, a worker must win the per-config lease (see [`crate::lease`]);
+//! losing means a live sibling owns the config, and the slot returns to
+//! `Pending` until the reconciler either adopts the sibling's checkpoint
+//! record or reclaims the expired lease. After *winning* a lease the
+//! worker re-reads the checkpoint before simulating — a record appended
+//! by a dead former owner is adopted, never recomputed — and the shared
+//! content-addressed cache is the final dedup guard.
 
-use std::collections::{BTreeMap, VecDeque};
-use std::fs::OpenOptions;
-use std::io::Write;
-use std::path::PathBuf;
+use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::Duration;
 
-use flexsim::{checkpoint_line, run_supervised, RunConfig, SweepOptions};
+use flexsim::jsonio::{durable, frame_record, scan_records, Json};
+use flexsim::{
+    checkpoint_line, checkpoint_status_line, decode_result, run_supervised_cancellable,
+    CancelToken, RunConfig, RunResult, SweepError, SweepOptions,
+};
 
 use crate::cache::ResultCache;
+use crate::lease::{HeldLease, LeaseDir};
 
 /// One schedulable piece of work: configuration `index` of job `job`.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -36,17 +50,38 @@ pub struct Unit {
 /// Lifecycle of one configuration slot.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum SlotState {
+    /// Not scheduled in this process (a sibling may own the lease).
     Pending,
+    /// Dealt into this process's worker queues.
+    Queued,
     Running,
     Done {
         /// Served from the result cache instead of simulated.
         cached: bool,
-        /// Restored from the job checkpoint at server start.
+        /// Restored from the job checkpoint (at start or by adopting a
+        /// sibling's record).
         restored: bool,
     },
     /// Supervision exhausted its retries; the message is the
     /// [`flexsim::SweepError`] rendering.
     Failed(String),
+    /// Terminally cancelled; `timed_out` distinguishes a deadline expiry
+    /// from an explicit cancel request.
+    Cancelled {
+        timed_out: bool,
+    },
+}
+
+/// Per-job slot counts for status reporting.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Tally {
+    pub pending: usize,
+    pub running: usize,
+    pub done: usize,
+    pub cached: usize,
+    pub restored: usize,
+    pub failed: usize,
+    pub cancelled: usize,
 }
 
 /// One submitted job.
@@ -55,43 +90,53 @@ pub struct Job {
     pub id: u64,
     pub configs: Vec<RunConfig>,
     pub slots: Vec<SlotState>,
-    /// JSON-lines results/checkpoint file (core `checkpoint_line` format).
+    /// JSON-lines results/checkpoint file (framed core `checkpoint_line`
+    /// records).
     pub ckpt: PathBuf,
     /// Slots restored from the checkpoint at recovery.
     pub restored: usize,
     /// Checkpoint lines lost to corruption at recovery (surfaced in the
     /// job status; nonzero means the file was damaged at rest).
     pub ckpt_skipped: usize,
+    /// Framed checkpoint lines whose CRC failed at recovery — detected
+    /// (and quarantined) corruption.
+    pub ckpt_corrupt: usize,
     /// Whether recovery found a torn final line (killed mid-append).
     pub torn_tail: bool,
-    /// Set with `torn_tail`: the next append must start with a newline so
-    /// it does not concatenate onto the torn fragment.
-    pub(crate) needs_newline_guard: bool,
+    /// Cooperative cancellation shared by every run of this job.
+    pub cancel: CancelToken,
+    /// Per-config wall-clock budget (from the grid's `timeout_ms`).
+    pub timeout: Option<Duration>,
+    /// Stale leases this process broke while working the job — evidence
+    /// of reclaimed work from dead siblings, surfaced in `/jobs/:id`.
+    pub reclaimed_leases: u64,
 }
 
 impl Job {
-    /// (pending, running, done, cached, restored, failed) slot counts.
-    pub fn tally(&self) -> (usize, usize, usize, usize, usize, usize) {
-        let (mut p, mut r, mut d, mut c, mut re, mut f) = (0, 0, 0, 0, 0, 0);
+    /// Slot counts for status reporting. `Queued` counts as pending —
+    /// queue residency is a process-local scheduling detail.
+    pub fn tally(&self) -> Tally {
+        let mut t = Tally::default();
         for s in &self.slots {
             match s {
-                SlotState::Pending => p += 1,
-                SlotState::Running => r += 1,
+                SlotState::Pending | SlotState::Queued => t.pending += 1,
+                SlotState::Running => t.running += 1,
                 SlotState::Done { cached, restored } => {
-                    d += 1;
-                    c += usize::from(*cached);
-                    re += usize::from(*restored);
+                    t.done += 1;
+                    t.cached += usize::from(*cached);
+                    t.restored += usize::from(*restored);
                 }
-                SlotState::Failed(_) => f += 1,
+                SlotState::Failed(_) => t.failed += 1,
+                SlotState::Cancelled { .. } => t.cancelled += 1,
             }
         }
-        (p, r, d, c, re, f)
+        t
     }
 
-    /// No slot is pending or running.
+    /// No slot is pending, queued, or running.
     pub fn is_settled(&self) -> bool {
-        let (p, r, ..) = self.tally();
-        p == 0 && r == 0
+        let t = self.tally();
+        t.pending == 0 && t.running == 0
     }
 }
 
@@ -103,7 +148,8 @@ pub struct Inner {
     pub next_job_id: u64,
 }
 
-/// Counters reported by `GET /stats`.
+/// Counters reported by `GET /stats` (per process — each fleet member
+/// reports its own share of the work).
 #[derive(Default)]
 pub struct Stats {
     /// Simulations actually executed (cache hits and restores excluded).
@@ -111,6 +157,8 @@ pub struct Stats {
     pub jobs_submitted: AtomicU64,
     pub jobs_resumed: AtomicU64,
     pub jobs_completed: AtomicU64,
+    /// Stale leases broken (work reclaimed from dead siblings).
+    pub leases_reclaimed: AtomicU64,
 }
 
 /// Everything the HTTP threads and the workers share.
@@ -124,10 +172,19 @@ pub struct Shared {
     pub stats: Stats,
     pub sweep: SweepOptions,
     pub cache: ResultCache,
+    pub leases: LeaseDir,
+    /// Leases currently held by this process, renewed by the heartbeat
+    /// thread.
+    pub held: Mutex<HashMap<(u64, usize), HeldLease>>,
 }
 
 impl Shared {
-    pub fn new(workers: usize, sweep: SweepOptions, cache: ResultCache) -> Arc<Shared> {
+    pub fn new(
+        workers: usize,
+        sweep: SweepOptions,
+        cache: ResultCache,
+        leases: LeaseDir,
+    ) -> Arc<Shared> {
         let inner = Inner {
             jobs: BTreeMap::new(),
             queues: (0..workers.max(1)).map(|_| VecDeque::new()).collect(),
@@ -140,22 +197,25 @@ impl Shared {
             stats: Stats::default(),
             sweep,
             cache,
+            leases,
+            held: Mutex::new(HashMap::new()),
         })
     }
 
     /// Deals every `Pending` slot of `job_id` round-robin across the
-    /// worker queues and wakes the pool. Caller holds the lock.
+    /// worker queues (marking them `Queued`) and wakes the pool. Caller
+    /// holds the lock.
     pub fn enqueue_pending(inner: &mut Inner, job_id: u64) {
-        let Some(job) = inner.jobs.get(&job_id) else {
+        let Some(job) = inner.jobs.get_mut(&job_id) else {
             return;
         };
-        let units: Vec<Unit> = job
-            .slots
-            .iter()
-            .enumerate()
-            .filter(|(_, s)| **s == SlotState::Pending)
-            .map(|(index, _)| Unit { job: job_id, index })
-            .collect();
+        let mut units = Vec::new();
+        for (index, slot) in job.slots.iter_mut().enumerate() {
+            if *slot == SlotState::Pending {
+                *slot = SlotState::Queued;
+                units.push(Unit { job: job_id, index });
+            }
+        }
         let n = inner.queues.len();
         for (k, unit) in units.into_iter().enumerate() {
             inner.queues[k % n].push_back(unit);
@@ -199,72 +259,294 @@ impl Shared {
         }
     }
 
-    /// Runs one unit to completion: cache lookup, supervised run on a
-    /// miss, checkpoint append, cache store, slot update.
+    /// Appends one framed record line to `ckpt` under the state lock
+    /// (the durable single-buffer `O_APPEND` write is what keeps sibling
+    /// *processes* from tearing each other; the lock serializes this
+    /// process's own workers).
+    fn append_record(job: u64, ckpt: &Path, payload: &str) {
+        if let Err(e) = durable::append_line(ckpt, &frame_record(payload)) {
+            eprintln!("campaign: checkpoint append failed for job {job}: {e}");
+        }
+    }
+
+    /// Whether the shared checkpoint already holds a record for
+    /// `(job, index)` — consulted after winning a lease, so work a dead
+    /// former owner completed is adopted instead of recomputed.
+    fn checkpoint_record_for(ckpt: &Path, index: usize) -> Option<Result<RunResult, bool>> {
+        let text = std::fs::read_to_string(ckpt).ok()?;
+        let mut found = None;
+        for (_, v) in scan_records(&text).values {
+            if v.get("index").and_then(Json::as_u64) != Some(index as u64) {
+                continue;
+            }
+            if let Some(status) = v.get("status").and_then(Json::as_str) {
+                found = Some(Err(status == "timed_out"));
+            } else if let Some(r) = v.get("result").and_then(|r| decode_result(r).ok()) {
+                found = Some(Ok(r));
+            }
+        }
+        found
+    }
+
+    /// Runs one unit to completion: lease claim, checkpoint adoption,
+    /// cache lookup, supervised run on a miss, durable checkpoint append,
+    /// cache store, slot update.
     fn execute_unit(self: &Arc<Shared>, unit: Unit) {
-        let (cfg, ckpt) = {
+        let (cfg, ckpt, cancel, timeout) = {
             let mut inner = self.inner.lock().unwrap();
             let Some(job) = inner.jobs.get_mut(&unit.job) else {
                 return;
             };
+            // Only Queued units are runnable; the reconciler may have
+            // settled this slot (sibling result, cancellation) while the
+            // unit sat in the queue.
+            if job.slots[unit.index] != SlotState::Queued {
+                return;
+            }
             job.slots[unit.index] = SlotState::Running;
-            (job.configs[unit.index].clone(), job.ckpt.clone())
+            (
+                job.configs[unit.index].clone(),
+                job.ckpt.clone(),
+                job.cancel.clone(),
+                job.timeout,
+            )
         };
 
-        let (outcome, cached) = match self.cache.lookup(&cfg) {
-            Some(hit) => (Ok(hit), true),
-            None => {
-                self.stats.sims_run.fetch_add(1, Ordering::Relaxed);
-                (run_supervised(&cfg, &self.sweep), false)
-            }
-        };
-
-        if let Ok(result) = &outcome {
-            if !cached {
-                // Best-effort: a failed store only costs a future re-run.
-                let _ = self.cache.store(&cfg, result);
-            }
-            let line = checkpoint_line(unit.index, &cfg.label(), result);
-            // Appends are serialized under the state lock (several workers
-            // may finish units of the same job concurrently) and carry the
-            // newline guard after a torn-tail restore.
-            let mut inner = self.inner.lock().unwrap();
-            if let Some(job) = inner.jobs.get_mut(&unit.job) {
-                let guard = std::mem::take(&mut job.needs_newline_guard);
-                let appended = OpenOptions::new()
-                    .create(true)
-                    .append(true)
-                    .open(&ckpt)
-                    .and_then(|mut f| {
-                        if guard {
-                            f.write_all(b"\n")?;
-                        }
-                        f.write_all(line.as_bytes())?;
-                        f.write_all(b"\n")
-                    });
-                if let Err(e) = appended {
-                    eprintln!(
-                        "campaign: checkpoint append failed for job {}: {e}",
-                        unit.job
-                    );
-                    job.needs_newline_guard = guard;
-                }
-            }
-            drop(inner);
+        // Cancelled while queued: persist the terminal decision now
+        // (unless some fleet member already did).
+        if cancel.is_cancelled() {
+            let persist = Self::checkpoint_record_for(&ckpt, unit.index).is_none();
+            self.finish_unit(unit, &cfg, &ckpt, Err(false), false, persist);
+            return;
         }
 
+        // Claim the per-config lease; a live sibling owning it means the
+        // config is theirs — the reconciler will adopt their record.
+        let acquired = match self.leases.try_acquire(unit.job, unit.index) {
+            Ok(Some(a)) => a,
+            Ok(None) => {
+                let mut inner = self.inner.lock().unwrap();
+                if let Some(job) = inner.jobs.get_mut(&unit.job) {
+                    if job.slots[unit.index] == SlotState::Running {
+                        job.slots[unit.index] = SlotState::Pending;
+                    }
+                }
+                return;
+            }
+            Err(e) => {
+                eprintln!(
+                    "campaign: lease acquire failed for job {} cfg {}: {e}",
+                    unit.job, unit.index
+                );
+                let mut inner = self.inner.lock().unwrap();
+                if let Some(job) = inner.jobs.get_mut(&unit.job) {
+                    if job.slots[unit.index] == SlotState::Running {
+                        job.slots[unit.index] = SlotState::Pending;
+                    }
+                }
+                return;
+            }
+        };
+        if acquired.reclaimed {
+            self.stats.leases_reclaimed.fetch_add(1, Ordering::Relaxed);
+            let mut inner = self.inner.lock().unwrap();
+            if let Some(job) = inner.jobs.get_mut(&unit.job) {
+                job.reclaimed_leases += 1;
+            }
+        }
+        self.held
+            .lock()
+            .unwrap()
+            .insert((unit.job, unit.index), acquired.lease);
+
+        // With the lease won, re-read the shared checkpoint: a dead
+        // former owner may have finished this config before dying. Its
+        // record is adopted, never recomputed — this re-check is what
+        // makes lease reclamation duplicate-free.
+        let (verdict, cached, persist) = match Self::checkpoint_record_for(&ckpt, unit.index) {
+            Some(Ok(r)) => (Ok(r), false, false),
+            Some(Err(timed_out)) => (Err(timed_out), false, false),
+            None => match self.cache.lookup(&cfg) {
+                Some(hit) => (Ok(hit), true, true),
+                None => {
+                    self.stats.sims_run.fetch_add(1, Ordering::Relaxed);
+                    match run_supervised_cancellable(&cfg, &self.sweep, &cancel, timeout) {
+                        Ok(r) => {
+                            // Best-effort: a failed store only costs a
+                            // future re-run.
+                            let _ = self.cache.store(&cfg, &r);
+                            (Ok(r), false, true)
+                        }
+                        Err(SweepError::Cancelled { timed_out, .. }) => {
+                            (Err(timed_out), false, true)
+                        }
+                        Err(e) => {
+                            // Retries exhausted: terminal failure (kept
+                            // in memory only — a restart retries it).
+                            self.release_lease(unit);
+                            let mut inner = self.inner.lock().unwrap();
+                            if let Some(job) = inner.jobs.get_mut(&unit.job) {
+                                job.slots[unit.index] = SlotState::Failed(e.to_string());
+                                if job.is_settled() {
+                                    self.stats.jobs_completed.fetch_add(1, Ordering::Relaxed);
+                                }
+                            }
+                            return;
+                        }
+                    }
+                }
+            },
+        };
+
+        // The append happens before the lease release: the lease holder
+        // is the sole writer for this index, so release-after-append
+        // means no sibling can interleave a duplicate record.
+        self.finish_unit(unit, &cfg, &ckpt, verdict, cached, persist);
+        self.release_lease(unit);
+    }
+
+    fn release_lease(self: &Arc<Shared>, unit: Unit) {
+        if let Some(held) = self.held.lock().unwrap().remove(&(unit.job, unit.index)) {
+            self.leases.release(held);
+        }
+    }
+
+    /// Persists (when `persist`) and records a terminal verdict for one
+    /// unit: `Ok(result)` appends a result record, `Err(timed_out)` a
+    /// status record. Adopted-from-disk verdicts pass `persist: false` —
+    /// their record already exists.
+    fn finish_unit(
+        self: &Arc<Shared>,
+        unit: Unit,
+        cfg: &RunConfig,
+        ckpt: &Path,
+        verdict: Result<RunResult, bool>,
+        cached: bool,
+        persist: bool,
+    ) {
         let mut inner = self.inner.lock().unwrap();
-        if let Some(job) = inner.jobs.get_mut(&unit.job) {
-            job.slots[unit.index] = match &outcome {
-                Ok(_) => SlotState::Done {
+        let Some(job) = inner.jobs.get_mut(&unit.job) else {
+            return;
+        };
+        match &verdict {
+            Ok(result) => {
+                if persist {
+                    Self::append_record(
+                        unit.job,
+                        ckpt,
+                        &checkpoint_line(unit.index, &cfg.label(), result),
+                    );
+                }
+                job.slots[unit.index] = SlotState::Done {
                     cached,
-                    restored: false,
-                },
-                Err(e) => SlotState::Failed(e.to_string()),
+                    restored: !persist,
+                };
+            }
+            Err(timed_out) => {
+                if persist {
+                    Self::append_record(
+                        unit.job,
+                        ckpt,
+                        &checkpoint_status_line(unit.index, &cfg.label(), *timed_out),
+                    );
+                }
+                job.slots[unit.index] = SlotState::Cancelled {
+                    timed_out: *timed_out,
+                };
+            }
+        }
+        if job.is_settled() {
+            self.stats.jobs_completed.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Reconciles in-memory jobs against the shared checkpoint files:
+    /// adopts records appended by sibling processes, applies durable
+    /// cancellation markers, and re-queues `Pending` slots whose lease is
+    /// free (expired or never taken). Called periodically by the fleet
+    /// scanner thread.
+    pub fn reconcile(self: &Arc<Shared>) {
+        let jobs: Vec<(u64, PathBuf)> = {
+            let inner = self.inner.lock().unwrap();
+            inner
+                .jobs
+                .iter()
+                .filter(|(_, j)| !j.is_settled())
+                .map(|(id, j)| (*id, j.ckpt.clone()))
+                .collect()
+        };
+        let mut woke_work = false;
+        for (id, ckpt) in jobs {
+            // Read the checkpoint outside the lock; adoption below
+            // re-checks slot states under the lock.
+            let scan = std::fs::read_to_string(&ckpt)
+                .map(|text| scan_records(&text))
+                .ok();
+            let cancel_marker = ckpt.with_extension("cancel").exists();
+            let mut inner = self.inner.lock().unwrap();
+            let Some(job) = inner.jobs.get_mut(&id) else {
+                continue;
             };
-            if job.is_settled() {
+            if cancel_marker && !job.cancel.is_cancelled() {
+                job.cancel.cancel();
+            }
+            if let Some(scan) = scan {
+                for (_, v) in &scan.values {
+                    let Some(index) = v.get("index").and_then(Json::as_u64) else {
+                        continue;
+                    };
+                    let index = index as usize;
+                    if index >= job.slots.len() {
+                        continue;
+                    }
+                    if !matches!(job.slots[index], SlotState::Pending | SlotState::Queued) {
+                        continue;
+                    }
+                    if let Some(status) = v.get("status").and_then(Json::as_str) {
+                        job.slots[index] = SlotState::Cancelled {
+                            timed_out: status == "timed_out",
+                        };
+                    } else if v.get("result").is_some() {
+                        job.slots[index] = SlotState::Done {
+                            cached: false,
+                            restored: true,
+                        };
+                    }
+                }
+            }
+            if job.cancel.is_cancelled() {
+                // Settle every not-yet-running slot as cancelled. No
+                // status append here: the endpoint that raised the marker
+                // persisted lines for its own slots, and duplicated lines
+                // from every fleet member would only inflate accounting.
+                for slot in &mut job.slots {
+                    if matches!(*slot, SlotState::Pending | SlotState::Queued) {
+                        *slot = SlotState::Cancelled { timed_out: false };
+                    }
+                }
+            }
+            let was_settled = job.is_settled();
+            // Re-queue Pending slots (lease lost to a live sibling, or
+            // never scheduled here): execute_unit re-arbitrates with the
+            // lease, so the worst case is a cheap failed acquire.
+            Self::enqueue_pending(&mut inner, id);
+            let job = inner.jobs.get(&id).unwrap();
+            woke_work |= job.slots.contains(&SlotState::Queued);
+            if !was_settled && job.is_settled() {
                 self.stats.jobs_completed.fetch_add(1, Ordering::Relaxed);
             }
+        }
+        if woke_work {
+            self.work_cv.notify_all();
+        }
+    }
+
+    /// Renews every lease this process holds. Called by the heartbeat
+    /// thread several times per expiry window.
+    pub fn heartbeat(self: &Arc<Shared>) {
+        let mut held = self.held.lock().unwrap();
+        for lease in held.values_mut() {
+            let _ = self.leases.renew(lease);
         }
     }
 
@@ -287,8 +569,11 @@ mod tests {
             ckpt: PathBuf::from("/nonexistent"),
             restored: 0,
             ckpt_skipped: 0,
+            ckpt_corrupt: 0,
             torn_tail: false,
-            needs_newline_guard: false,
+            cancel: CancelToken::new(),
+            timeout: None,
+            reclaimed_leases: 0,
         }
     }
 
@@ -303,6 +588,7 @@ mod tests {
             .jobs
             .insert(1, dummy_job(1, vec![SlotState::Pending; 7]));
         Shared::enqueue_pending(&mut inner, 1);
+        assert!(inner.jobs[&1].slots.iter().all(|s| *s == SlotState::Queued));
         assert_eq!(inner.queues[0].len(), 3);
         assert_eq!(inner.queues[1].len(), 2);
         assert_eq!(inner.queues[2].len(), 2);
@@ -325,6 +611,7 @@ mod tests {
             1,
             vec![
                 SlotState::Pending,
+                SlotState::Queued,
                 SlotState::Running,
                 SlotState::Done {
                     cached: true,
@@ -335,9 +622,21 @@ mod tests {
                     restored: true,
                 },
                 SlotState::Failed("boom".into()),
+                SlotState::Cancelled { timed_out: true },
             ],
         );
-        assert_eq!(job.tally(), (1, 1, 2, 1, 1, 1));
+        assert_eq!(
+            job.tally(),
+            Tally {
+                pending: 2,
+                running: 1,
+                done: 2,
+                cached: 1,
+                restored: 1,
+                failed: 1,
+                cancelled: 1,
+            }
+        );
         assert!(!job.is_settled());
         let done = dummy_job(
             2,
@@ -347,6 +646,7 @@ mod tests {
                     cached: false,
                     restored: false,
                 },
+                SlotState::Cancelled { timed_out: false },
             ],
         );
         assert!(done.is_settled());

@@ -21,7 +21,9 @@ use deadlock_characterization::flexsim::jsonio::{parse, Json};
 use deadlock_characterization::flexsim::{
     decode_result, sweep_supervised, RunConfig, SweepOptions,
 };
-use deadlock_characterization::server::{http_request, CampaignServer, ServerOptions, SweepGrid};
+use deadlock_characterization::server::{
+    http_request, http_request_full, CampaignServer, ServerOptions, SweepGrid,
+};
 
 fn temp_dir(tag: &str) -> PathBuf {
     let dir = std::env::temp_dir().join(format!("campaign-e2e-{tag}-{}", std::process::id()));
@@ -40,6 +42,7 @@ fn test_grid() -> SweepGrid {
         base,
         seeds: vec![21, 22],
         loads: vec![0.15, 0.25],
+        timeout_ms: None,
     }
 }
 
@@ -267,6 +270,124 @@ fn killed_server_resumes_from_checkpoints_digest_exact() {
         stats_u64(addr2, &["jobs", "resumed"]) >= 1,
         "recovery counts the resumed job"
     );
+    shutdown(addr2, handle2);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// `GET /jobs/:id/results` is valid *while the job runs*: the stream
+/// holds only whole verified records and the `X-Job-Complete` header
+/// distinguishes a partial snapshot from the final word. `POST
+/// /jobs/:id/cancel` settles every not-yet-finished slot terminally.
+#[test]
+fn partial_results_stream_whole_lines_and_cancel_settles_job() {
+    let dir = temp_dir("cancel");
+    let grid = test_grid();
+    let n = grid.expand().len();
+    // One worker: the grid cannot finish before the early requests land.
+    let (addr, handle) = start_server(&dir, 1);
+    let id = submit(addr, &grid);
+
+    // Early fetch: the job is still running, so the header must say the
+    // stream is partial — and every line it does carry parses whole.
+    let (status, headers, stream) =
+        http_request_full(addr, "GET", &format!("/jobs/{id}/results"), None).expect("results");
+    assert_eq!(status, 200);
+    let complete = headers
+        .iter()
+        .find(|(k, _)| k == "x-job-complete")
+        .map(|(_, v)| v.as_str());
+    assert_eq!(complete, Some("false"), "job cannot be done yet");
+    for line in stream.lines().filter(|l| !l.trim().is_empty()) {
+        assert!(
+            parse(line).is_ok(),
+            "partial stream leaked a torn line: {line}"
+        );
+    }
+
+    let (status, body) =
+        http_request(addr, "POST", &format!("/jobs/{id}/cancel"), None).expect("cancel");
+    assert_eq!(status, 200, "cancel failed: {body}");
+    let v = parse(&body).unwrap();
+    assert_eq!(v.get("cancelled").and_then(Json::as_bool), Some(true));
+
+    let status = poll_done(addr, id);
+    let completed = status.get("completed").and_then(Json::as_u64).unwrap();
+    let cancelled = status.get("cancelled").and_then(Json::as_u64).unwrap();
+    assert_eq!(
+        completed + cancelled,
+        n as u64,
+        "every slot settles as completed or cancelled: {status:?}"
+    );
+    assert!(
+        cancelled >= 1,
+        "something was actually cancelled: {status:?}"
+    );
+    assert_eq!(status.get("failed").and_then(Json::as_u64), Some(0));
+
+    // The final stream carries exactly the completed slots' records and
+    // declares itself complete.
+    let (_, headers, stream) =
+        http_request_full(addr, "GET", &format!("/jobs/{id}/results"), None).expect("results");
+    let complete = headers
+        .iter()
+        .find(|(k, _)| k == "x-job-complete")
+        .map(|(_, v)| v.as_str());
+    assert_eq!(complete, Some("true"));
+    let lines = stream.lines().filter(|l| !l.trim().is_empty()).count();
+    assert_eq!(
+        lines as u64, completed,
+        "one result record per completed slot"
+    );
+
+    // The durable cancel marker exists — a restarted or sibling server
+    // would see the decision.
+    assert!(dir
+        .join("jobs")
+        .join(format!("job-{id}.ckpt.cancel"))
+        .exists());
+
+    shutdown(addr, handle);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// A grid `timeout_ms` marks overrunning configs `timed_out` — a
+/// terminal state that survives a server restart without re-running.
+#[test]
+fn per_config_timeout_is_terminal_across_restarts() {
+    let dir = temp_dir("timeout");
+    let mut base = RunConfig::small_default();
+    base.warmup = 200;
+    base.measure = 50_000; // far more cycles than 1 ms allows
+    let grid = SweepGrid {
+        base,
+        seeds: vec![5],
+        loads: vec![0.3],
+        timeout_ms: Some(1),
+    };
+
+    let (addr, handle) = start_server(&dir, 1);
+    let id = submit(addr, &grid);
+    let status = poll_done(addr, id);
+    assert_eq!(
+        status.get("cancelled").and_then(Json::as_u64),
+        Some(1),
+        "the config must time out: {status:?}"
+    );
+    let slots = status.get("slots").and_then(Json::as_arr).unwrap();
+    assert_eq!(slots[0].as_str(), Some("timed_out"));
+    shutdown(addr, handle);
+
+    // Life 2: the timed-out slot is restored from its status record, not
+    // re-run — the job is settled immediately.
+    let (addr2, handle2) = start_server(&dir, 1);
+    let status2 = poll_done(addr2, id);
+    let slots2 = status2.get("slots").and_then(Json::as_arr).unwrap();
+    assert_eq!(
+        slots2[0].as_str(),
+        Some("timed_out"),
+        "terminal: {status2:?}"
+    );
+    assert_eq!(stats_u64(addr2, &["sims_run"]), 0, "nothing re-ran");
     shutdown(addr2, handle2);
     let _ = std::fs::remove_dir_all(&dir);
 }
